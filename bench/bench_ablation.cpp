@@ -1,0 +1,64 @@
+// Ablation of the paper's central implementation idea (§4.1): "a central
+// idea of our implementation is to use the garbage collection mechanism
+// ... to simplify the adaptation".  With GC disabled before adaptations,
+// joins cannot rely on a clean owner map and leaves move consistency
+// baggage along with the pages.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace anow;
+  util::Options opts(argc, argv);
+  opts.allow_only({"size", "full", "app"});
+  const apps::Size size = bench::size_from_options(opts);
+  const std::string app = opts.get_string("app", "jacobi");
+
+  bench::print_header(
+      "Ablation — GC before adaptation on/off (paper §4.1 design choice)",
+      "Leave+rejoin pair on " + app +
+          " at 8 processes.  Leaves always GC (correctness: write notices "
+          "must not point at a departed process), so the ablation isolates "
+          "the join path: without GC the joiner gets a stale page map and "
+          "faults resolve through forwarding chains.");
+
+  std::map<int, double> reference;
+  for (int k : {7, 8}) {
+    harness::RunConfig cfg;
+    cfg.app = app;
+    cfg.size = size;
+    cfg.nprocs = k;
+    cfg.adaptive = false;
+    reference[k] = harness::run_workload(cfg).seconds;
+  }
+
+  util::Table t({"GC before adapt", "Adaptations", "Runtime (s)",
+                 "Avg cost/adaptation (s)", "GC runs", "Hook bytes (KB)"});
+  for (bool gc : {true, false}) {
+    harness::RunConfig cfg;
+    cfg.app = app;
+    cfg.size = size;
+    cfg.nprocs = 8;
+    cfg.gc_before_adapt = gc;
+    const double t0 = reference[8] * 0.25;
+    cfg.events = harness::alternating_leave_join(
+        sim::from_seconds(t0), sim::from_seconds(reference[8] * 0.2), 6, 2);
+    auto run = harness::run_workload(cfg);
+    double cost = 0.0;
+    if (!run.records.empty()) {
+      cost = harness::average_adaptation_cost(run, reference);
+    }
+    std::int64_t hook_kb = 0;
+    for (const auto& rec : run.records) hook_kb += rec.hook_bytes;
+    t.row()
+        .add(gc ? "yes (paper)" : "no")
+        .add(static_cast<std::int64_t>(run.records.size()))
+        .add(run.seconds, 2)
+        .add(cost, 3)
+        .add(run.stats.counter("dsm.gc_runs"))
+        .add(static_cast<double>(hook_kb) / 1024.0, 1);
+  }
+  t.print(std::cout);
+  return 0;
+}

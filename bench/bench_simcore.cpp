@@ -1,0 +1,99 @@
+// Engine microbenchmarks (google-benchmark): real-time throughput of the
+// simulator core and the DSM's hot data paths.  These are infrastructure
+// benchmarks — virtual-time results live in the other bench binaries.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstring>
+
+#include "dsm/diff.hpp"
+#include "sim/cluster.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace anow;
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.at(i, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    sim.spawn("sleeper", [&] {
+      for (int i = 0; i < n; ++i) sim.sleep_for(1);
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FiberSwitch)->Arg(256)->Arg(1024);
+
+void BM_NetworkSend(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Cluster cluster({}, 8);
+    util::StatsRegistry stats;
+    sim::Network net(cluster.sim(), cluster.cost(), stats, 8);
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      net.send(i % 8, (i + 3) % 8, 4096, [] {});
+    }
+    cluster.sim().run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkSend)->Arg(1 << 12);
+
+void BM_DiffMake(benchmark::State& state) {
+  std::array<std::uint8_t, dsm::kPageSize> twin{}, page{};
+  util::Rng rng(1);
+  // Modify the given percentage of words.
+  const auto percent = static_cast<std::size_t>(state.range(0));
+  for (std::size_t w = 0; w < dsm::kWordsPerPage; ++w) {
+    if (rng.next_below(100) < percent) {
+      page[w * dsm::kWordSize] = 0xAB;
+    }
+  }
+  for (auto _ : state) {
+    auto diff = dsm::make_diff(twin.data(), page.data());
+    benchmark::DoNotOptimize(diff);
+  }
+  state.SetBytesProcessed(state.iterations() * dsm::kPageSize);
+}
+BENCHMARK(BM_DiffMake)->Arg(0)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DiffApply(benchmark::State& state) {
+  std::array<std::uint8_t, dsm::kPageSize> twin{}, page{};
+  util::Rng rng(2);
+  for (std::size_t w = 0; w < dsm::kWordsPerPage; ++w) {
+    if (rng.next_below(100) < static_cast<std::size_t>(state.range(0))) {
+      page[w * dsm::kWordSize] = 0xCD;
+    }
+  }
+  const auto diff = dsm::make_diff(twin.data(), page.data());
+  std::array<std::uint8_t, dsm::kPageSize> target{};
+  for (auto _ : state) {
+    dsm::apply_diff(target.data(), diff);
+    benchmark::DoNotOptimize(target);
+  }
+  state.SetBytesProcessed(state.iterations() * dsm::kPageSize);
+}
+BENCHMARK(BM_DiffApply)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Compute-cost calibration.
+//
+// Applications charge virtual CPU time per unit of work; the constants are
+// fitted so that 1-process runs of the paper's problem sizes reproduce the
+// paper's 1-process runtimes (Table 1) on the simulated 300 MHz Pentium II.
+// Parallel runtimes then *emerge* from the DSM + network model and are
+// compared against Table 1 in EXPERIMENTS.md.
+#pragma once
+
+namespace anow::apps {
+
+/// Jacobi: 1283.63 s / (1000 iters * 2500 * 2500 points)  [Table 1]
+/// Covers the 5-point stencil plus the copy-back phase.
+constexpr double kJacobiSecPerPoint = 1283.63 / (1000.0 * 2500.0 * 2500.0);
+
+/// Gauss: 1404.20 s / sum_k (n-k)^2 ~ n^3/3 element updates, n = 3072.
+/// [Table 1]  Covers multiplier computation and row update.
+constexpr double kGaussSecPerUpdate =
+    1404.20 / (3072.0 * 3072.0 * 3072.0 / 3.0);
+
+/// 3D-FFT: 289.90 s / (100 iters * 128*64*64 points)  [Table 1]
+/// Covers evolve, the three 1-D transform passes, and transpose copies.
+constexpr double kFftSecPerPointIter = 289.90 / (100.0 * 128.0 * 64.0 * 64.0);
+
+/// NBF: 2398.79 s / (100 iters * 131072 atoms * 80 partners)  [Table 1]
+/// Covers the pair interaction plus the (cheap) position update.
+constexpr double kNbfSecPerInteraction =
+    2398.79 / (100.0 * 131072.0 * 80.0);
+
+}  // namespace anow::apps

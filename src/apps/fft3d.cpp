@@ -1,0 +1,224 @@
+#include "apps/fft3d.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "apps/calibration.hpp"
+#include "dsm/types.hpp"
+#include "util/check.hpp"
+
+namespace anow::apps {
+
+namespace {
+
+constexpr std::int64_t kComplexPerPage =
+    static_cast<std::int64_t>(dsm::kPageSize / sizeof(Complex));
+
+/// Frequency-space evolution factor (NAS FT multiplies by an exponential
+/// per iteration; any deterministic per-cell factor exercises the same
+/// access pattern).
+double evolve_factor(std::int64_t x, std::int64_t y, std::int64_t z,
+                     std::int64_t iter) {
+  const double k2 = static_cast<double>(x * x + y * y + z * z);
+  return std::exp(-1e-6 * k2 * static_cast<double>(iter % 7 + 1));
+}
+
+std::int64_t plane_align(std::int64_t plane_elems) {
+  // Number of planes that must stay together so slab boundaries land on
+  // page boundaries.
+  if (plane_elems % kComplexPerPage == 0) return 1;
+  return kComplexPerPage / std::gcd(kComplexPerPage, plane_elems);
+}
+
+}  // namespace
+
+Fft3d::Params Fft3d::Params::preset(Size size) {
+  switch (size) {
+    case Size::kTest:
+      return {8, 8, 8, 3};
+    case Size::kBench:
+      return {32, 32, 32, 25};
+    case Size::kPaper:
+      return {128, 64, 64, 100};
+  }
+  return {};
+}
+
+Fft3d::Fft3d(Params params) : params_(params) {
+  ANOW_CHECK(is_pow2(params_.nx) && is_pow2(params_.ny) && is_pow2(params_.nz));
+}
+
+std::string Fft3d::size_desc() const {
+  std::ostringstream os;
+  os << params_.nx << " x " << params_.ny << " x " << params_.nz << ", "
+     << params_.iters << " iters";
+  return os.str();
+}
+
+std::int64_t Fft3d::shared_bytes() const {
+  return 2 * params_.nx * params_.ny * params_.nz *
+         static_cast<std::int64_t>(sizeof(Complex));
+}
+
+std::int64_t Fft3d::z_align() const {
+  return plane_align(params_.nx * params_.ny);
+}
+
+std::int64_t Fft3d::y_align() const {
+  return plane_align(params_.nx * params_.nz);
+}
+
+Complex Fft3d::initial_value(const Params& p, std::int64_t x, std::int64_t y,
+                             std::int64_t z) {
+  // Deterministic pseudo-random-ish but smooth initial field.
+  const double a = std::sin(0.37 * static_cast<double>(x + 1)) *
+                   std::cos(0.21 * static_cast<double>(y + 1));
+  const double b = std::sin(0.11 * static_cast<double>(z + 1) +
+                            0.05 * static_cast<double>(x));
+  (void)p;
+  return {a, b};
+}
+
+void Fft3d::setup(ompx::Runtime& rt) {
+  const std::int64_t zal = z_align();
+  const std::int64_t yal = y_align();
+
+  pass1_ = rt.region<PassArgs>(
+      "fft_evolve_xy", [zal](dsm::DsmProcess& p, const PassArgs& a) {
+        const auto [nx, ny, nz] = std::tuple(a.nx, a.ny, a.nz);
+        const ompx::IterRange zs =
+            ompx::aligned_block(nz, zal, p.pid(), p.nprocs());
+        if (zs.empty()) return;
+        ompx::SharedArray<Complex> X(a.x_arr, nx * ny * nz);
+        Complex* x = X.write(p, zs.lo * nx * ny, zs.hi * nx * ny);
+        for (std::int64_t z = zs.lo; z < zs.hi; ++z) {
+          Complex* slab = x + z * nx * ny;
+          // Evolve.
+          for (std::int64_t y = 0; y < ny; ++y) {
+            for (std::int64_t xx = 0; xx < nx; ++xx) {
+              slab[xx + nx * y] *= evolve_factor(xx, y, z, a.iter);
+            }
+          }
+          // FFT along x (contiguous lines).
+          for (std::int64_t y = 0; y < ny; ++y) {
+            fft1d(slab + nx * y, nx, 1, -1);
+          }
+          // FFT along y (stride nx).
+          for (std::int64_t xx = 0; xx < nx; ++xx) {
+            fft1d(slab + xx, ny, nx, -1);
+          }
+        }
+        // Two thirds of the per-point-per-iteration budget: evolve + 2 FFTs.
+        p.compute(kFftSecPerPointIter * (2.0 / 3.0) *
+                  static_cast<double>(zs.count() * nx * ny));
+      });
+
+  pass2_ = rt.region<PassArgs>(
+      "fft_transpose_z", [this, yal](dsm::DsmProcess& p, const PassArgs& a) {
+        const auto [nx, ny, nz] = std::tuple(a.nx, a.ny, a.nz);
+        const ompx::IterRange ys =
+            ompx::aligned_block(ny, yal, p.pid(), p.nprocs());
+        ompx::SharedArray<Complex> X(a.x_arr, nx * ny * nz);
+        ompx::SharedArray<Complex> Y(a.y_arr, nx * ny * nz);
+        Complex partial{0.0, 0.0};
+        if (!ys.empty()) {
+          // Transpose: Y[z + nz*(x + nx*y)] = X[x + nx*(y + ny*z)].
+          // Each process needs only its y-stripe of every z-plane — 1/nprocs
+          // of X, most of it remote: the all-to-all exchange.
+          for (std::int64_t z = 0; z < nz; ++z) {
+            X.read(p, nx * (ys.lo + ny * z), nx * (ys.hi + ny * z));
+          }
+          const Complex* xv = p.cptr<Complex>(a.x_arr);
+          Complex* yv = Y.write(p, ys.lo * nx * nz, ys.hi * nx * nz);
+          for (std::int64_t y = ys.lo; y < ys.hi; ++y) {
+            for (std::int64_t xx = 0; xx < nx; ++xx) {
+              Complex* line = yv + nz * (xx + nx * y);
+              for (std::int64_t z = 0; z < nz; ++z) {
+                line[z] = xv[xx + nx * (y + ny * z)];
+              }
+              // FFT along z: contiguous in Y.
+              fft1d(line, nz, 1, -1);
+              // Checksum contribution (every 7th line, NAS-checksum-like).
+              if ((xx + y) % 7 == 0) partial += line[(xx + y) % nz];
+            }
+          }
+          p.compute(kFftSecPerPointIter * (1.0 / 3.0) *
+                    static_cast<double>(ys.count() * nx * nz));
+        }
+        slots_.contribute(p, partial);
+      });
+}
+
+void Fft3d::init(dsm::DsmProcess& master) {
+  const std::int64_t total = params_.nx * params_.ny * params_.nz;
+  x_ = ompx::SharedArray<Complex>::allocate(master.system(), total);
+  y_ = ompx::SharedArray<Complex>::allocate(master.system(), total);
+  slots_ = ompx::ReductionSlots<Complex>::allocate(master.system());
+  checksum_acc_ = {0.0, 0.0};
+  Complex* x = x_.write_all(master);
+  for (std::int64_t z = 0; z < params_.nz; ++z) {
+    for (std::int64_t y = 0; y < params_.ny; ++y) {
+      for (std::int64_t xx = 0; xx < params_.nx; ++xx) {
+        x[xx + params_.nx * (y + params_.ny * z)] =
+            initial_value(params_, xx, y, z);
+      }
+    }
+  }
+}
+
+void Fft3d::iterate(dsm::DsmProcess& master, std::int64_t iter) {
+  const PassArgs args{x_.gaddr(), y_.gaddr(), params_.nx, params_.ny,
+                      params_.nz, iter};
+  auto& sys = master.system();
+  sys.run_parallel(pass1_.task_id, ompx::pack_args(args));
+  sys.run_parallel(pass2_.task_id, ompx::pack_args(args));
+  checksum_acc_ += slots_.combine(
+      master, master.nprocs(), Complex{0.0, 0.0},
+      [](Complex acc, Complex v) { return acc + v; });
+}
+
+double Fft3d::checksum(dsm::DsmProcess& /*master*/) {
+  return checksum_acc_.real() + checksum_acc_.imag();
+}
+
+double Fft3d::reference(const Params& p) {
+  const std::int64_t nx = p.nx, ny = p.ny, nz = p.nz;
+  std::vector<Complex> x(static_cast<std::size_t>(nx * ny * nz));
+  std::vector<Complex> y(x.size());
+  for (std::int64_t z = 0; z < nz; ++z) {
+    for (std::int64_t yy = 0; yy < ny; ++yy) {
+      for (std::int64_t xx = 0; xx < nx; ++xx) {
+        x[xx + nx * (yy + ny * z)] = initial_value(p, xx, yy, z);
+      }
+    }
+  }
+  Complex acc{0.0, 0.0};
+  for (std::int64_t iter = 0; iter < p.iters; ++iter) {
+    for (std::int64_t z = 0; z < nz; ++z) {
+      Complex* slab = x.data() + z * nx * ny;
+      for (std::int64_t yy = 0; yy < ny; ++yy) {
+        for (std::int64_t xx = 0; xx < nx; ++xx) {
+          slab[xx + nx * yy] *= evolve_factor(xx, yy, z, iter);
+        }
+      }
+      for (std::int64_t yy = 0; yy < ny; ++yy) fft1d(slab + nx * yy, nx, 1, -1);
+      for (std::int64_t xx = 0; xx < nx; ++xx) fft1d(slab + xx, ny, nx, -1);
+    }
+    for (std::int64_t yy = 0; yy < ny; ++yy) {
+      for (std::int64_t xx = 0; xx < nx; ++xx) {
+        Complex* line = y.data() + nz * (xx + nx * yy);
+        for (std::int64_t z = 0; z < nz; ++z) {
+          line[z] = x[xx + nx * (yy + ny * z)];
+        }
+        fft1d(line, nz, 1, -1);
+        if ((xx + yy) % 7 == 0) acc += line[(xx + yy) % nz];
+      }
+    }
+  }
+  return acc.real() + acc.imag();
+}
+
+}  // namespace anow::apps

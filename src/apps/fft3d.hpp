@@ -1,0 +1,72 @@
+// 3D-FFT — NAS-FT-style kernel (paper §5.2: "performs a 3-dimensional FFT
+// transform using a sequence of 3 1-dimensional transforms, with a
+// transposition of the matrix between the second and the third transform";
+// Table 1: 128x64x64, 100 iterations, single-writer).
+//
+// Data layout: X[x + nx*(y + ny*z)] distributed as z-slabs; the scratch
+// array Y[z + nz*(x + nx*y)] is distributed as y-slabs.  Per iteration:
+//   construct 1: evolve X (frequency-space factor) + 1-D FFTs along x and y
+//                (both local to the z-slab);
+//   construct 2: transpose into Y (reads all z-slabs of X: the all-to-all
+//                that dominates Table 1's FFT traffic), 1-D FFT along z,
+//                and a checksum contribution.
+// Two adaptation points per iteration.
+#pragma once
+
+#include "apps/fft_math.hpp"
+#include "apps/workload.hpp"
+
+namespace anow::apps {
+
+class Fft3d final : public Workload {
+ public:
+  struct Params {
+    std::int64_t nx = 128, ny = 64, nz = 64;
+    std::int64_t iters = 100;
+    static Params preset(Size size);
+  };
+
+  explicit Fft3d(Params params);
+
+  std::string name() const override { return "3D-FFT"; }
+  std::string size_desc() const override;
+  std::int64_t shared_bytes() const override;
+  dsm::Protocol protocol() const override {
+    return dsm::Protocol::kSingleWriter;
+  }
+  std::int64_t iterations() const override { return params_.iters; }
+
+  void setup(ompx::Runtime& rt) override;
+  void init(dsm::DsmProcess& master) override;
+  void iterate(dsm::DsmProcess& master, std::int64_t iter) override;
+  double checksum(dsm::DsmProcess& master) override;
+
+  /// Sequential reference: the accumulated checksum after all iterations.
+  static double reference(const Params& params);
+
+  /// Deterministic initial grid value.
+  static Complex initial_value(const Params& p, std::int64_t x,
+                               std::int64_t y, std::int64_t z);
+
+ private:
+  struct PassArgs {
+    dsm::GAddr x_arr;
+    dsm::GAddr y_arr;
+    std::int64_t nx, ny, nz;
+    std::int64_t iter;
+  };
+
+  /// z-plane alignment so z-slab boundaries are page-aligned.
+  std::int64_t z_align() const;
+  std::int64_t y_align() const;
+
+  Params params_;
+  ompx::Region<PassArgs> pass1_;
+  ompx::Region<PassArgs> pass2_;
+  ompx::SharedArray<Complex> x_;
+  ompx::SharedArray<Complex> y_;
+  ompx::ReductionSlots<Complex> slots_;
+  Complex checksum_acc_{0.0, 0.0};
+};
+
+}  // namespace anow::apps

@@ -1,0 +1,41 @@
+#include "apps/fft_math.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace anow::apps {
+
+bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft1d(Complex* data, std::int64_t n, std::int64_t stride, int sign) {
+  ANOW_CHECK_MSG(is_pow2(n), "fft1d length must be a power of two");
+  ANOW_CHECK(sign == 1 || sign == -1);
+  // Bit-reversal permutation.
+  for (std::int64_t i = 1, j = 0; i < n; ++i) {
+    std::int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i * stride], data[j * stride]);
+  }
+  // Danielson–Lanczos.
+  for (std::int64_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        static_cast<double>(sign) * 2.0 * std::numbers::pi /
+        static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::int64_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::int64_t k = 0; k < len / 2; ++k) {
+        Complex u = data[(i + k) * stride];
+        Complex v = data[(i + k + len / 2) * stride] * w;
+        data[(i + k) * stride] = u + v;
+        data[(i + k + len / 2) * stride] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace anow::apps

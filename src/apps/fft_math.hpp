@@ -1,0 +1,19 @@
+// Iterative radix-2 complex FFT used by the 3D-FFT workload and its
+// reference implementation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace anow::apps {
+
+using Complex = std::complex<double>;
+
+/// In-place forward (sign=-1) or inverse (sign=+1, unscaled) FFT of length
+/// n (power of two) over data with the given stride between elements.
+void fft1d(Complex* data, std::int64_t n, std::int64_t stride, int sign);
+
+/// True iff n is a power of two (and > 0).
+bool is_pow2(std::int64_t n);
+
+}  // namespace anow::apps

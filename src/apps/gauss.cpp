@@ -1,0 +1,125 @@
+#include "apps/gauss.hpp"
+
+#include <sstream>
+
+#include "apps/calibration.hpp"
+#include "dsm/types.hpp"
+#include "util/check.hpp"
+
+namespace anow::apps {
+
+namespace {
+constexpr std::int64_t kDoublesPerPage =
+    static_cast<std::int64_t>(dsm::kPageSize / sizeof(double));
+}
+
+Gauss::Params Gauss::Params::preset(Size size) {
+  switch (size) {
+    case Size::kTest:
+      return {64};
+    case Size::kBench:
+      return {768};
+    case Size::kPaper:
+      return {3072};
+  }
+  return {};
+}
+
+Gauss::Gauss(Params params) : params_(params) {
+  ANOW_CHECK(params_.n >= 2);
+  // Pad rows to a whole number of pages so cyclic row ownership never
+  // shares a page between writers (single-writer protocol stays legal).
+  stride_ = (params_.n + kDoublesPerPage - 1) / kDoublesPerPage *
+            kDoublesPerPage;
+}
+
+std::string Gauss::size_desc() const {
+  std::ostringstream os;
+  os << params_.n << " x " << params_.n;
+  return os.str();
+}
+
+std::int64_t Gauss::shared_bytes() const { return params_.n * stride_ * 8; }
+
+double Gauss::matrix_entry(std::int64_t n, std::int64_t i, std::int64_t j) {
+  // Deterministic, diagonally dominant: stable elimination without pivoting.
+  if (i == j) return static_cast<double>(n) + 2.0;
+  return 1.0 / static_cast<double>(1 + ((i * 13 + j * 7) % 17));
+}
+
+void Gauss::setup(ompx::Runtime& rt) {
+  region_ = rt.region<IterArgs>(
+      "gauss_eliminate", [](dsm::DsmProcess& p, const IterArgs& a) {
+        const std::int64_t n = a.n, stride = a.stride, k = a.k;
+        ompx::SharedArray<double> m(a.matrix, n * stride);
+        // Everyone needs pivot row k (page faults broadcast it).
+        const double* mat = m.read(p, k * stride + k, k * stride + n);
+        std::int64_t my_rows = 0;
+        double* w = nullptr;
+        for (std::int64_t i = k + 1; i < n; ++i) {
+          if (!ompx::cyclic_owner(i, p.pid(), p.nprocs())) continue;
+          w = m.write(p, i * stride + k, i * stride + n);
+          const double mult = w[i * stride + k] / mat[k * stride + k];
+          w[i * stride + k] = mult;  // store the multiplier in place
+          for (std::int64_t j = k + 1; j < n; ++j) {
+            w[i * stride + j] -= mult * mat[k * stride + j];
+          }
+          ++my_rows;
+        }
+        p.compute(kGaussSecPerUpdate * static_cast<double>(my_rows) *
+                  static_cast<double>(n - k));
+      });
+}
+
+void Gauss::init(dsm::DsmProcess& master) {
+  matrix_ = ompx::SharedArray<double>::allocate(master.system(),
+                                                params_.n * stride_);
+  double* m = matrix_.write_all(master);
+  for (std::int64_t i = 0; i < params_.n; ++i) {
+    for (std::int64_t j = 0; j < params_.n; ++j) {
+      m[i * stride_ + j] = matrix_entry(params_.n, i, j);
+    }
+    for (std::int64_t j = params_.n; j < stride_; ++j) {
+      m[i * stride_ + j] = 0.0;  // padding
+    }
+  }
+}
+
+void Gauss::iterate(dsm::DsmProcess& master, std::int64_t iter) {
+  master.system().run_parallel(
+      region_.task_id,
+      ompx::pack_args(IterArgs{matrix_.gaddr(), params_.n, stride_, iter}));
+}
+
+double Gauss::checksum(dsm::DsmProcess& master) {
+  const double* m = matrix_.read_all(master);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < params_.n; ++i) {
+    for (std::int64_t j = 0; j < params_.n; ++j) {
+      sum += m[i * stride_ + j];
+    }
+  }
+  return sum;
+}
+
+std::vector<double> Gauss::reference(const Params& params) {
+  const std::int64_t n = params.n;
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      m[i * n + j] = matrix_entry(n, i, j);
+    }
+  }
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      const double mult = m[i * n + k] / m[k * n + k];
+      m[i * n + k] = mult;
+      for (std::int64_t j = k + 1; j < n; ++j) {
+        m[i * n + j] -= mult * m[k * n + j];
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace anow::apps

@@ -1,0 +1,65 @@
+// Gauss — Gaussian elimination without pivoting on a diagonally dominant
+// matrix (paper §5.2: "simple numerical code"; Table 1: 3072x3072, 3072
+// iterations, single-writer — zero diffs).
+//
+// Rows are owned cyclically (row i belongs to pid i % nprocs) and padded to
+// page boundaries, so every page has exactly one writer.  Iteration k
+// broadcasts pivot row k through page faults to all other processes and
+// eliminates rows k+1..n-1 in parallel — one parallel construct (adaptation
+// point) per k, which is why Gauss reaches adaptation points every ~0.1 s
+// at 8 processes (§5.3).
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace anow::apps {
+
+class Gauss final : public Workload {
+ public:
+  struct Params {
+    std::int64_t n = 3072;
+    static Params preset(Size size);
+  };
+
+  explicit Gauss(Params params);
+
+  std::string name() const override { return "Gauss"; }
+  std::string size_desc() const override;
+  std::int64_t shared_bytes() const override;
+  dsm::Protocol protocol() const override {
+    return dsm::Protocol::kSingleWriter;
+  }
+  std::int64_t iterations() const override { return params_.n; }
+
+  void setup(ompx::Runtime& rt) override;
+  void init(dsm::DsmProcess& master) override;
+  void iterate(dsm::DsmProcess& master, std::int64_t iter) override;
+  double checksum(dsm::DsmProcess& master) override;
+
+  /// Row stride in doubles (rows padded to page boundaries).
+  std::int64_t stride() const { return stride_; }
+
+  /// Plain sequential reference: returns the eliminated (upper triangular)
+  /// matrix, natural row-major n*n layout.
+  static std::vector<double> reference(const Params& params);
+
+  /// Deterministic diagonally dominant test matrix, element (i, j).
+  static double matrix_entry(std::int64_t n, std::int64_t i, std::int64_t j);
+
+ private:
+  struct IterArgs {
+    dsm::GAddr matrix;
+    std::int64_t n;
+    std::int64_t stride;
+    std::int64_t k;  // pivot row of this construct
+  };
+
+  Params params_;
+  std::int64_t stride_;
+  ompx::Region<IterArgs> region_;
+  ompx::SharedArray<double> matrix_;
+};
+
+}  // namespace anow::apps

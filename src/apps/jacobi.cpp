@@ -1,0 +1,134 @@
+#include "apps/jacobi.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "apps/calibration.hpp"
+#include "util/check.hpp"
+
+namespace anow::apps {
+
+namespace {
+/// Fixed boundary values; interior starts at 0.
+constexpr double kTopBoundary = 1.0;
+constexpr double kOtherBoundary = 0.0;
+
+void init_grid(double* g, std::int64_t n) {
+  std::memset(g, 0, static_cast<std::size_t>(n * n) * sizeof(double));
+  for (std::int64_t j = 0; j < n; ++j) {
+    g[j] = kTopBoundary;                     // top row
+    g[(n - 1) * n + j] = kOtherBoundary;     // bottom row
+  }
+  for (std::int64_t i = 1; i < n - 1; ++i) {
+    g[i * n] = kOtherBoundary;               // left column
+    g[i * n + n - 1] = kOtherBoundary;       // right column
+  }
+}
+}  // namespace
+
+Jacobi::Params Jacobi::Params::preset(Size size) {
+  switch (size) {
+    case Size::kTest:
+      return {64, 5};
+    case Size::kBench:
+      return {600, 50};
+    case Size::kPaper:
+      return {2500, 1000};
+  }
+  return {};
+}
+
+Jacobi::Jacobi(Params params) : params_(params) {
+  ANOW_CHECK(params_.n >= 4);
+}
+
+std::string Jacobi::size_desc() const {
+  std::ostringstream os;
+  os << params_.n << " x " << params_.n << ", " << params_.iters << " iters";
+  return os.str();
+}
+
+std::int64_t Jacobi::shared_bytes() const {
+  return params_.n * params_.n * 8;
+}
+
+void Jacobi::setup(ompx::Runtime& rt) {
+  region_ = rt.region<IterArgs>(
+      "jacobi_iter", [this](dsm::DsmProcess& p, const IterArgs& a) {
+        const std::int64_t n = a.n;
+        // Compiler-generated partitioning: interior rows [1, n-1).
+        const ompx::IterRange rows =
+            ompx::static_block(1, n - 1, p.pid(), p.nprocs());
+        if (rows.empty()) {
+          p.barrier(1);
+          return;
+        }
+        ompx::SharedArray<double> grid(a.grid, n * n);
+
+        // Phase 1: stencil into private scratch (reads own rows +/- 1).
+        const double* g = grid.read(p, (rows.lo - 1) * n, (rows.hi + 1) * n);
+        auto& scratch = scratch_[p.uid()];
+        scratch.resize(static_cast<std::size_t>(rows.count() * n));
+        for (std::int64_t i = rows.lo; i < rows.hi; ++i) {
+          double* out = scratch.data() + (i - rows.lo) * n;
+          out[0] = g[i * n];
+          out[n - 1] = g[i * n + n - 1];
+          for (std::int64_t j = 1; j < n - 1; ++j) {
+            out[j] = 0.25 * (g[(i - 1) * n + j] + g[(i + 1) * n + j] +
+                             g[i * n + j - 1] + g[i * n + j + 1]);
+          }
+        }
+        p.compute(kJacobiSecPerPoint * static_cast<double>(rows.count() * n));
+
+        // All reads must complete before anyone writes the grid.
+        p.barrier(1);
+
+        // Phase 2: copy scratch back (row boundaries are not page-aligned:
+        // multiple-writer false sharing on boundary pages).
+        double* out = grid.write(p, rows.lo * n, rows.hi * n);
+        std::memcpy(out + rows.lo * n, scratch.data(),
+                    static_cast<std::size_t>(rows.count() * n) *
+                        sizeof(double));
+      });
+}
+
+void Jacobi::init(dsm::DsmProcess& master) {
+  grid_ = ompx::SharedArray<double>::allocate(master.system(),
+                                              params_.n * params_.n);
+  double* g = grid_.write_all(master);
+  init_grid(g, params_.n);
+}
+
+void Jacobi::iterate(dsm::DsmProcess& master, std::int64_t /*iter*/) {
+  master.system().run_parallel(region_.task_id,
+                               ompx::pack_args(IterArgs{grid_.gaddr(),
+                                                        params_.n}));
+}
+
+double Jacobi::checksum(dsm::DsmProcess& master) {
+  const double* g = grid_.read_all(master);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < params_.n * params_.n; ++i) sum += g[i];
+  return sum;
+}
+
+std::vector<double> Jacobi::reference(const Params& params) {
+  const std::int64_t n = params.n;
+  std::vector<double> grid(static_cast<std::size_t>(n * n));
+  init_grid(grid.data(), n);
+  std::vector<double> scratch(static_cast<std::size_t>(n * n));
+  for (std::int64_t it = 0; it < params.iters; ++it) {
+    scratch = grid;
+    for (std::int64_t i = 1; i < n - 1; ++i) {
+      for (std::int64_t j = 1; j < n - 1; ++j) {
+        scratch[i * n + j] =
+            0.25 * (grid[(i - 1) * n + j] + grid[(i + 1) * n + j] +
+                    grid[i * n + j - 1] + grid[i * n + j + 1]);
+      }
+    }
+    grid = scratch;
+  }
+  return grid;
+}
+
+}  // namespace anow::apps

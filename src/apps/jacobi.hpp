@@ -1,0 +1,58 @@
+// Jacobi — 2-D 5-point stencil relaxation (paper §5.2: "simple numerical
+// code"; Table 1: 2500x2500, 1000 iterations, 47.8 MB, multiple-writer).
+//
+// The grid is one shared array; each process computes its block of rows
+// into a *private* scratch buffer, barriers, and copies the scratch back.
+// Row boundaries are not page-aligned, so neighbouring processes write
+// different parts of the same boundary page — this false sharing is what
+// produces the diff traffic in Table 1 (Jacobi is the only application with
+// nonzero diffs).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "apps/workload.hpp"
+
+namespace anow::apps {
+
+class Jacobi final : public Workload {
+ public:
+  struct Params {
+    std::int64_t n = 2500;  // grid is n x n
+    std::int64_t iters = 1000;
+    static Params preset(Size size);
+  };
+
+  explicit Jacobi(Params params);
+
+  std::string name() const override { return "Jacobi"; }
+  std::string size_desc() const override;
+  std::int64_t shared_bytes() const override;
+  dsm::Protocol protocol() const override {
+    return dsm::Protocol::kMultiWriter;
+  }
+  std::int64_t iterations() const override { return params_.iters; }
+
+  void setup(ompx::Runtime& rt) override;
+  void init(dsm::DsmProcess& master) override;
+  void iterate(dsm::DsmProcess& master, std::int64_t iter) override;
+  double checksum(dsm::DsmProcess& master) override;
+
+  /// Plain sequential reference (no DSM), for algorithm validation.
+  static std::vector<double> reference(const Params& params);
+
+ private:
+  struct IterArgs {
+    dsm::GAddr grid;
+    std::int64_t n;
+  };
+
+  Params params_;
+  ompx::Region<IterArgs> region_;
+  ompx::SharedArray<double> grid_;
+  /// Per-process private scratch (never shared; keyed by uid).
+  std::map<dsm::Uid, std::vector<double>> scratch_;
+};
+
+}  // namespace anow::apps

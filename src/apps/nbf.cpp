@@ -1,0 +1,218 @@
+#include "apps/nbf.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "apps/calibration.hpp"
+#include "dsm/types.hpp"
+#include "util/check.hpp"
+
+namespace anow::apps {
+
+namespace {
+
+constexpr std::int64_t kDoublesPerPage =
+    static_cast<std::int64_t>(dsm::kPageSize / sizeof(double));
+constexpr double kDt = 1e-4;
+
+/// Lennard-Jones-style pair force magnitude along each axis.
+inline void pair_force(double dx, double dy, double dz, double& fx,
+                       double& fy, double& fz) {
+  const double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+  const double inv2 = 1.0 / r2;
+  const double inv6 = inv2 * inv2 * inv2;
+  const double s = 24.0 * (2.0 * inv6 * inv6 - inv6) * inv2;
+  fx += s * dx;
+  fy += s * dy;
+  fz += s * dz;
+}
+
+void init_positions(std::vector<double>& x, std::vector<double>& y,
+                    std::vector<double>& z, std::int64_t n) {
+  // Deterministic jittered lattice.
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i % 64) + 0.3 * std::sin(0.7 * i);
+    y[i] = static_cast<double>((i / 64) % 64) + 0.3 * std::cos(0.9 * i);
+    z[i] = static_cast<double>(i / 4096) + 0.3 * std::sin(1.3 * i + 1.0);
+  }
+}
+
+std::vector<std::int32_t> make_partner_list(std::int64_t atoms,
+                                            std::int64_t partners,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int32_t> list(
+      static_cast<std::size_t>(atoms * partners));
+  for (std::int64_t i = 0; i < atoms; ++i) {
+    for (std::int64_t k = 0; k < partners; ++k) {
+      // Irregular: anywhere in the atom array, never self.
+      std::int64_t j = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(atoms - 1)));
+      if (j >= i) ++j;
+      list[i * partners + k] = static_cast<std::int32_t>(j);
+    }
+  }
+  return list;
+}
+
+}  // namespace
+
+Nbf::Params Nbf::Params::preset(Size size) {
+  switch (size) {
+    case Size::kTest:
+      return {1024, 8, 4, 20260612};
+    case Size::kBench:
+      return {16384, 24, 25, 20260612};
+    case Size::kPaper:
+      return {131072, 80, 100, 20260612};
+  }
+  return {};
+}
+
+Nbf::Nbf(Params params) : params_(params) {
+  ANOW_CHECK(params_.atoms >= 2 && params_.partners >= 1);
+}
+
+std::string Nbf::size_desc() const {
+  std::ostringstream os;
+  os << params_.atoms << " atoms, " << params_.partners << " partners";
+  return os.str();
+}
+
+std::int64_t Nbf::shared_bytes() const {
+  return 6 * params_.atoms * 8 + params_.atoms * params_.partners * 4;
+}
+
+void Nbf::setup(ompx::Runtime& rt) {
+  forces_ = rt.region<IterArgs>(
+      "nbf_forces", [](dsm::DsmProcess& p, const IterArgs& a) {
+        const ompx::IterRange mine = ompx::aligned_block(
+            a.atoms, kDoublesPerPage, p.pid(), p.nprocs());
+        if (mine.empty()) return;
+        ompx::SharedArray<double> PX(a.px, a.atoms), PY(a.py, a.atoms),
+            PZ(a.pz, a.atoms);
+        ompx::SharedArray<double> FX(a.fx, a.atoms), FY(a.fy, a.atoms),
+            FZ(a.fz, a.atoms);
+        ompx::SharedArray<std::int32_t> PART(a.partners,
+                                             a.atoms * a.npartners);
+        // Partners are irregular; with random lists every page of the
+        // position arrays is needed (touch once, not per access).
+        const double* px = PX.read_all(p);
+        const double* py = PY.read_all(p);
+        const double* pz = PZ.read_all(p);
+        const std::int32_t* part =
+            PART.read(p, mine.lo * a.npartners, mine.hi * a.npartners);
+        double* fx = FX.write(p, mine.lo, mine.hi);
+        double* fy = FY.write(p, mine.lo, mine.hi);
+        double* fz = FZ.write(p, mine.lo, mine.hi);
+        for (std::int64_t i = mine.lo; i < mine.hi; ++i) {
+          double ax = 0, ay = 0, az = 0;
+          const std::int32_t* row = part + i * a.npartners;
+          for (std::int64_t k = 0; k < a.npartners; ++k) {
+            const std::int32_t j = row[k];
+            pair_force(px[i] - px[j], py[i] - py[j], pz[i] - pz[j], ax, ay,
+                       az);
+          }
+          fx[i] = ax;
+          fy[i] = ay;
+          fz[i] = az;
+        }
+        p.compute(kNbfSecPerInteraction *
+                  static_cast<double>(mine.count() * a.npartners));
+      });
+
+  update_ = rt.region<IterArgs>(
+      "nbf_update", [](dsm::DsmProcess& p, const IterArgs& a) {
+        const ompx::IterRange mine = ompx::aligned_block(
+            a.atoms, kDoublesPerPage, p.pid(), p.nprocs());
+        if (mine.empty()) return;
+        ompx::SharedArray<double> PX(a.px, a.atoms), PY(a.py, a.atoms),
+            PZ(a.pz, a.atoms);
+        ompx::SharedArray<double> FX(a.fx, a.atoms), FY(a.fy, a.atoms),
+            FZ(a.fz, a.atoms);
+        const double* fx = FX.read(p, mine.lo, mine.hi);
+        const double* fy = FY.read(p, mine.lo, mine.hi);
+        const double* fz = FZ.read(p, mine.lo, mine.hi);
+        double* px = PX.write(p, mine.lo, mine.hi);
+        double* py = PY.write(p, mine.lo, mine.hi);
+        double* pz = PZ.write(p, mine.lo, mine.hi);
+        for (std::int64_t i = mine.lo; i < mine.hi; ++i) {
+          px[i] += kDt * fx[i];
+          py[i] += kDt * fy[i];
+          pz[i] += kDt * fz[i];
+        }
+      });
+}
+
+void Nbf::init(dsm::DsmProcess& master) {
+  auto& sys = master.system();
+  const std::int64_t n = params_.atoms;
+  px_ = ompx::SharedArray<double>::allocate(sys, n);
+  py_ = ompx::SharedArray<double>::allocate(sys, n);
+  pz_ = ompx::SharedArray<double>::allocate(sys, n);
+  fx_ = ompx::SharedArray<double>::allocate(sys, n);
+  fy_ = ompx::SharedArray<double>::allocate(sys, n);
+  fz_ = ompx::SharedArray<double>::allocate(sys, n);
+  partners_ = ompx::SharedArray<std::int32_t>::allocate(
+      sys, n * params_.partners);
+
+  std::vector<double> x(n), y(n), z(n);
+  init_positions(x, y, z, n);
+  std::copy(x.begin(), x.end(), px_.write_all(master));
+  std::copy(y.begin(), y.end(), py_.write_all(master));
+  std::copy(z.begin(), z.end(), pz_.write_all(master));
+  auto part = make_partner_list(n, params_.partners, params_.seed);
+  std::copy(part.begin(), part.end(), partners_.write_all(master));
+  std::fill_n(fx_.write_all(master), n, 0.0);
+  std::fill_n(fy_.write_all(master), n, 0.0);
+  std::fill_n(fz_.write_all(master), n, 0.0);
+}
+
+void Nbf::iterate(dsm::DsmProcess& master, std::int64_t /*iter*/) {
+  const IterArgs args{px_.gaddr(), py_.gaddr(), pz_.gaddr(), fx_.gaddr(),
+                      fy_.gaddr(), fz_.gaddr(), partners_.gaddr(),
+                      params_.atoms, params_.partners};
+  auto& sys = master.system();
+  sys.run_parallel(forces_.task_id, ompx::pack_args(args));
+  sys.run_parallel(update_.task_id, ompx::pack_args(args));
+}
+
+double Nbf::checksum(dsm::DsmProcess& master) {
+  const std::int64_t n = params_.atoms;
+  const double* x = px_.read_all(master);
+  const double* y = py_.read_all(master);
+  const double* z = pz_.read_all(master);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) sum += x[i] + y[i] + z[i];
+  return sum;
+}
+
+double Nbf::reference(const Params& params) {
+  const std::int64_t n = params.atoms;
+  std::vector<double> x(n), y(n), z(n), fx(n), fy(n), fz(n);
+  init_positions(x, y, z, n);
+  auto part = make_partner_list(n, params.partners, params.seed);
+  for (std::int64_t it = 0; it < params.iters; ++it) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      double ax = 0, ay = 0, az = 0;
+      for (std::int64_t k = 0; k < params.partners; ++k) {
+        const std::int32_t j = part[i * params.partners + k];
+        pair_force(x[i] - x[j], y[i] - y[j], z[i] - z[j], ax, ay, az);
+      }
+      fx[i] = ax;
+      fy[i] = ay;
+      fz[i] = az;
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      x[i] += kDt * fx[i];
+      y[i] += kDt * fy[i];
+      z[i] += kDt * fz[i];
+    }
+  }
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) sum += x[i] + y[i] + z[i];
+  return sum;
+}
+
+}  // namespace anow::apps

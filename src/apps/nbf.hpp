@@ -1,0 +1,65 @@
+// NBF — non-bonded force kernel of a molecular dynamics code (paper §5.2:
+// "included as an example of an irregular application (i.e., an application
+// in which the array indices are not linear expressions in the loop
+// variables)"; Table 1: 131072 atoms, 80 partners, 52 MB, single-writer).
+//
+// Shared data: positions (x,y,z), forces (fx,fy,fz), and the read-only
+// partner index list.  Per iteration:
+//   construct 1: each process computes forces for its (page-aligned) block
+//                of atoms, reading partner positions through irregular
+//                indices — scattered page fetches across all slabs;
+//   construct 2: each process integrates positions for its block.
+// Two adaptation points per iteration (§5.3: NBF reaches adaptation points
+// every ~2.5 s at 8 processes).
+#pragma once
+
+#include "apps/workload.hpp"
+#include "util/rng.hpp"
+
+namespace anow::apps {
+
+class Nbf final : public Workload {
+ public:
+  struct Params {
+    std::int64_t atoms = 131072;
+    std::int64_t partners = 80;
+    std::int64_t iters = 100;
+    std::uint64_t seed = 20260612;
+    static Params preset(Size size);
+  };
+
+  explicit Nbf(Params params);
+
+  std::string name() const override { return "NBF"; }
+  std::string size_desc() const override;
+  std::int64_t shared_bytes() const override;
+  dsm::Protocol protocol() const override {
+    return dsm::Protocol::kSingleWriter;
+  }
+  std::int64_t iterations() const override { return params_.iters; }
+
+  void setup(ompx::Runtime& rt) override;
+  void init(dsm::DsmProcess& master) override;
+  void iterate(dsm::DsmProcess& master, std::int64_t iter) override;
+  double checksum(dsm::DsmProcess& master) override;
+
+  /// Plain sequential reference: checksum of final positions.
+  static double reference(const Params& params);
+
+ private:
+  struct IterArgs {
+    dsm::GAddr px, py, pz;      // positions
+    dsm::GAddr fx, fy, fz;      // forces
+    dsm::GAddr partners;        // atoms x partners int32 indices
+    std::int64_t atoms;
+    std::int64_t npartners;
+  };
+
+  Params params_;
+  ompx::Region<IterArgs> forces_;
+  ompx::Region<IterArgs> update_;
+  ompx::SharedArray<double> px_, py_, pz_, fx_, fy_, fz_;
+  ompx::SharedArray<std::int32_t> partners_;
+};
+
+}  // namespace anow::apps

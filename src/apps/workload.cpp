@@ -1,0 +1,79 @@
+#include "apps/workload.hpp"
+
+#include <algorithm>
+
+#include "apps/fft3d.hpp"
+#include "apps/gauss.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/nbf.hpp"
+#include "util/check.hpp"
+
+namespace anow::apps {
+
+void Workload::master_main(dsm::DsmProcess& master, std::int64_t from_iter) {
+  if (from_iter == 0) {
+    init(master);
+  }
+  for (std::int64_t it = from_iter; it < iterations(); ++it) {
+    iterate(master, it);
+  }
+  result_ = checksum(master);
+}
+
+dsm::DsmConfig Workload::dsm_config() const {
+  dsm::DsmConfig cfg;
+  // Shared data + reduction slots + allocator slack, page aligned.
+  const std::int64_t slack = 2ll << 20;
+  const std::int64_t want = shared_bytes() + slack;
+  cfg.heap_bytes = (want + dsm::kPageSize - 1) /
+                   static_cast<std::int64_t>(dsm::kPageSize) *
+                   static_cast<std::int64_t>(dsm::kPageSize);
+  cfg.default_protocol = protocol();
+  return cfg;
+}
+
+Size parse_size(const std::string& s) {
+  if (s == "test") return Size::kTest;
+  if (s == "bench") return Size::kBench;
+  if (s == "paper" || s == "full") return Size::kPaper;
+  ANOW_CHECK_MSG(false, "unknown size preset '" << s
+                                                << "' (test|bench|paper)");
+}
+
+const char* size_name(Size size) {
+  switch (size) {
+    case Size::kTest:
+      return "test";
+    case Size::kBench:
+      return "bench";
+    case Size::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name, Size size) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "jacobi") {
+    return std::make_unique<Jacobi>(Jacobi::Params::preset(size));
+  }
+  if (lower == "gauss") {
+    return std::make_unique<Gauss>(Gauss::Params::preset(size));
+  }
+  if (lower == "fft3d" || lower == "fft" || lower == "3d-fft") {
+    return std::make_unique<Fft3d>(Fft3d::Params::preset(size));
+  }
+  if (lower == "nbf") {
+    return std::make_unique<Nbf>(Nbf::Params::preset(size));
+  }
+  ANOW_CHECK_MSG(false, "unknown workload '" << name
+                                             << "' (jacobi|gauss|fft3d|nbf)");
+}
+
+std::vector<std::string> workload_names() {
+  return {"gauss", "jacobi", "fft3d", "nbf"};
+}
+
+}  // namespace anow::apps

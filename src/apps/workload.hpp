@@ -1,0 +1,73 @@
+// Workload — common interface of the four paper applications (§5.2).
+//
+// A workload registers its outlined parallel regions before the system
+// starts, initializes shared data in the master, then runs a fixed number of
+// outer iterations, each made of one or more parallel constructs (the
+// adaptation points).  The checksum validates results across process counts
+// and adaptation schedules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/config.hpp"
+#include "dsm/process.hpp"
+#include "ompx/runtime.hpp"
+
+namespace anow::apps {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  /// Human-readable problem-size string (Table 1 column).
+  virtual std::string size_desc() const = 0;
+  /// Shared memory the workload needs (drives DsmConfig::heap_bytes).
+  virtual std::int64_t shared_bytes() const = 0;
+  /// Protocol for the workload's data (Table 1: Jacobi uses diffs, the rest
+  /// run single-writer).
+  virtual dsm::Protocol protocol() const = 0;
+  virtual std::int64_t iterations() const = 0;
+
+  /// Registers parallel regions.  Called once, before DsmSystem::start().
+  virtual void setup(ompx::Runtime& rt) = 0;
+  /// Allocates and initializes shared data (master fiber, before iter 0).
+  virtual void init(dsm::DsmProcess& master) = 0;
+  /// One outer iteration: one or more parallel constructs.
+  virtual void iterate(dsm::DsmProcess& master, std::int64_t iter) = 0;
+  /// Deterministic result digest (master fiber, after the last iteration).
+  virtual double checksum(dsm::DsmProcess& master) = 0;
+
+  /// Convenience master program: init + all iterations starting at
+  /// `from_iter` (checkpoint resume) + checksum into result().
+  void master_main(dsm::DsmProcess& master, std::int64_t from_iter = 0);
+
+  double result() const { return result_; }
+
+  /// Suggested DSM configuration (heap size + protocol).
+  dsm::DsmConfig dsm_config() const;
+
+ private:
+  double result_ = 0.0;
+};
+
+/// Problem-size presets.
+enum class Size {
+  kTest,   // seconds of virtual time; unit tests
+  kBench,  // default for bench binaries: minutes of virtual time
+  kPaper,  // Table 1 sizes (--full)
+};
+
+Size parse_size(const std::string& s);
+const char* size_name(Size size);
+
+/// Factory over {"jacobi", "gauss", "fft3d", "nbf"}.
+std::unique_ptr<Workload> make_workload(const std::string& name, Size size);
+
+/// All four, in the paper's Table 1 order.
+std::vector<std::string> workload_names();
+
+}  // namespace anow::apps

@@ -1,0 +1,88 @@
+// AdaptiveRuntime — the paper's contribution: transparent joins and leaves
+// at OpenMP adaptation points, with migration as the urgent fallback.
+//
+// The runtime installs a pre-fork hook on the DSM system.  Every Tmk_fork is
+// an adaptation point: all slaves are parked in Tmk_wait, so the master is
+// free to garbage-collect, absorb joiners (page-location map), remove
+// leavers (fetch their exclusively-owned pages), and reassign pids before
+// broadcasting the fork.  No application code participates (§1: "no code is
+// added to the application specifically to obtain adaptivity").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/events.hpp"
+#include "dsm/system.hpp"
+#include "sim/cluster.hpp"
+
+namespace anow::core {
+
+class AdaptiveRuntime {
+ public:
+  struct Options {
+    /// Run a GC before handling adaptations (paper §4.1; the ablation bench
+    /// turns this off to quantify the design choice).
+    bool gc_before_adapt = true;
+    /// Spawn cost is charged when a join event's process is created.
+    bool charge_spawn_cost = true;
+  };
+
+  explicit AdaptiveRuntime(dsm::DsmSystem& system)
+      : AdaptiveRuntime(system, Options()) {}
+  AdaptiveRuntime(dsm::DsmSystem& system, Options options);
+
+  /// Schedules an adapt event (virtual time).  Call before or during run.
+  void post(AdaptEvent event);
+
+  /// Convenience: leave of whatever team process runs on `host` at that time.
+  void post_join(sim::Time at, sim::HostId host);
+  void post_leave(sim::Time at, sim::HostId host,
+                  sim::Time grace = kDefaultGrace);
+
+  const std::vector<AdaptRecord>& records() const { return records_; }
+
+  /// Number of adaptation points handled that actually adapted something.
+  std::int64_t adaptations_handled() const { return adaptations_handled_; }
+
+  dsm::DsmSystem& system() { return system_; }
+
+ private:
+  struct PendingLeave {
+    sim::HostId host;
+    sim::Time raised_at;
+    sim::Time deadline;
+    bool migrated = false;
+    bool done = false;
+    sim::Time migration_duration = 0;
+  };
+  struct PendingJoin {
+    sim::HostId host;
+    sim::Time raised_at;
+    dsm::Uid uid = dsm::kNoUid;  // set once the process is spawned
+    bool ready = false;          // JoinReady received
+  };
+
+  /// The adaptation point: runs in the master fiber before every fork.
+  void on_fork();
+  /// Normal leave: master re-owns the leaver's pages and expels it (§4.2).
+  void handle_leave_of(dsm::Uid uid);
+  /// Urgent leave: grace expired mid-construct — migrate and multiplex.
+  void migrate(PendingLeave& leave);
+  void stats_record_migration(PendingLeave& leave, sim::Time duration);
+  dsm::Uid team_process_on(sim::HostId host);
+  sim::HostId pick_migration_target(dsm::Uid leaver);
+
+  dsm::DsmSystem& system_;
+  Options options_;
+  std::vector<PendingJoin> pending_joins_;
+  std::map<std::int64_t, PendingLeave> pending_leaves_;  // by id
+  std::int64_t next_leave_id_ = 0;
+  std::vector<AdaptRecord> records_;
+  std::int64_t adaptations_handled_ = 0;
+};
+
+}  // namespace anow::core

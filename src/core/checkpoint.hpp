@@ -1,0 +1,66 @@
+// Fault tolerance by checkpointing at adaptation points (paper §4.3).
+//
+// At an adaptation point the slaves hold no private state — only shared
+// memory — so a checkpoint is: (1) garbage-collect, (2) the master collects
+// every page it lacks, (3) the master writes its own image to disk
+// (libckpt).  No coordination or message logging is needed.
+//
+// Simulation substitution (DESIGN.md §2): instead of a libckpt stack dump,
+// the image holds the shared region, the heap break, and a small
+// application-provided cursor blob (e.g. the outer loop index); recovery
+// restores the region into a fresh system and the application resumes from
+// the cursor.  Timing is charged identically (page collection over the
+// network + image write at disk rate).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsm/system.hpp"
+#include "sim/time.hpp"
+
+namespace anow::core {
+
+struct CheckpointImage {
+  sim::Time taken_at = 0;
+  std::int64_t heap_brk = 0;
+  std::vector<std::uint8_t> app_state;  // application cursor blob
+  std::vector<std::uint8_t> region;     // full shared region
+
+  /// Bytes written to disk (drives the cost model).
+  std::int64_t image_bytes(std::int64_t private_bytes) const {
+    return static_cast<std::int64_t>(region.size()) + private_bytes +
+           static_cast<std::int64_t>(app_state.size());
+  }
+
+  void save_to_file(const std::string& path) const;
+  static CheckpointImage load_from_file(const std::string& path);
+};
+
+class Checkpointer {
+ public:
+  struct Stats {
+    std::int64_t checkpoints_taken = 0;
+    std::int64_t pages_collected = 0;
+    sim::Time total_time = 0;  // virtual time spent checkpointing
+  };
+
+  explicit Checkpointer(dsm::DsmSystem& system) : system_(system) {}
+
+  /// Takes a checkpoint now (master fiber context, at an adaptation point):
+  /// GC + collect pages + disk write.  Returns the image.
+  CheckpointImage take(std::vector<std::uint8_t> app_state);
+
+  /// Restores an image into a freshly started system (before any fork).
+  static void restore(dsm::DsmSystem& system, const CheckpointImage& image);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  dsm::DsmSystem& system_;
+  Stats stats_;
+};
+
+}  // namespace anow::core

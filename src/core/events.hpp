@@ -1,0 +1,53 @@
+// Adapt events: the external signals that drive joins and leaves.
+//
+// How these are generated is outside the paper's scope ("a daemon may
+// generate events at set times ... or a load sensor may be employed");
+// the harness provides scripted and Poisson generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/network.hpp"
+#include "sim/time.hpp"
+
+namespace anow::core {
+
+enum class AdaptKind : std::uint8_t { kJoin, kLeave };
+
+/// The paper's default grace period used throughout §5.3.
+constexpr sim::Time kDefaultGrace = 3 * sim::kSec;
+
+struct AdaptEvent {
+  AdaptKind kind = AdaptKind::kJoin;
+  /// Virtual time at which the owner daemon raises the event.
+  sim::Time at = 0;
+  /// Join: the host that becomes available.  Leave: the host whose owner
+  /// wants it back.
+  sim::HostId host = 0;
+  /// Leave only: if no adaptation point is reached within this window, the
+  /// process is migrated (urgent leave).
+  sim::Time grace = kDefaultGrace;
+};
+
+/// What actually happened, for benches and reports.
+struct AdaptRecord {
+  AdaptKind kind = AdaptKind::kJoin;
+  sim::Time raised_at = 0;
+  sim::Time handled_at = 0;  // at the adaptation point
+  std::int32_t uid = -1;
+  int world_before = 0;
+  int world_after = 0;
+  bool urgent = false;
+  sim::Time migration_duration = 0;  // urgent leaves only
+  /// Traffic attributable to the adaptation point itself (GC + page
+  /// collection + maps); the lazy re-distribution afterwards is measured by
+  /// the harness via the paper's §5.4 differencing method.
+  std::int64_t hook_bytes = 0;
+  std::int64_t hook_max_link_bytes = 0;
+  sim::Time hook_duration = 0;
+};
+
+std::string to_string(AdaptKind kind);
+
+}  // namespace anow::core

@@ -1,0 +1,45 @@
+// DSM system configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/types.hpp"
+
+namespace anow::dsm {
+
+/// How pids are reassigned when processes leave (paper §5.4 lists "the
+/// process id reassignment algorithm" among the cost factors; Figure 3 shows
+/// why it matters).
+enum class PidStrategy : std::uint8_t {
+  /// Surviving processes keep their relative order; pids compact downwards.
+  /// A middle leave therefore shifts every higher block by one slot
+  /// (Figure 3(b): up to ~30% of the data space moves).
+  kShift,
+  /// The highest-pid process takes over the leaver's pid; all other pids are
+  /// untouched.  A middle leave then moves only the leaver's block plus the
+  /// relabelled last block.
+  kSwapLast,
+};
+
+struct DsmConfig {
+  /// Size of the global shared region; fixed for the lifetime of the system
+  /// (TreadMarks pre-maps the shared heap).
+  std::int64_t heap_bytes = 16ll << 20;
+
+  /// Protocol for pages not covered by a protocol_override.
+  Protocol default_protocol = Protocol::kMultiWriter;
+
+  /// Run a garbage collection at the next barrier once any process's
+  /// consistency data (twins + diffs + notices) exceeds this.
+  std::int64_t gc_threshold_bytes = 8ll << 20;
+  bool auto_gc = true;
+
+  /// Size of the non-shared part of a process image (code, private heap,
+  /// stack); enters migration and checkpoint costs.
+  std::int64_t private_image_bytes = 4ll << 20;
+
+  PidStrategy pid_strategy = PidStrategy::kShift;
+};
+
+}  // namespace anow::dsm

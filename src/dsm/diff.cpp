@@ -1,0 +1,97 @@
+#include "dsm/diff.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace anow::dsm {
+
+namespace {
+
+void put_u16(DiffBytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const DiffBytes& in, std::size_t pos) {
+  return static_cast<std::uint16_t>(in[pos] |
+                                    (static_cast<std::uint16_t>(in[pos + 1])
+                                     << 8));
+}
+
+}  // namespace
+
+DiffBytes make_diff(const std::uint8_t* twin, const std::uint8_t* new_page) {
+  DiffBytes out;
+  std::size_t w = 0;
+  while (w < kWordsPerPage) {
+    // Find the next modified word.
+    while (w < kWordsPerPage &&
+           std::memcmp(twin + w * kWordSize, new_page + w * kWordSize,
+                       kWordSize) == 0) {
+      ++w;
+    }
+    if (w == kWordsPerPage) break;
+    const std::size_t run_start = w;
+    while (w < kWordsPerPage &&
+           std::memcmp(twin + w * kWordSize, new_page + w * kWordSize,
+                       kWordSize) != 0) {
+      ++w;
+    }
+    const std::size_t run_len = w - run_start;
+    put_u16(out, static_cast<std::uint16_t>(run_start));
+    put_u16(out, static_cast<std::uint16_t>(run_len));
+    const std::size_t byte_start = run_start * kWordSize;
+    const std::size_t byte_len = run_len * kWordSize;
+    out.insert(out.end(), new_page + byte_start,
+               new_page + byte_start + byte_len);
+  }
+  return out;
+}
+
+void apply_diff(std::uint8_t* page, const DiffBytes& diff) {
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    ANOW_CHECK_MSG(pos + 4 <= diff.size(), "truncated diff header");
+    const std::size_t word_offset = get_u16(diff, pos);
+    const std::size_t word_count = get_u16(diff, pos + 2);
+    pos += 4;
+    ANOW_CHECK_MSG(word_count > 0 && word_offset + word_count <= kWordsPerPage,
+                   "diff run out of page bounds");
+    const std::size_t byte_len = word_count * kWordSize;
+    ANOW_CHECK_MSG(pos + byte_len <= diff.size(), "truncated diff data");
+    std::memcpy(page + word_offset * kWordSize, diff.data() + pos, byte_len);
+    pos += byte_len;
+  }
+}
+
+std::size_t diff_run_count(const DiffBytes& diff) {
+  std::size_t pos = 0;
+  std::size_t runs = 0;
+  while (pos + 4 <= diff.size()) {
+    const std::size_t word_count = get_u16(diff, pos + 2);
+    pos += 4 + word_count * kWordSize;
+    ++runs;
+  }
+  return runs;
+}
+
+bool diff_is_valid(const DiffBytes& diff) {
+  std::size_t pos = 0;
+  std::size_t prev_end = 0;
+  while (pos < diff.size()) {
+    if (pos + 4 > diff.size()) return false;
+    const std::size_t word_offset = get_u16(diff, pos);
+    const std::size_t word_count = get_u16(diff, pos + 2);
+    pos += 4;
+    if (word_count == 0) return false;
+    if (word_offset < prev_end) return false;  // runs must be ordered
+    if (word_offset + word_count > kWordsPerPage) return false;
+    if (pos + word_count * kWordSize > diff.size()) return false;
+    pos += word_count * kWordSize;
+    prev_end = word_offset + word_count;
+  }
+  return pos == diff.size();
+}
+
+}  // namespace anow::dsm

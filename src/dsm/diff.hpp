@@ -1,0 +1,34 @@
+// Word-granularity run-length diffs (TreadMarks' mechanism for merging
+// concurrent writers to one page).
+//
+// Encoding: a sequence of runs, each
+//   u16 word_offset | u16 word_count | word_count * 8 bytes of data.
+// A diff of a page against its twin captures exactly the words the local
+// process modified during the interval; applying the diff to any other copy
+// merges those modifications.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsm/types.hpp"
+
+namespace anow::dsm {
+
+using DiffBytes = std::vector<std::uint8_t>;
+
+/// Encodes the difference new_page - twin.  Both must be kPageSize bytes.
+/// Returns an empty vector when the page is unchanged.
+DiffBytes make_diff(const std::uint8_t* twin, const std::uint8_t* new_page);
+
+/// Applies an encoded diff to a page in place.
+void apply_diff(std::uint8_t* page, const DiffBytes& diff);
+
+/// Number of runs in an encoded diff (validation/debug).
+std::size_t diff_run_count(const DiffBytes& diff);
+
+/// True when the encoding is structurally valid for a kPageSize page.
+bool diff_is_valid(const DiffBytes& diff);
+
+}  // namespace anow::dsm

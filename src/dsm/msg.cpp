@@ -1,0 +1,68 @@
+#include "dsm/msg.hpp"
+
+namespace anow::dsm {
+
+namespace {
+
+std::int64_t intervals_bytes(const std::vector<Interval>& intervals) {
+  std::int64_t total = 4;
+  for (const auto& iv : intervals) total += iv.wire_bytes();
+  return total;
+}
+
+struct WireSize {
+  std::int64_t operator()(const PageRequest&) const { return 16; }
+  std::int64_t operator()(const PageReply& m) const {
+    return 16 + static_cast<std::int64_t>(m.data.size()) +
+           static_cast<std::int64_t>(m.applied.size()) * 8;
+  }
+  std::int64_t operator()(const DiffRequest& m) const {
+    return 16 + static_cast<std::int64_t>(m.iseqs.size()) * 4;
+  }
+  std::int64_t operator()(const DiffReply& m) const {
+    std::int64_t total = 16;
+    for (const auto& [iseq, bytes] : m.diffs) {
+      (void)iseq;
+      total += 8 + static_cast<std::int64_t>(bytes.size());
+    }
+    return total;
+  }
+  std::int64_t operator()(const BarrierArrive& m) const {
+    return 16 + m.interval.wire_bytes();
+  }
+  std::int64_t operator()(const BarrierRelease& m) const {
+    return 8 + intervals_bytes(m.intervals) +
+           static_cast<std::int64_t>(m.owner_delta.size()) * 6;
+  }
+  std::int64_t operator()(const GcPrepare& m) const {
+    return 8 + static_cast<std::int64_t>(m.owners.size()) * 6 +
+           intervals_bytes(m.intervals);
+  }
+  std::int64_t operator()(const GcAck&) const { return 8; }
+  std::int64_t operator()(const LockAcquireReq&) const { return 12; }
+  std::int64_t operator()(const LockGrant& m) const {
+    return 8 + intervals_bytes(m.intervals);
+  }
+  std::int64_t operator()(const LockReleaseMsg& m) const {
+    return 12 + m.interval.wire_bytes();
+  }
+  std::int64_t operator()(const ForkMsg& m) const {
+    return 16 + static_cast<std::int64_t>(m.args.size()) +
+           static_cast<std::int64_t>(m.team.size()) * 6 +
+           intervals_bytes(m.intervals) +
+           static_cast<std::int64_t>(m.owner_delta.size()) * 6;
+  }
+  std::int64_t operator()(const TerminateMsg&) const { return 8; }
+  std::int64_t operator()(const JoinReady&) const { return 8; }
+  std::int64_t operator()(const PageMapMsg& m) const {
+    return 8 + static_cast<std::int64_t>(m.owner_by_page.size()) * 2;
+  }
+};
+
+}  // namespace
+
+std::int64_t Message::wire_bytes() const {
+  return std::visit(WireSize{}, body);
+}
+
+}  // namespace anow::dsm

@@ -1,0 +1,138 @@
+// DSM protocol messages.
+//
+// Messages carry rich C++ payloads (the simulation shares one address
+// space); their *wire size* for network cost accounting is computed by
+// wire_bytes() from the logical on-the-wire encoding TreadMarks would use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <variant>
+#include <vector>
+
+#include "dsm/diff.hpp"
+#include "dsm/interval.hpp"
+#include "dsm/types.hpp"
+
+namespace anow::dsm {
+
+/// Which consistency metadata a page copy reflects: creator uid -> highest
+/// interval iseq applied.  Sent along with full-page copies so the receiver
+/// knows which pending notices the copy already covers.
+using AppliedMap = std::map<Uid, std::int32_t>;
+
+struct PageRequest {
+  Uid requester = kNoUid;
+  PageId page = -1;
+  std::int32_t forward_hops = 0;
+  std::uint64_t cookie = 0;  // reply rendezvous at the requester
+};
+
+struct PageReply {
+  PageId page = -1;
+  std::vector<std::uint8_t> data;  // kPageSize bytes
+  AppliedMap applied;
+  std::uint64_t cookie = 0;
+};
+
+struct DiffRequest {
+  Uid requester = kNoUid;
+  PageId page = -1;
+  std::vector<std::int32_t> iseqs;  // intervals of the server to fetch
+  std::uint64_t cookie = 0;
+};
+
+struct DiffReply {
+  PageId page = -1;
+  Uid creator = kNoUid;
+  // (iseq, encoded diff) pairs, in the order requested.
+  std::vector<std::pair<std::int32_t, DiffBytes>> diffs;
+  std::uint64_t cookie = 0;
+};
+
+struct BarrierArrive {
+  Uid uid = kNoUid;
+  std::int32_t barrier_id = 0;
+  Interval interval;  // empty notices if nothing was written
+  /// Footprint of the sender's consistency metadata; the master triggers a
+  /// GC when the maximum across processes exceeds the configured threshold
+  /// ("when the memory allocated for these data structures becomes
+  /// exhausted", §4.1).
+  std::int64_t consistency_bytes = 0;
+};
+
+/// Owner-map delta broadcast with a GC commit (page -> new owner uid).
+using OwnerDelta = std::vector<std::pair<PageId, Uid>>;
+
+struct BarrierRelease {
+  std::int32_t barrier_id = 0;
+  std::vector<Interval> intervals;  // undelivered intervals, all creators
+  bool gc_commit = false;
+  OwnerDelta owner_delta;
+};
+
+/// Master asks everyone to validate the pages they will own after GC.
+/// Carries all not-yet-delivered intervals so validation sees every write
+/// notice that exists at this point (otherwise an owner could "validate"
+/// while missing a concurrent writer's diff and the commit would then drop
+/// that diff's archive).
+struct GcPrepare {
+  OwnerDelta owners;  // full assignment of pages that changed owner
+  std::vector<Interval> intervals;
+};
+
+struct GcAck {
+  Uid uid = kNoUid;
+};
+
+struct LockAcquireReq {
+  Uid requester = kNoUid;
+  std::int32_t lock_id = 0;
+};
+
+struct LockGrant {
+  std::int32_t lock_id = 0;
+  std::vector<Interval> intervals;  // consistency info piggybacked
+};
+
+struct LockReleaseMsg {
+  Uid releaser = kNoUid;
+  std::int32_t lock_id = 0;
+  Interval interval;
+};
+
+/// Instructions delivered to a process parked in Tmk_wait.
+struct ForkMsg {
+  std::int32_t task_id = -1;
+  std::vector<std::uint8_t> args;
+  // World view: uid -> pid for the new team, dense pids.
+  std::vector<std::pair<Uid, Pid>> team;
+  std::vector<Interval> intervals;  // pending consistency info
+  bool gc_commit = false;
+  OwnerDelta owner_delta;
+};
+
+struct TerminateMsg {};
+
+/// Sent by a joiner once its connections are up (paper §4.1: the master
+/// learns the new process "has set up all its other connections").
+struct JoinReady {
+  Uid uid = kNoUid;
+};
+
+/// Full page-location map sent to a joining process after GC (§4.1).
+struct PageMapMsg {
+  std::vector<Uid> owner_by_page;
+};
+
+struct Message {
+  Uid src = kNoUid;
+  std::variant<PageRequest, PageReply, DiffRequest, DiffReply, BarrierArrive,
+               BarrierRelease, GcPrepare, GcAck, LockAcquireReq, LockGrant,
+               LockReleaseMsg, ForkMsg, TerminateMsg, JoinReady, PageMapMsg>
+      body;
+
+  std::int64_t wire_bytes() const;
+};
+
+}  // namespace anow::dsm

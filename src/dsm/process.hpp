@@ -1,0 +1,226 @@
+// A DSM process: one simulated TreadMarks process running on some host.
+//
+// The process owns a full local copy of the shared region plus the per-page
+// protocol state (validity, twin, pending write notices, applied-diff map,
+// diff archive for its own intervals).  Application code runs in the
+// process's fiber and interacts with shared memory through the range-touch
+// API (read_range/write_range), which drives the same page-fault state
+// machine mprotect would: invalid -> fetch (full page or diffs),
+// first-write -> twin + dirty.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/config.hpp"
+#include "dsm/diff.hpp"
+#include "dsm/interval.hpp"
+#include "dsm/msg.hpp"
+#include "dsm/types.hpp"
+#include "sim/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace anow::dsm {
+
+class DsmSystem;
+
+/// Barrier id used for the implicit Tmk_join barrier at the end of a
+/// parallel construct.
+constexpr std::int32_t kJoinBarrierId = 0;
+
+class DsmProcess {
+ public:
+  DsmProcess(DsmSystem& system, Uid uid, sim::HostId host);
+  ~DsmProcess();
+
+  DsmProcess(const DsmProcess&) = delete;
+  DsmProcess& operator=(const DsmProcess&) = delete;
+
+  // --- identity ------------------------------------------------------------
+  Uid uid() const { return uid_; }
+  Pid pid() const { return pid_; }
+  int nprocs() const;
+  bool is_master() const { return uid_ == kMasterUid; }
+  bool alive() const { return alive_; }
+  sim::HostId host() const { return host_; }
+  DsmSystem& system() { return system_; }
+
+  // --- shared memory (fiber context) ----------------------------------------
+  /// Ensures [addr, addr+len) is readable, faulting pages in as needed.
+  void read_range(GAddr addr, std::size_t len);
+  /// Ensures [addr, addr+len) is writable (read fault if needed, then twin
+  /// and dirty marking per page).
+  void write_range(GAddr addr, std::size_t len);
+
+  /// Raw pointer into the local copy of the shared region.  Only valid for
+  /// ranges previously touched via read_range/write_range in this interval.
+  template <typename T>
+  T* ptr(GAddr addr) {
+    return reinterpret_cast<T*>(region_.data() + addr);
+  }
+  template <typename T>
+  const T* cptr(GAddr addr) const {
+    return reinterpret_cast<const T*>(region_.data() + addr);
+  }
+  std::uint8_t* region_data() { return region_.data(); }
+
+  // --- synchronization (fiber context) ---------------------------------------
+  void barrier(std::int32_t barrier_id);
+  void lock_acquire(std::int32_t lock_id);
+  void lock_release(std::int32_t lock_id);
+
+  /// Charges cpu_seconds of application compute on this process's host.
+  /// Small charges (fault handling) are coalesced and flushed before the
+  /// next blocking operation — exact, because nothing can observe this
+  /// process between two of its own blocking points, and far cheaper than a
+  /// fiber switch per 30 us trap.
+  void compute(double cpu_seconds);
+  void flush_cpu();
+
+  sim::Time now() const;
+
+  // --- adaptation support -----------------------------------------------------
+  /// Bytes of the process image for migration/checkpoint purposes: the
+  /// mapped shared region plus the private part (libckpt writes heap+stack).
+  std::int64_t image_bytes() const;
+
+  /// Number of pages this process currently has a (possibly stale) copy of.
+  std::int64_t resident_pages() const;
+  /// Pages accessed (faulted or written) since the last fork.
+  std::int64_t accessed_pages_since_fork() const { return accessed_since_fork_; }
+
+  /// Current consistency-metadata footprint (twins + own diff archive +
+  /// pending notices) — drives the GC threshold.
+  std::int64_t consistency_bytes() const;
+
+ private:
+  friend class DsmSystem;
+
+  struct PageState {
+    bool have_copy = false;  // local frame holds data (possibly stale)
+    bool dirty = false;      // written in the current interval
+    Uid owner_hint = kMasterUid;
+    /// dirty && twin: active twin of the current interval.
+    /// !dirty && twin: *lazy* twin — the interval ended but the diff has not
+    /// been materialized yet (TreadMarks creates diffs on demand; most are
+    /// never requested).  twin_iseq names the interval it belongs to.
+    std::unique_ptr<std::uint8_t[]> twin;
+    std::int32_t twin_iseq = 0;
+    /// Sole-copy (copyset == self) optimization, as in TreadMarks: writes to
+    /// an exclusive page need no twin and no write notice because nobody
+    /// holds a copy to invalidate.  Granted to owned pages at GC commit
+    /// (which drops every non-owner copy, making exclusivity provable) and
+    /// revoked the moment the page is served to another process.
+    bool exclusive = false;
+    /// The page is already write-enabled under exclusivity (the single trap
+    /// was charged).
+    bool exclusive_rw = false;
+    /// Interval epoch of the last exclusive write declaration; a serve only
+    /// needs the conservative twin when this equals the current epoch (the
+    /// owner may still be writing through raw pointers).
+    std::int64_t exclusive_epoch = -1;
+    /// serve_seq_ value when this page was last served to another process.
+    std::uint64_t last_served = 0;
+    AppliedMap applied;
+    std::vector<PendingNotice> pending;
+
+    bool is_valid() const { return have_copy && pending.empty(); }
+  };
+
+  /// Converts a lazy twin into an archived diff (on rewrite, on a diff
+  /// request, or before remote diffs are applied over the local copy).
+  void materialize_diff(PageId page);
+
+  // --- message plumbing -------------------------------------------------------
+  void handle(Message msg);
+  void handle_page_request(const PageRequest& req, Uid src);
+  void handle_diff_request(const DiffRequest& req, Uid src);
+  void deliver_reply(std::uint64_t cookie, Message msg);
+  /// Sends a request and parks until the matching reply (by cookie) arrives.
+  Message rpc(Uid dst, Message msg, std::uint64_t cookie);
+  std::uint64_t new_cookie() { return next_cookie_++; }
+
+  /// Instruction-queue plumbing for the wait/barrier loops.
+  void push_instruction(Message msg);
+  Message next_instruction(const char* tag);
+
+  // --- fault machinery ---------------------------------------------------------
+  void fault_in(PageId page);
+  /// Chooses where to fetch a full copy of the page from.
+  Uid pick_page_source(const PageState& ps) const;
+  void apply_pending_diffs(PageId page);
+  void integrate_intervals(const std::vector<Interval>& intervals);
+  /// Ends the current interval: creates diffs for dirty multi-writer pages,
+  /// archives them, and returns the interval record (empty notices if
+  /// nothing was written).
+  Interval finish_interval();
+
+  // --- GC ------------------------------------------------------------------------
+  /// Validates pages this process will own after GC (fetches pending diffs).
+  void gc_validate(const OwnerDelta& owners);
+  /// Drops consistency metadata and stale copies; applies owner delta.
+  void gc_commit(const OwnerDelta& delta);
+
+  // --- slave main loop --------------------------------------------------------------
+  void slave_main();
+  void run_task(const ForkMsg& fork);
+  void apply_team(const std::vector<std::pair<Uid, Pid>>& team);
+
+  DsmSystem& system_;
+  Uid uid_;
+  Pid pid_ = -1;
+  int team_size_ = 1;
+  sim::HostId host_;
+  sim::Fiber* fiber_ = nullptr;
+  bool alive_ = true;
+  bool announce_join_ = false;  // joiner: run connection setup + JoinReady
+
+  std::vector<std::uint8_t> region_;
+  std::vector<PageState> pages_;
+
+  // Own diff archive: page -> iseq -> encoded diff.
+  std::map<PageId, std::map<std::int32_t, DiffBytes>> own_diffs_;
+  std::int64_t archive_bytes_ = 0;
+  std::int64_t twin_bytes_ = 0;
+  std::int64_t pending_count_ = 0;
+
+  std::int32_t next_iseq_ = 1;
+  std::vector<PageId> dirty_pages_;
+  std::int64_t accessed_since_fork_ = 0;
+  /// Bumped at every release point and construct start; see
+  /// PageState::exclusive_epoch.
+  std::int64_t epoch_ = 0;
+  /// Coalesced small CPU charges awaiting flush_cpu().
+  double deferred_cpu_ = 0.0;
+  /// Serve bookkeeping for sound exclusivity grants: a page served after
+  /// the GC prepare may belong to a requester that already committed (and
+  /// thus kept the copy), so the commit must not re-grant exclusivity.
+  std::uint64_t serve_seq_ = 1;
+  std::uint64_t gc_prepare_serve_seq_ = 0;
+
+  // Reply rendezvous.
+  struct PendingReply {
+    sim::WaitPoint wp;
+    Message msg;
+    bool ready = false;
+  };
+  std::map<std::uint64_t, PendingReply> pending_replies_;
+  std::uint64_t next_cookie_ = 1;
+
+  // Instruction queue (fork / terminate / gc-prepare / barrier-release).
+  std::deque<Message> instr_q_;
+  sim::WaitPoint instr_wp_;
+  bool instr_waiting_ = false;
+
+  // Lock grant rendezvous (one outstanding acquire per process).
+  sim::WaitPoint lock_wp_;
+  std::vector<Interval> lock_grant_intervals_;
+  bool lock_granted_ = false;
+};
+
+}  // namespace anow::dsm

@@ -1,0 +1,625 @@
+#include "dsm/system.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace anow::dsm {
+
+DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
+    : cluster_(cluster), config_(config) {
+  ANOW_CHECK(config_.heap_bytes > 0);
+  ANOW_CHECK_MSG(config_.heap_bytes % static_cast<std::int64_t>(kPageSize) ==
+                     0,
+                 "heap_bytes must be page aligned");
+  const auto pages =
+      static_cast<std::size_t>(config_.heap_bytes / kPageSize);
+  protocol_.assign(pages, config_.default_protocol);
+  owner_.assign(pages, kMasterUid);
+  last_writer_.assign(pages, {});
+}
+
+DsmSystem::~DsmSystem() = default;
+
+std::int32_t DsmSystem::register_task(std::string name, Task task) {
+  ANOW_CHECK_MSG(!started_, "register_task after start()");
+  task_names_.push_back(std::move(name));
+  tasks_.push_back(std::move(task));
+  return static_cast<std::int32_t>(tasks_.size()) - 1;
+}
+
+const std::string& DsmSystem::task_name(std::int32_t id) const {
+  ANOW_CHECK(id >= 0 && id < static_cast<std::int32_t>(task_names_.size()));
+  return task_names_[id];
+}
+
+void DsmSystem::run_task_body(std::int32_t id, DsmProcess& proc,
+                              const std::vector<std::uint8_t>& args) {
+  ANOW_CHECK(id >= 0 && id < static_cast<std::int32_t>(tasks_.size()));
+  tasks_[id](proc, args);
+}
+
+void DsmSystem::set_protocol_range(GAddr addr, std::size_t len,
+                                   Protocol protocol) {
+  ANOW_CHECK_MSG(!started_, "set_protocol_range after start()");
+  const PageId first = page_of(addr);
+  const PageId last = page_end(addr, len);
+  ANOW_CHECK(last <= num_pages());
+  for (PageId p = first; p < last; ++p) protocol_[p] = protocol;
+}
+
+// ---------------------------------------------------------------------------
+// Heap
+// ---------------------------------------------------------------------------
+
+GAddr DsmSystem::shared_malloc(std::size_t bytes) {
+  return shared_malloc_aligned(bytes,
+                               bytes >= kPageSize ? kPageSize : kWordSize);
+}
+
+GAddr DsmSystem::shared_malloc_aligned(std::size_t bytes, std::size_t align) {
+  ANOW_CHECK(align > 0 && (align & (align - 1)) == 0);
+  ANOW_CHECK(bytes > 0);
+  const std::int64_t aligned =
+      (heap_brk_ + static_cast<std::int64_t>(align) - 1) &
+      ~static_cast<std::int64_t>(align - 1);
+  ANOW_CHECK_MSG(aligned + static_cast<std::int64_t>(bytes) <=
+                     config_.heap_bytes,
+                 "shared heap exhausted: need "
+                     << bytes << " at brk " << aligned << " of "
+                     << config_.heap_bytes);
+  heap_brk_ = aligned + static_cast<std::int64_t>(bytes);
+  return static_cast<GAddr>(aligned);
+}
+
+// ---------------------------------------------------------------------------
+// Process / team management
+// ---------------------------------------------------------------------------
+
+void DsmSystem::start(int nprocs) {
+  ANOW_CHECK_MSG(!started_, "start() called twice");
+  ANOW_CHECK(nprocs >= 1);
+  started_ = true;
+  while (cluster_.num_hosts() < nprocs) cluster_.add_host();
+  for (int i = 0; i < nprocs; ++i) {
+    const Uid uid = next_uid_++;
+    auto proc = std::make_unique<DsmProcess>(*this, uid, i);
+    proc->pid_ = i;
+    proc->team_size_ = nprocs;
+    processes_[uid] = std::move(proc);
+    team_.push_back(uid);
+  }
+  // Slave fibers; the master's fiber is created in run().
+  for (int i = 1; i < nprocs; ++i) {
+    DsmProcess* p = processes_[team_[i]].get();
+    p->fiber_ = &cluster_.sim().spawn(
+        "slave-" + std::to_string(p->uid()), [p] { p->slave_main(); });
+  }
+}
+
+void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
+  ANOW_CHECK_MSG(started_, "run() before start()");
+  DsmProcess* master = processes_.at(kMasterUid).get();
+  master->fiber_ = &cluster_.sim().spawn("master", [this, master,
+                                                    main = std::move(
+                                                        master_main)] {
+    main(*master);
+    // Shut down every live process — team members and joiners that were
+    // spawned but never adopted.
+    for (auto& [uid, proc] : processes_) {
+      if (uid == kMasterUid || !proc->alive()) continue;
+      Message t;
+      t.src = kMasterUid;
+      t.body = TerminateMsg{};
+      send(kMasterUid, uid, std::move(t));
+    }
+    master->alive_ = false;
+  });
+  cluster_.sim().run();
+  ANOW_CHECK_MSG(cluster_.sim().all_fibers_done(),
+                 "deadlock: fibers still parked:\n"
+                     << cluster_.sim().parked_fiber_report());
+}
+
+DsmProcess& DsmSystem::process(Uid uid) {
+  auto it = processes_.find(uid);
+  ANOW_CHECK_MSG(it != processes_.end(), "no process with uid " << uid);
+  return *it->second;
+}
+
+bool DsmSystem::is_alive(Uid uid) const {
+  auto it = processes_.find(uid);
+  return it != processes_.end() && it->second->alive();
+}
+
+Uid DsmSystem::uid_of_pid(Pid pid) const {
+  ANOW_CHECK(pid >= 0 && pid < static_cast<Pid>(team_.size()));
+  return team_[pid];
+}
+
+Uid DsmSystem::spawn_process(sim::HostId host) {
+  ANOW_CHECK(host >= 0 && host < cluster_.num_hosts());
+  const Uid uid = next_uid_++;
+  auto proc = std::make_unique<DsmProcess>(*this, uid, host);
+  proc->announce_join_ = true;
+  DsmProcess* p = proc.get();
+  processes_[uid] = std::move(proc);
+  p->fiber_ = &cluster_.sim().spawn("slave-" + std::to_string(uid),
+                                    [p] { p->slave_main(); });
+  return uid;
+}
+
+std::vector<Uid> DsmSystem::take_ready_joiners() {
+  std::vector<Uid> out;
+  out.swap(ready_joiners_);
+  return out;
+}
+
+void DsmSystem::adopt(Uid uid) {
+  ANOW_CHECK(is_alive(uid));
+  ANOW_CHECK(std::find(team_.begin(), team_.end(), uid) == team_.end());
+  team_.push_back(uid);
+}
+
+void DsmSystem::expel(Uid uid) {
+  ANOW_CHECK_MSG(uid != kMasterUid,
+                 "the master cannot perform a normal leave (paper §4.4)");
+  auto it = std::find(team_.begin(), team_.end(), uid);
+  ANOW_CHECK_MSG(it != team_.end(), "expel of non-member " << uid);
+  switch (config_.pid_strategy) {
+    case PidStrategy::kShift:
+      team_.erase(it);
+      break;
+    case PidStrategy::kSwapLast:
+      *it = team_.back();
+      team_.pop_back();
+      break;
+  }
+  Message t;
+  t.src = kMasterUid;
+  t.body = TerminateMsg{};
+  send(kMasterUid, uid, std::move(t));
+  delivered_.erase(uid);
+}
+
+void DsmSystem::move_process(Uid uid, sim::HostId new_host) {
+  ANOW_CHECK(new_host >= 0 && new_host < cluster_.num_hosts());
+  DsmProcess& p = process(uid);
+  cluster_.host(p.host_).cpu().migrate_jobs(&p, cluster_.host(new_host).cpu());
+  p.host_ = new_host;
+}
+
+// ---------------------------------------------------------------------------
+// Owner map
+// ---------------------------------------------------------------------------
+
+void DsmSystem::set_owner(PageId page, Uid owner) {
+  ANOW_CHECK(page >= 0 && page < num_pages());
+  owner_[page] = owner;
+}
+
+std::vector<PageId> DsmSystem::pages_owned_by(Uid uid) const {
+  std::vector<PageId> out;
+  for (PageId p = 0; p < num_pages(); ++p) {
+    if (owner_[p] == uid) out.push_back(p);
+  }
+  return out;
+}
+
+void DsmSystem::queue_owner_update(PageId page, Uid owner) {
+  queued_owner_updates_.emplace_back(page, owner);
+  owner_[page] = owner;
+}
+
+// ---------------------------------------------------------------------------
+// Fork-join
+// ---------------------------------------------------------------------------
+
+void DsmSystem::run_parallel(std::int32_t task_id,
+                             std::vector<std::uint8_t> args) {
+  DsmProcess& master = process(kMasterUid);
+  ANOW_CHECK_MSG(cluster_.sim().current_fiber() == master.fiber_,
+                 "run_parallel outside the master fiber");
+
+  if (fork_hook_) fork_hook_();
+
+  stats().counter("dsm.forks")++;
+
+  // Assemble the team view (pid = index in team_).
+  std::vector<std::pair<Uid, Pid>> team_view;
+  team_view.reserve(team_.size());
+  for (Pid pid = 0; pid < static_cast<Pid>(team_.size()); ++pid) {
+    team_view.emplace_back(team_[pid], pid);
+  }
+
+  const bool commit = gc_commit_pending_;
+  OwnerDelta delta = gc_delta_;
+  delta.insert(delta.end(), queued_owner_updates_.begin(),
+               queued_owner_updates_.end());
+  gc_commit_pending_ = false;
+  gc_delta_.clear();
+  queued_owner_updates_.clear();
+
+  for (Uid uid : team_) {
+    if (uid == kMasterUid) continue;
+    ForkMsg fork;
+    fork.task_id = task_id;
+    fork.args = args;
+    fork.team = team_view;
+    fork.intervals = collect_undelivered(uid);
+    fork.gc_commit = commit;
+    fork.owner_delta = delta;
+    Message m;
+    m.src = kMasterUid;
+    m.body = std::move(fork);
+    send(kMasterUid, uid, std::move(m));
+  }
+
+  // The master executes the construct too (it is part of the team), then
+  // completes the Tmk_join barrier with everyone.
+  master.apply_team(team_view);
+  // The master's undelivered intervals and owner updates are applied
+  // directly (it would otherwise message itself).  The delta is applied
+  // unconditionally: a GC commit only covered gc_delta_, while queued
+  // ownership transfers (leave protocol) arrive here as well.
+  master.integrate_intervals(collect_undelivered(kMasterUid));
+  for (const auto& [page, owner] : delta) {
+    master.pages_[page].owner_hint = owner;
+  }
+  master.accessed_since_fork_ = 0;
+  master.epoch_++;  // new construct
+  run_task_body(task_id, master, args);
+  master.barrier(kJoinBarrierId);
+}
+
+// ---------------------------------------------------------------------------
+// Consistency manager: intervals
+// ---------------------------------------------------------------------------
+
+void DsmSystem::log_interval(Interval interval) {
+  if (interval.iseq == 0) return;  // empty interval
+  ANOW_CHECK(!interval.notices.empty());
+  for (const auto& wn : interval.notices) {
+    LastWrite& lw = last_writer_[wn.page];
+    if (wn.protocol == Protocol::kSingleWriter && lw.uid != kNoUid &&
+        lw.uid != interval.creator && lw.lamport == interval.lamport) {
+      ANOW_CHECK_MSG(false, "two single-writer writers for page "
+                                << wn.page << " in one epoch (uids " << lw.uid
+                                << ", " << interval.creator << ")");
+    }
+    if (interval.lamport > lw.lamport ||
+        (interval.lamport == lw.lamport && interval.creator > lw.uid)) {
+      lw.uid = interval.creator;
+      lw.lamport = interval.lamport;
+    }
+  }
+  delivered_[interval.creator][interval.creator] = interval.iseq;
+  interval_log_[interval.creator].push_back(std::move(interval));
+}
+
+std::vector<Interval> DsmSystem::collect_undelivered(Uid target) {
+  std::vector<Interval> out;
+  auto& seen = delivered_[target];
+  for (const auto& [creator, log] : interval_log_) {
+    if (creator == target) continue;
+    std::int32_t& high = seen[creator];
+    for (const auto& iv : log) {
+      if (iv.iseq > high) {
+        out.push_back(iv);
+      }
+    }
+    if (!log.empty()) high = std::max(high, log.back().iseq);
+  }
+  std::sort(out.begin(), out.end(), [](const Interval& a, const Interval& b) {
+    if (a.lamport != b.lamport) return a.lamport < b.lamport;
+    if (a.creator != b.creator) return a.creator < b.creator;
+    return a.iseq < b.iseq;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Consistency manager: barriers
+// ---------------------------------------------------------------------------
+
+void DsmSystem::on_barrier_arrive(const BarrierArrive& msg) {
+  if (barrier_arrived_.empty()) {
+    barrier_id_ = msg.barrier_id;
+  } else {
+    ANOW_CHECK_MSG(barrier_id_ == msg.barrier_id,
+                   "mismatched barrier ids " << barrier_id_ << " vs "
+                                             << msg.barrier_id);
+  }
+  ANOW_CHECK(std::find(team_.begin(), team_.end(), msg.uid) != team_.end());
+  ANOW_CHECK(std::find(barrier_arrived_.begin(), barrier_arrived_.end(),
+                       msg.uid) == barrier_arrived_.end());
+  barrier_arrived_.push_back(msg.uid);
+  max_consistency_bytes_ = std::max(max_consistency_bytes_,
+                                    msg.consistency_bytes);
+  pending_intervals_.push_back(msg.interval);
+  if (barrier_arrived_.size() == team_.size()) {
+    barrier_complete();
+  }
+}
+
+bool DsmSystem::gc_needed() const {
+  return gc_requested_ ||
+         (config_.auto_gc &&
+          max_consistency_bytes_ > config_.gc_threshold_bytes);
+}
+
+void DsmSystem::barrier_complete() {
+  stats().counter("dsm.barriers")++;
+  // All intervals of one barrier epoch are concurrent: same lamport stamp.
+  ++lamport_clock_;
+  for (auto& iv : pending_intervals_) {
+    iv.lamport = lamport_clock_;
+    log_interval(std::move(iv));
+  }
+  pending_intervals_.clear();
+
+  if (gc_needed()) {
+    gc_resume_ = GcResume::kBarrierRelease;
+    begin_gc_at_barrier();
+    return;
+  }
+  release_barrier();
+}
+
+void DsmSystem::release_barrier() {
+  const bool commit = gc_commit_pending_;
+  OwnerDelta delta = gc_delta_;
+  gc_commit_pending_ = false;
+  gc_delta_.clear();
+
+  const sim::Time service =
+      cluster_.cost().barrier_service *
+      static_cast<sim::Time>(barrier_arrived_.size());
+  for (Uid uid : team_) {
+    BarrierRelease rel;
+    rel.barrier_id = barrier_id_;
+    rel.intervals = collect_undelivered(uid);
+    rel.gc_commit = commit;
+    rel.owner_delta = delta;
+    Message m;
+    m.src = kMasterUid;
+    m.body = std::move(rel);
+    cluster_.sim().after(service, [this, uid, m = std::move(m)]() mutable {
+      send(kMasterUid, uid, std::move(m));
+    });
+  }
+  barrier_arrived_.clear();
+  barrier_id_ = -1;
+  max_consistency_bytes_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Consistency manager: garbage collection
+// ---------------------------------------------------------------------------
+
+OwnerDelta DsmSystem::compute_owner_delta() {
+  OwnerDelta delta;
+  for (PageId p = 0; p < num_pages(); ++p) {
+    const LastWrite& lw = last_writer_[p];
+    if (lw.uid != kNoUid && lw.uid != owner_[p]) {
+      delta.emplace_back(p, lw.uid);
+    }
+  }
+  return delta;
+}
+
+void DsmSystem::begin_gc_at_barrier() {
+  stats().counter("dsm.gc_runs")++;
+  gc_requested_ = false;
+  gc_in_progress_ = true;
+  gc_delta_ = compute_owner_delta();
+  gc_acks_outstanding_ = static_cast<int>(team_.size());
+  for (Uid uid : team_) {
+    GcPrepare gp;
+    gp.owners = gc_delta_;
+    gp.intervals = collect_undelivered(uid);
+    Message m;
+    m.src = kMasterUid;
+    m.body = std::move(gp);
+    send(kMasterUid, uid, std::move(m));
+  }
+}
+
+void DsmSystem::master_gc_commit(const OwnerDelta& delta) {
+  for (const auto& [page, owner] : delta) {
+    owner_[page] = owner;
+  }
+  for (auto& lw : last_writer_) lw = {};
+  interval_log_.clear();
+  delivered_.clear();
+}
+
+void DsmSystem::on_gc_ack(const GcAck& /*msg*/) {
+  ANOW_CHECK(gc_in_progress_);
+  ANOW_CHECK(gc_acks_outstanding_ > 0);
+  if (--gc_acks_outstanding_ > 0) return;
+  gc_in_progress_ = false;
+  gc_commit_pending_ = true;
+  // The commit itself (owner map + log reset) happens at the master now;
+  // the processes commit when the release/fork delivers gc_commit=true.
+  master_gc_commit(gc_delta_);
+  switch (gc_resume_) {
+    case GcResume::kBarrierRelease:
+      release_barrier();
+      break;
+    case GcResume::kForkHook:
+      cluster_.sim().signal(gc_fork_wp_);
+      break;
+    case GcResume::kNone:
+      ANOW_CHECK_MSG(false, "GC completed with no continuation");
+  }
+  gc_resume_ = GcResume::kNone;
+}
+
+void DsmSystem::gc_at_fork() {
+  DsmProcess& master = process(kMasterUid);
+  ANOW_CHECK_MSG(cluster_.sim().current_fiber() == master.fiber_,
+                 "gc_at_fork outside the master fiber");
+  ANOW_CHECK_MSG(barrier_arrived_.empty(), "gc_at_fork during a barrier");
+  ANOW_CHECK(!gc_in_progress_);
+
+  stats().counter("dsm.gc_runs")++;
+  gc_requested_ = false;
+  OwnerDelta delta = compute_owner_delta();
+
+  // Deliver pending intervals + validate at the master first (fiber
+  // context), then at the slaves (parked in Tmk_wait).
+  master.gc_prepare_serve_seq_ = master.serve_seq_;
+  master.integrate_intervals(collect_undelivered(kMasterUid));
+  master.gc_validate(delta);
+
+  gc_in_progress_ = true;
+  gc_delta_ = delta;
+  gc_resume_ = GcResume::kForkHook;
+  gc_acks_outstanding_ = static_cast<int>(team_.size()) - 1;
+  if (gc_acks_outstanding_ > 0) {
+    for (Uid uid : team_) {
+      if (uid == kMasterUid) continue;
+      GcPrepare gp;
+      gp.owners = delta;
+      gp.intervals = collect_undelivered(uid);
+      Message m;
+      m.src = kMasterUid;
+      m.body = std::move(gp);
+      send(kMasterUid, uid, std::move(m));
+    }
+    cluster_.sim().wait(gc_fork_wp_, "gc acks");
+    // on_gc_ack performed master_gc_commit and set gc_commit_pending_.
+  } else {
+    gc_in_progress_ = false;
+    gc_commit_pending_ = true;
+    master_gc_commit(delta);
+    gc_resume_ = GcResume::kNone;
+  }
+  // The master's local commit happens immediately; slaves commit on the
+  // next ForkMsg (gc_commit flag), which run_parallel assembles from
+  // gc_commit_pending_/gc_delta_... but master_gc_commit cleared the log,
+  // so gc_delta_ must still carry the owner changes for the fork message.
+  master.gc_commit(delta);
+  gc_delta_ = delta;
+}
+
+// ---------------------------------------------------------------------------
+// Consistency manager: locks
+// ---------------------------------------------------------------------------
+
+void DsmSystem::on_lock_acquire(const LockAcquireReq& msg) {
+  LockState& ls = locks_[msg.lock_id];
+  if (ls.holder == kNoUid) {
+    ls.holder = msg.requester;
+    stats().counter("dsm.lock_grants")++;
+    LockGrant grant;
+    grant.lock_id = msg.lock_id;
+    grant.intervals = collect_undelivered(msg.requester);
+    Message m;
+    m.src = kMasterUid;
+    m.body = std::move(grant);
+    cluster_.sim().after(cluster_.cost().lock_service,
+                         [this, to = msg.requester, m = std::move(m)]() mutable {
+                           send(kMasterUid, to, std::move(m));
+                         });
+  } else {
+    ls.queue.push_back(msg.requester);
+  }
+}
+
+void DsmSystem::on_lock_release(const LockReleaseMsg& msg) {
+  LockState& ls = locks_[msg.lock_id];
+  ANOW_CHECK_MSG(ls.holder == msg.releaser,
+                 "lock " << msg.lock_id << " released by non-holder");
+  ++lamport_clock_;
+  Interval iv = msg.interval;
+  iv.lamport = lamport_clock_;
+  log_interval(std::move(iv));
+  if (ls.queue.empty()) {
+    ls.holder = kNoUid;
+    return;
+  }
+  const Uid next = ls.queue.front();
+  ls.queue.pop_front();
+  ls.holder = next;
+  stats().counter("dsm.lock_grants")++;
+  LockGrant grant;
+  grant.lock_id = msg.lock_id;
+  grant.intervals = collect_undelivered(next);
+  Message m;
+  m.src = kMasterUid;
+  m.body = std::move(grant);
+  cluster_.sim().after(cluster_.cost().lock_service,
+                       [this, next, m = std::move(m)]() mutable {
+                         send(kMasterUid, next, std::move(m));
+                       });
+}
+
+void DsmSystem::on_join_ready(const JoinReady& msg) {
+  ready_joiners_.push_back(msg.uid);
+}
+
+void DsmSystem::send_page_map(Uid joiner) {
+  PageMapMsg map;
+  map.owner_by_page = owner_;
+  Message m;
+  m.src = kMasterUid;
+  m.body = std::move(map);
+  send(kMasterUid, joiner, std::move(m));
+}
+
+void DsmSystem::restore_master_region(const std::vector<std::uint8_t>& region,
+                                      std::int64_t heap_brk) {
+  ANOW_CHECK(static_cast<std::int64_t>(region.size()) == config_.heap_bytes);
+  ANOW_CHECK_MSG(stats().counter_value("dsm.forks") == 0,
+                 "restore_master_region after forks have run");
+  DsmProcess& master = process(kMasterUid);
+  std::copy(region.begin(), region.end(), master.region_.begin());
+  heap_brk_ = heap_brk;
+  for (auto& o : owner_) o = kMasterUid;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint support
+// ---------------------------------------------------------------------------
+
+std::int64_t DsmSystem::master_collect_all_pages() {
+  DsmProcess& master = process(kMasterUid);
+  ANOW_CHECK_MSG(cluster_.sim().current_fiber() == master.fiber_,
+                 "master_collect_all_pages outside the master fiber");
+  std::int64_t fetched = 0;
+  for (PageId p = 0; p < num_pages(); ++p) {
+    if (!master.pages_[p].is_valid()) {
+      master.fault_in(p);
+      ++fetched;
+    }
+  }
+  return fetched;
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+util::StatsRegistry& DsmSystem::stats() { return cluster_.stats(); }
+
+sim::HostId DsmSystem::host_of(Uid uid) const {
+  return processes_.at(uid)->host();
+}
+
+void DsmSystem::send(Uid from, Uid to, Message msg) {
+  auto it = processes_.find(to);
+  ANOW_CHECK_MSG(it != processes_.end(), "send to unknown uid " << to);
+  DsmProcess* target = it->second.get();
+  // wire_bytes() must be taken before the capture moves msg (argument
+  // evaluation order would otherwise be unspecified).
+  const std::int64_t wire = msg.wire_bytes();
+  cluster_.net().send(host_of(from), host_of(to), wire,
+                      [target, msg = std::move(msg)]() mutable {
+                        target->handle(std::move(msg));
+                      });
+}
+
+}  // namespace anow::dsm

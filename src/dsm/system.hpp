@@ -1,0 +1,226 @@
+// DsmSystem — the TreadMarks-style runtime: process/team management,
+// fork-join primitives, the consistency manager (interval log, barriers,
+// locks), the shared heap allocator, and garbage collection.
+//
+// The consistency-manager state lives here but is only mutated from master
+// handlers / the master fiber, mirroring TreadMarks' master-centric barrier
+// and our master-managed locks (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/config.hpp"
+#include "dsm/msg.hpp"
+#include "dsm/process.hpp"
+#include "dsm/types.hpp"
+#include "sim/cluster.hpp"
+
+namespace anow::dsm {
+
+class DsmSystem {
+ public:
+  /// A parallel task: the code the compiler outlined from a parallel
+  /// construct.  Registered identically on all processes (same binary).
+  using Task = std::function<void(DsmProcess&, const std::vector<std::uint8_t>&)>;
+
+  DsmSystem(sim::Cluster& cluster, DsmConfig config);
+  ~DsmSystem();
+
+  sim::Cluster& cluster() { return cluster_; }
+  const DsmConfig& config() const { return config_; }
+
+  /// Registers a task body; returns the task id to pass to fork().  Must be
+  /// called before start(), in the same order everywhere (single binary).
+  std::int32_t register_task(std::string name, Task task);
+
+  /// Creates the master and nprocs-1 slaves on hosts 0..nprocs-1 (hosts are
+  /// added to the cluster as needed) and starts the slave fibers.
+  void start(int nprocs);
+
+  /// Spawns the master program and drives the simulation to completion.
+  /// After master_main returns, all slaves are terminated.
+  void run(std::function<void(DsmProcess&)> master_main);
+
+  // --- master-side API (master fiber context) --------------------------------
+  /// Bump allocation out of the shared region.  Master only; allocations are
+  /// page-aligned when size >= one page (TreadMarks' Tmk_malloc behaviour).
+  GAddr shared_malloc(std::size_t bytes);
+  GAddr shared_malloc_aligned(std::size_t bytes, std::size_t align);
+  std::int64_t heap_used() const { return heap_brk_; }
+
+  /// Tmk_fork + local execution + Tmk_join: broadcasts the task to the team,
+  /// runs it on the master too, and completes the join barrier.  The
+  /// adaptation hook (if any) runs first — at this moment every slave is
+  /// parked in Tmk_wait, which is exactly the paper's adaptation point.
+  void run_parallel(std::int32_t task_id, std::vector<std::uint8_t> args);
+
+  /// The pre-fork adaptation hook installed by the adaptive runtime.
+  void set_fork_hook(std::function<void()> hook) { fork_hook_ = std::move(hook); }
+
+  /// Forces a garbage collection at the next fork or barrier.
+  void request_gc() { gc_requested_ = true; }
+
+  /// Runs a full GC cycle right now (master fiber, slaves parked in
+  /// Tmk_wait): prepare/validate/ack; the commit rides on the next ForkMsg.
+  /// Used by the adaptive layer before joins/leaves (§4.1/§4.2).
+  void gc_at_fork();
+
+  // --- team / world management (used by the adaptive layer) -------------------
+  int world_size() const { return static_cast<int>(team_.size()); }
+  const std::vector<Uid>& team() const { return team_; }  // by pid order
+  DsmProcess& process(Uid uid);
+  bool is_alive(Uid uid) const;
+  Uid uid_of_pid(Pid pid) const;
+
+  /// Creates a new process on the given host and starts its fiber; it sets
+  /// up connections and announces JoinReady to the master.  Not yet a team
+  /// member — adopt at the next fork.
+  Uid spawn_process(sim::HostId host);
+
+  /// Joiners that have completed connection setup and await adoption.
+  std::vector<Uid> take_ready_joiners();
+
+  /// Team mutation, only between run_parallel calls (master fiber):
+  void adopt(Uid uid);
+  void expel(Uid uid);
+
+  /// Moves a process to another host (urgent-leave migration).  Only the
+  /// placement changes; the transfer/freeze choreography is the adaptive
+  /// layer's job.
+  void move_process(Uid uid, sim::HostId new_host);
+
+  /// Owner map access for the adaptive layer (leave protocol, joins).
+  const std::vector<Uid>& owner_by_page() const { return owner_; }
+  void set_owner(PageId page, Uid owner);
+  /// Pages currently owned by `uid` (by the master's authoritative map).
+  std::vector<PageId> pages_owned_by(Uid uid) const;
+  /// Records an ownership change to broadcast with the next fork.
+  void queue_owner_update(PageId page, Uid owner);
+
+  /// Sends the joiner the full page-location map (paper §4.1: "a message
+  /// describing where an up-to-date copy of every shared memory page is
+  /// located").  Master fiber context.
+  void send_page_map(Uid joiner);
+
+  /// Overwrites the master's copy of the shared region (checkpoint
+  /// recovery).  Only valid before any fork has run; ownership of every
+  /// page returns to the master.
+  void restore_master_region(const std::vector<std::uint8_t>& region,
+                             std::int64_t heap_brk);
+
+  /// Per-page protocol; must be set before start().
+  void set_protocol_range(GAddr addr, std::size_t len, Protocol protocol);
+  Protocol protocol_of(PageId page) const { return protocol_[page]; }
+
+  PageId num_pages() const { return static_cast<PageId>(protocol_.size()); }
+
+  // --- checkpoint support -------------------------------------------------------
+  /// Master collects every page it lacks (paper §4.3 step 2).  Returns the
+  /// number of pages fetched.
+  std::int64_t master_collect_all_pages();
+
+  util::StatsRegistry& stats();
+
+  /// Text name of a task (diagnostics).
+  const std::string& task_name(std::int32_t id) const;
+
+  /// Invokes a registered task body (used by the fork-join machinery).
+  void run_task_body(std::int32_t id, DsmProcess& proc,
+                     const std::vector<std::uint8_t>& args);
+
+ private:
+  friend class DsmProcess;
+
+  // --- plumbing ---------------------------------------------------------------
+  void send(Uid from, Uid to, Message msg);
+  sim::HostId host_of(Uid uid) const;
+
+  // --- consistency manager (master-side state) -----------------------------------
+  void on_barrier_arrive(const BarrierArrive& msg);
+  void on_lock_acquire(const LockAcquireReq& msg);
+  void on_lock_release(const LockReleaseMsg& msg);
+  void on_gc_ack(const GcAck& msg);
+  void on_join_ready(const JoinReady& msg);
+
+  /// Logs an interval (if non-empty) under a fresh lamport stamp.
+  void log_interval(Interval interval);
+  /// Intervals the target has not seen yet; marks them delivered.
+  std::vector<Interval> collect_undelivered(Uid target);
+
+  void barrier_complete();
+  void release_barrier();
+
+  /// GC at a barrier: sends GcPrepare to everyone; the release is sent once
+  /// all acks are in (state machine driven by on_gc_ack).
+  void begin_gc_at_barrier();
+  OwnerDelta compute_owner_delta();
+  void master_gc_commit(const OwnerDelta& delta);
+  bool gc_needed() const;
+
+  sim::Cluster& cluster_;
+  DsmConfig config_;
+
+  std::vector<std::string> task_names_;
+  std::vector<Task> tasks_;
+
+  std::map<Uid, std::unique_ptr<DsmProcess>> processes_;
+  std::vector<Uid> team_;  // index = pid
+  Uid next_uid_ = 0;
+  bool started_ = false;
+
+  // Heap.
+  std::int64_t heap_brk_ = 0;
+
+  // Page metadata (globally agreed).
+  std::vector<Protocol> protocol_;
+
+  // Master: authoritative owner map + last writer tracking.
+  std::vector<Uid> owner_;
+  struct LastWrite {
+    Uid uid = kNoUid;
+    std::int64_t lamport = -1;
+  };
+  std::vector<LastWrite> last_writer_;
+  OwnerDelta queued_owner_updates_;
+
+  // Master: interval log and delivery matrix.
+  std::map<Uid, std::vector<Interval>> interval_log_;
+  std::map<Uid, std::map<Uid, std::int32_t>> delivered_;
+  std::int64_t lamport_clock_ = 0;
+
+  // Master: barrier state.
+  std::int32_t barrier_id_ = -1;
+  std::vector<Uid> barrier_arrived_;
+  std::vector<Interval> pending_intervals_;  // this epoch, lamport unset
+  std::int64_t max_consistency_bytes_ = 0;
+
+  // Master: GC state.
+  bool gc_requested_ = false;
+  bool gc_in_progress_ = false;
+  int gc_acks_outstanding_ = 0;
+  OwnerDelta gc_delta_;
+  bool gc_commit_pending_ = false;  // commit rides on next fork/release
+  enum class GcResume { kNone, kBarrierRelease, kForkHook } gc_resume_ =
+      GcResume::kNone;
+  sim::WaitPoint gc_fork_wp_;  // master fiber waits here in gc_at_fork()
+
+  // Master: locks.
+  struct LockState {
+    Uid holder = kNoUid;
+    std::deque<Uid> queue;
+  };
+  std::map<std::int32_t, LockState> locks_;
+
+  // Joiners ready for adoption.
+  std::vector<Uid> ready_joiners_;
+
+  std::function<void()> fork_hook_;
+};
+
+}  // namespace anow::dsm

@@ -1,0 +1,58 @@
+// Fundamental DSM types: global addresses, pages, process identities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anow::dsm {
+
+/// Offset into the global shared region (the DSM's "virtual address").
+using GAddr = std::uint64_t;
+
+using PageId = std::int32_t;
+
+/// Stable protocol-level process identity.  Uids are never reused, so
+/// consistency metadata (owners, write notices, diff archives) survives pid
+/// reassignment during adaptation.  The master is always uid 0.
+using Uid = std::int32_t;
+
+/// Presentation-level rank in the current team: dense 0..nprocs-1, with the
+/// master always pid 0.  Pids are reassigned at adaptation points; the
+/// compiler-generated partitioning code re-reads (pid, nprocs) inside every
+/// parallel construct, which is what makes adaptation transparent (§2, §7).
+using Pid = std::int32_t;
+
+constexpr Uid kMasterUid = 0;
+constexpr Uid kNoUid = -1;
+
+constexpr std::size_t kPageSize = 4096;  // paper: "Pages (4k)"
+constexpr std::size_t kWordSize = 8;     // diff granularity
+constexpr std::size_t kWordsPerPage = kPageSize / kWordSize;
+
+inline PageId page_of(GAddr addr) {
+  return static_cast<PageId>(addr / kPageSize);
+}
+
+inline GAddr page_base(PageId page) {
+  return static_cast<GAddr>(page) * kPageSize;
+}
+
+/// First page not fully before [addr, addr+len) — i.e. the exclusive upper
+/// bound of pages touched by the range.
+inline PageId page_end(GAddr addr, std::size_t len) {
+  if (len == 0) return page_of(addr);
+  return static_cast<PageId>((addr + len - 1) / kPageSize) + 1;
+}
+
+/// Per-page write-sharing protocol (paper §4.1: "what protocol is used
+/// (single or multiple writer)").
+enum class Protocol : std::uint8_t {
+  /// One writer per interval; invalidation is served by a full page copy
+  /// from the last writer.  No twins, no diffs (Table 1: Gauss/FFT/NBF).
+  kSingleWriter,
+  /// Concurrent writers allowed; first write in an interval twins the page
+  /// and modifications propagate as word-level diffs (Table 1: Jacobi).
+  kMultiWriter,
+};
+
+}  // namespace anow::dsm

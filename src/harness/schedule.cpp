@@ -1,0 +1,56 @@
+#include "harness/schedule.hpp"
+
+#include "util/check.hpp"
+
+namespace anow::harness {
+
+std::vector<core::AdaptEvent> alternating_leave_join(
+    sim::Time start, sim::Time spacing, sim::HostId leave_host, int pairs,
+    sim::Time grace) {
+  ANOW_CHECK(pairs >= 1);
+  std::vector<core::AdaptEvent> events;
+  sim::Time t = start;
+  for (int i = 0; i < pairs; ++i) {
+    events.push_back(
+        {core::AdaptKind::kLeave, t, leave_host, grace});
+    t += spacing;
+    events.push_back({core::AdaptKind::kJoin, t, leave_host, grace});
+    t += spacing;
+  }
+  return events;
+}
+
+std::vector<core::AdaptEvent> single_leave(sim::Time at, sim::HostId host,
+                                           sim::Time grace) {
+  return {{core::AdaptKind::kLeave, at, host, grace}};
+}
+
+std::vector<core::AdaptEvent> poisson_schedule(
+    util::Rng& rng, double events_per_minute, sim::Time start,
+    sim::Time horizon, sim::HostId first_host, int host_pool,
+    sim::Time grace) {
+  ANOW_CHECK(events_per_minute > 0.0);
+  ANOW_CHECK(host_pool >= 1);
+  std::vector<core::AdaptEvent> events;
+  const double mean_gap_s = 60.0 / events_per_minute;
+  sim::Time t = start;
+  // Track whether each pool host currently runs a process, so leaves and
+  // joins stay feasible.
+  std::vector<bool> occupied(static_cast<std::size_t>(host_pool), true);
+  while (true) {
+    t += sim::from_seconds(rng.next_exponential(mean_gap_s));
+    if (t >= horizon) break;
+    const int slot = static_cast<int>(rng.next_below(host_pool));
+    const sim::HostId host = first_host + slot;
+    if (occupied[slot]) {
+      events.push_back({core::AdaptKind::kLeave, t, host, grace});
+      occupied[slot] = false;
+    } else {
+      events.push_back({core::AdaptKind::kJoin, t, host, grace});
+      occupied[slot] = true;
+    }
+  }
+  return events;
+}
+
+}  // namespace anow::harness

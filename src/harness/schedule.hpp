@@ -1,0 +1,35 @@
+// Adapt-event schedule generators.
+//
+// The paper leaves event generation to daemons/load sensors; these builders
+// produce the schedules its evaluation uses: alternating leave/join of a
+// chosen process (Table 2), leave-of-every-pid sweeps (Figure 3), and a
+// Poisson arrival model for the rate-tolerance experiment.
+#pragma once
+
+#include <vector>
+
+#include "core/events.hpp"
+#include "util/rng.hpp"
+
+namespace anow::harness {
+
+/// Table 2's schedule: starting at `start`, alternate a leave of
+/// `leave_host` and a re-join of the same host, `pairs` times, spaced
+/// `spacing` apart.
+std::vector<core::AdaptEvent> alternating_leave_join(
+    sim::Time start, sim::Time spacing, sim::HostId leave_host, int pairs,
+    sim::Time grace = core::kDefaultGrace);
+
+/// A single leave at `at`.
+std::vector<core::AdaptEvent> single_leave(
+    sim::Time at, sim::HostId host, sim::Time grace = core::kDefaultGrace);
+
+/// Poisson process of adapt events with the given mean rate (events per
+/// minute of virtual time) over [start, horizon): each event alternates
+/// leave / join of hosts drawn from [first_host, first_host + host_pool).
+std::vector<core::AdaptEvent> poisson_schedule(
+    util::Rng& rng, double events_per_minute, sim::Time start,
+    sim::Time horizon, sim::HostId first_host, int host_pool,
+    sim::Time grace = core::kDefaultGrace);
+
+}  // namespace anow::harness

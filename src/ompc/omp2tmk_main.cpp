@@ -1,0 +1,42 @@
+// omp2tmk CLI: translate an OpenMP-C file to ompx fork-join code.
+//
+//   omp2tmk --in program.c [--out program_tmk.cpp] [--unit name]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ompc/translator.hpp"
+#include "util/check.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace anow;
+  try {
+    util::Options opts(argc, argv);
+    opts.allow_only({"in", "out", "unit"});
+    const std::string in = opts.get_string("in", "");
+    ANOW_CHECK_MSG(!in.empty(), "usage: omp2tmk --in file.c [--out file.cpp]");
+    std::ifstream f(in);
+    ANOW_CHECK_MSG(f.good(), "cannot open " << in);
+    std::stringstream buf;
+    buf << f.rdbuf();
+
+    auto result =
+        ompc::translate(buf.str(), opts.get_string("unit", "omp_program"));
+
+    const std::string out = opts.get_string("out", "");
+    if (out.empty()) {
+      std::cout << result.code;
+    } else {
+      std::ofstream o(out);
+      ANOW_CHECK_MSG(o.good(), "cannot write " << out);
+      o << result.code;
+      std::cerr << "omp2tmk: " << result.loops.size()
+                << " parallel construct(s) -> " << out << "\n";
+    }
+    return 0;
+  } catch (const util::CheckError& e) {
+    std::cerr << "omp2tmk: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,322 @@
+#include "ompc/translator.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anow::ompc {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Collapses runs of whitespace to single spaces (pragma matching).
+std::string squeeze(const std::string& s) {
+  std::string out;
+  bool in_space = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space && !out.empty()) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool is_identifier(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+bool is_parallel_for_pragma(const std::string& line) {
+  const std::string sq = squeeze(trim(line));
+  return starts_with(sq, "#pragma omp parallel for");
+}
+
+void parse_pragma_clauses(const std::string& line, std::string* reduction_op,
+                          std::string* reduction_var) {
+  reduction_op->clear();
+  reduction_var->clear();
+  const std::string sq = squeeze(trim(line));
+  const std::string rest = sq.substr(std::string("#pragma omp parallel for")
+                                         .size());
+  // Accepted clauses: schedule(static), reduction(+:var); anything else is
+  // an error (better to fail loudly than silently mis-translate).
+  std::size_t pos = 0;
+  while (pos < rest.size()) {
+    while (pos < rest.size() && (rest[pos] == ' ')) ++pos;
+    if (pos >= rest.size()) break;
+    std::size_t open = rest.find('(', pos);
+    ANOW_CHECK_MSG(open != std::string::npos,
+                   "malformed OpenMP clause in '" << line << "'");
+    const std::string name = trim(rest.substr(pos, open - pos));
+    std::size_t close = rest.find(')', open);
+    ANOW_CHECK_MSG(close != std::string::npos,
+                   "unbalanced clause parentheses in '" << line << "'");
+    const std::string arg = trim(rest.substr(open + 1, close - open - 1));
+    if (name == "schedule") {
+      ANOW_CHECK_MSG(arg == "static",
+                     "only schedule(static) is supported, got '" << arg
+                                                                 << "'");
+    } else if (name == "reduction") {
+      const std::size_t colon = arg.find(':');
+      ANOW_CHECK_MSG(colon != std::string::npos,
+                     "malformed reduction clause '" << arg << "'");
+      *reduction_op = trim(arg.substr(0, colon));
+      *reduction_var = trim(arg.substr(colon + 1));
+      ANOW_CHECK_MSG(*reduction_op == "+",
+                     "only reduction(+:var) is supported");
+      ANOW_CHECK_MSG(is_identifier(*reduction_var),
+                     "bad reduction variable '" << *reduction_var << "'");
+    } else {
+      ANOW_CHECK_MSG(false, "unsupported OpenMP clause '" << name << "'");
+    }
+    pos = close + 1;
+  }
+}
+
+bool parse_for_header(const std::string& header, ParallelLoop* out) {
+  // header: for ( init ; cond ; incr )
+  const std::string sq = squeeze(trim(header));
+  if (!starts_with(sq, "for")) return false;
+  const std::size_t open = sq.find('(');
+  const std::size_t close = sq.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close <= open) {
+    return false;
+  }
+  const std::string inner = sq.substr(open + 1, close - open - 1);
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : inner) {
+    if (c == ';') {
+      parts.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(trim(cur));
+  if (parts.size() != 3) return false;
+
+  // init: [type] var = expr
+  const std::string& init = parts[0];
+  const std::size_t eq = init.find('=');
+  if (eq == std::string::npos) return false;
+  std::string lhs = trim(init.substr(0, eq));
+  out->lower = trim(init.substr(eq + 1));
+  const std::size_t last_space = lhs.find_last_of(' ');
+  if (last_space == std::string::npos) {
+    out->induction_type = "long";  // declared elsewhere: translate as long
+    out->induction_var = lhs;
+  } else {
+    out->induction_type = trim(lhs.substr(0, last_space));
+    out->induction_var = trim(lhs.substr(last_space + 1));
+  }
+  if (!is_identifier(out->induction_var)) return false;
+
+  // cond: var < expr
+  const std::string& cond = parts[1];
+  const std::size_t lt = cond.find('<');
+  if (lt == std::string::npos || (lt + 1 < cond.size() && cond[lt + 1] == '=')) {
+    return false;
+  }
+  if (trim(cond.substr(0, lt)) != out->induction_var) return false;
+  out->upper = trim(cond.substr(lt + 1));
+
+  // incr: var++ / ++var / var += 1
+  const std::string incr = squeeze(parts[2]);
+  const std::string& v = out->induction_var;
+  if (incr != v + "++" && incr != "++" + v && incr != v + " ++" &&
+      incr != v + "+= 1" && incr != v + " += 1") {
+    return false;
+  }
+  return true;
+}
+
+std::string extract_block(const std::string& text, std::size_t* pos) {
+  ANOW_CHECK(*pos < text.size() && text[*pos] == '{');
+  int depth = 0;
+  const std::size_t start = *pos;
+  for (std::size_t i = *pos; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}') {
+      --depth;
+      if (depth == 0) {
+        *pos = i + 1;
+        return text.substr(start + 1, i - start - 1);
+      }
+    }
+  }
+  ANOW_CHECK_MSG(false, "unbalanced braces in parallel loop body");
+}
+
+TranslationResult translate(const std::string& source,
+                            const std::string& unit_name) {
+  TranslationResult result;
+  std::ostringstream outlined;
+  std::ostringstream rewritten;
+  std::ostringstream registration;
+
+  const std::vector<std::string> lines = split_lines(source);
+  std::size_t li = 0;
+  int region_id = 0;
+  while (li < lines.size()) {
+    const std::string& line = lines[li];
+    if (!is_parallel_for_pragma(line)) {
+      rewritten << line << "\n";
+      ++li;
+      continue;
+    }
+
+    ParallelLoop loop;
+    loop.source_line = static_cast<int>(li) + 1;
+    parse_pragma_clauses(line, &loop.reduction_op, &loop.reduction_var);
+
+    // Gather the text from the next line to the end so the for-statement
+    // can span lines.
+    std::string rest;
+    for (std::size_t k = li + 1; k < lines.size(); ++k) {
+      rest += lines[k];
+      rest += "\n";
+    }
+    const std::size_t brace = rest.find('{');
+    ANOW_CHECK_MSG(brace != std::string::npos,
+                   "parallel for at line " << loop.source_line
+                                           << " must use a braced body");
+    const std::string header = rest.substr(0, brace);
+    ANOW_CHECK_MSG(parse_for_header(header, &loop),
+                   "unsupported for-loop shape after pragma at line "
+                       << loop.source_line
+                       << " (need: for (T i = lo; i < hi; i++))");
+    std::size_t pos = brace;
+    loop.body = extract_block(rest, &pos);
+
+    // --- emit the outlined procedure (what SUIF's outliner produces) ------
+    const std::string fn = unit_name + "_region_" + std::to_string(region_id);
+    outlined << "// outlined from line " << loop.source_line << "\n";
+    outlined << "void " << fn
+             << "(anow::dsm::DsmProcess& __p, const " << unit_name
+             << "_args& __args) {\n";
+    outlined << "  // compiler-generated partitioning: recomputed from\n"
+             << "  // (pid, nprocs) on every entry => adaptation-safe\n";
+    outlined << "  const anow::ompx::IterRange __r = anow::ompx::static_block("
+             << loop.lower << ", " << loop.upper
+             << ", __p.pid(), __p.nprocs());\n";
+    if (!loop.reduction_var.empty()) {
+      outlined << "  auto __red_" << loop.reduction_var << " = decltype("
+               << loop.reduction_var << "){};\n";
+    }
+    outlined << "  for (" << loop.induction_type << " " << loop.induction_var
+             << " = __r.lo; " << loop.induction_var << " < __r.hi; ++"
+             << loop.induction_var << ") {\n";
+    std::string body = loop.body;
+    if (!loop.reduction_var.empty()) {
+      // Redirect reduction accumulation to the private accumulator.
+      const std::string from = loop.reduction_var + " +=";
+      const std::string to = "__red_" + loop.reduction_var + " +=";
+      for (std::size_t p = body.find(from); p != std::string::npos;
+           p = body.find(from, p + to.size())) {
+        body.replace(p, from.size(), to);
+      }
+    }
+    outlined << body;
+    outlined << "\n  }\n";
+    if (!loop.reduction_var.empty()) {
+      outlined << "  __omp_reduce_" << loop.reduction_var
+               << ".contribute(__p, __red_" << loop.reduction_var << ");\n";
+    }
+    outlined << "  // Tmk_join at return: the runtime's join barrier runs\n"
+             << "  // when this procedure returns on every process.\n";
+    outlined << "}\n\n";
+
+    // --- rewrite the construct in the master program ----------------------
+    rewritten << "  /* parallel construct (line " << loop.source_line
+              << ") -> Tmk_fork */\n";
+    rewritten << "  __omp_rt.parallel(__region_" << region_id
+              << ", __omp_args);\n";
+    if (!loop.reduction_var.empty()) {
+      rewritten << "  " << loop.reduction_var << " += __omp_reduce_"
+                << loop.reduction_var
+                << ".combine(__p, __p.nprocs(), decltype("
+                << loop.reduction_var << "){}, [](auto a, auto b) { return "
+                << "a + b; });\n";
+    }
+
+    registration << "  const auto __region_" << region_id
+                 << " = __omp_rt.region<" << unit_name << "_args>(\""
+                 << fn << "\", " << fn << ");\n";
+
+    result.loops.push_back(loop);
+    ++region_id;
+
+    // Skip the consumed lines: count newlines inside header+body.
+    std::size_t consumed_newlines = 0;
+    for (std::size_t c = 0; c < pos; ++c) {
+      if (rest[c] == '\n') ++consumed_newlines;
+    }
+    li += 1 + consumed_newlines + 1;
+  }
+
+  std::ostringstream code;
+  code << "// Generated by omp2tmk — OpenMP-C to TreadMarks fork-join.\n";
+  code << "// " << result.loops.size() << " parallel construct(s) outlined."
+       << "\n\n";
+  code << "#include \"dsm/process.hpp\"\n#include \"ompx/partition.hpp\"\n"
+       << "#include \"ompx/runtime.hpp\"\n\n";
+  code << "// Shared data and scalars referenced by the constructs must be\n"
+       << "// packed into this trivially-copyable struct by the programmer\n"
+       << "// or a later compiler pass:\n";
+  code << "struct " << unit_name << "_args { /* filled by data-flow pass */ "
+       << "};\n\n";
+  code << outlined.str();
+  code << "// --- registration (runs identically on every process) ---\n";
+  code << "void " << unit_name
+       << "_register(anow::ompx::Runtime& __omp_rt) {\n"
+       << registration.str() << "}\n\n";
+  code << "// --- master program with constructs replaced by forks ---\n";
+  code << rewritten.str();
+  result.code = code.str();
+  return result;
+}
+
+}  // namespace anow::ompc

@@ -1,0 +1,67 @@
+// omp2tmk — source-to-source translator for a restricted OpenMP-C subset,
+// standing in for the paper's SUIF-based compiler (§2: "Compiling an OpenMP
+// C program to TreadMarks is fully automated... The body of each parallel
+// loop is encapsulated into a new procedure.  In the master, the loop is
+// replaced by a call to Tmk_fork...").
+//
+// Supported subset:
+//   #pragma omp parallel for [schedule(static)] [reduction(+:var)]
+//   for (<type> <ivar> = <expr>; <ivar> < <expr>; <ivar>++ | ++<ivar> |
+//        <ivar> += 1) { <body> }
+//
+// The translator performs exactly the transformation the paper relies on:
+// every loop body becomes an outlined procedure whose first statements
+// recompute the iteration partition from (pid, nprocs) — which is what
+// makes team-size changes at adaptation points transparent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anow::ompc {
+
+/// One recognized parallel construct.
+struct ParallelLoop {
+  std::string induction_var;
+  std::string induction_type;
+  std::string lower;          // lower-bound expression
+  std::string upper;          // exclusive upper-bound expression
+  std::string body;           // loop body, braces stripped
+  std::string reduction_op;   // "+" or empty
+  std::string reduction_var;  // empty when no reduction clause
+  int source_line = 0;
+};
+
+struct TranslationResult {
+  /// The generated translation unit (outlined procedures + rewritten main
+  /// code targeting the ompx runtime).
+  std::string code;
+  std::vector<ParallelLoop> loops;
+};
+
+/// Thrown (as util::CheckError) on unsupported input with a line number.
+TranslationResult translate(const std::string& source,
+                            const std::string& unit_name = "omp_program");
+
+// --- building blocks, exposed for unit testing ------------------------------
+
+/// Splits source into lines, preserving order.
+std::vector<std::string> split_lines(const std::string& source);
+
+/// True iff the line is an OpenMP parallel-for pragma we handle.
+bool is_parallel_for_pragma(const std::string& line);
+
+/// Parses the clauses of a parallel-for pragma into op/var (may be empty).
+void parse_pragma_clauses(const std::string& line, std::string* reduction_op,
+                          std::string* reduction_var);
+
+/// Parses a `for (init; cond; incr)` header; returns false when the shape
+/// is not in the subset.
+bool parse_for_header(const std::string& header, ParallelLoop* out);
+
+/// Extracts the brace-balanced block starting at `pos` (which must point at
+/// '{'); returns the body without the outer braces and advances pos past
+/// the closing brace.
+std::string extract_block(const std::string& text, std::size_t* pos);
+
+}  // namespace anow::ompc

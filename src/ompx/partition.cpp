@@ -1,0 +1,36 @@
+#include "ompx/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace anow::ompx {
+
+IterRange static_block(std::int64_t lo, std::int64_t hi, int pid,
+                       int nprocs) {
+  ANOW_CHECK(nprocs >= 1);
+  ANOW_CHECK(pid >= 0 && pid < nprocs);
+  const std::int64_t n = std::max<std::int64_t>(0, hi - lo);
+  const std::int64_t base = n / nprocs;
+  const std::int64_t rem = n % nprocs;
+  const std::int64_t start =
+      lo + pid * base + std::min<std::int64_t>(pid, rem);
+  const std::int64_t len = base + (pid < rem ? 1 : 0);
+  return {start, start + len};
+}
+
+IterRange aligned_block(std::int64_t n, std::int64_t align, int pid,
+                        int nprocs) {
+  ANOW_CHECK(nprocs >= 1);
+  ANOW_CHECK(pid >= 0 && pid < nprocs);
+  ANOW_CHECK(align >= 1);
+  // Partition the chunk index space, then scale back up.
+  const std::int64_t chunks = (n + align - 1) / align;
+  IterRange c = static_block(0, chunks, pid, nprocs);
+  IterRange out{c.lo * align, c.hi * align};
+  out.hi = std::min(out.hi, n);
+  out.lo = std::min(out.lo, n);
+  return out;
+}
+
+}  // namespace anow::ompx

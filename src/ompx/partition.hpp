@@ -1,0 +1,40 @@
+// Iteration partitioning — the code the OpenMP compiler generates at the
+// top of every outlined parallel loop body (§2: "additional code generated
+// inside this procedure lets each process figure out, based on its
+// TreadMarks process identifier and the total number of processes, which
+// iterations of the loop it should execute").
+//
+// Because partitioning is evaluated from (pid, nprocs) on every entry, a
+// team-size change at an adaptation point transparently re-partitions the
+// loop — the paper's whole trick.
+#pragma once
+
+#include <cstdint>
+
+#include "dsm/types.hpp"
+
+namespace anow::ompx {
+
+struct IterRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // exclusive
+  std::int64_t count() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+};
+
+/// OpenMP schedule(static): contiguous blocks, remainder spread over the
+/// first `n % nprocs` processes.
+IterRange static_block(std::int64_t lo, std::int64_t hi, int pid, int nprocs);
+
+/// Block partition of [0, n) rounded outward to `align`-element boundaries,
+/// so that per-process slices of an array with `align` elements per page
+/// never share a page (keeps single-writer arrays legal for any nprocs).
+IterRange aligned_block(std::int64_t n, std::int64_t align, int pid,
+                        int nprocs);
+
+/// Cyclic (round-robin) ownership test: does `index` belong to `pid`?
+inline bool cyclic_owner(std::int64_t index, int pid, int nprocs) {
+  return index % nprocs == pid;
+}
+
+}  // namespace anow::ompx

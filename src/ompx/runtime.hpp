@@ -1,0 +1,177 @@
+// ompx — the fork-join runtime layer the omp2tmk translator targets.
+//
+// A Region is an outlined parallel-construct body with a trivially-copyable
+// argument struct; Runtime::parallel() performs Tmk_fork + local execution +
+// Tmk_join through the DSM system.  SharedArray<T> wraps range-touching so
+// application loops read like ordinary array code.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "dsm/process.hpp"
+#include "dsm/system.hpp"
+#include "ompx/partition.hpp"
+#include "util/check.hpp"
+
+namespace anow::ompx {
+
+/// Serializes a trivially-copyable argument struct for a fork message.
+template <typename T>
+std::vector<std::uint8_t> pack_args(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "fork args must be trivially copyable (they cross process "
+                "boundaries on a real NOW)");
+  std::vector<std::uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+template <typename T>
+T unpack_args(const std::vector<std::uint8_t>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  ANOW_CHECK_MSG(bytes.size() == sizeof(T), "fork args size mismatch");
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+/// Typed handle for a registered parallel region.
+template <typename Args>
+struct Region {
+  std::int32_t task_id = -1;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(dsm::DsmSystem& system) : system_(system) {}
+
+  dsm::DsmSystem& system() { return system_; }
+
+  /// Registers an outlined parallel-construct body.  Must run before
+  /// start(), identically on every process (single binary).
+  template <typename Args>
+  Region<Args> region(std::string name,
+                      std::function<void(dsm::DsmProcess&, const Args&)> body) {
+    const std::int32_t id = system_.register_task(
+        std::move(name),
+        [body = std::move(body)](dsm::DsmProcess& p,
+                                 const std::vector<std::uint8_t>& raw) {
+          body(p, unpack_args<Args>(raw));
+        });
+    return Region<Args>{id};
+  }
+
+  /// The parallel construct: fork the team, run the body everywhere
+  /// (master included), join.  Master fiber only.
+  template <typename Args>
+  void parallel(Region<Args> region, const Args& args) {
+    system_.run_parallel(region.task_id, pack_args(args));
+  }
+
+ private:
+  dsm::DsmSystem& system_;
+};
+
+/// A typed view of a shared-memory array: read()/write() touch the range
+/// through the DSM fault machinery and hand back a raw pointer into the
+/// process's local copy.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(dsm::GAddr addr, std::int64_t count)
+      : addr_(addr), count_(count) {}
+
+  /// Allocates from the shared heap (master, before start or between
+  /// constructs).
+  static SharedArray allocate(dsm::DsmSystem& system, std::int64_t count) {
+    return SharedArray(
+        system.shared_malloc(static_cast<std::size_t>(count) * sizeof(T)),
+        count);
+  }
+
+  dsm::GAddr gaddr() const { return addr_; }
+  std::int64_t size() const { return count_; }
+
+  /// Elements per DSM page (for page-aligned partitioning).
+  static constexpr std::int64_t elems_per_page() {
+    return static_cast<std::int64_t>(dsm::kPageSize / sizeof(T));
+  }
+
+  const T* read(dsm::DsmProcess& p, std::int64_t lo, std::int64_t hi) const {
+    check_range(lo, hi);
+    p.read_range(addr_ + static_cast<dsm::GAddr>(lo) * sizeof(T),
+                 static_cast<std::size_t>(hi - lo) * sizeof(T));
+    return p.cptr<T>(addr_);
+  }
+
+  T* write(dsm::DsmProcess& p, std::int64_t lo, std::int64_t hi) const {
+    check_range(lo, hi);
+    p.write_range(addr_ + static_cast<dsm::GAddr>(lo) * sizeof(T),
+                  static_cast<std::size_t>(hi - lo) * sizeof(T));
+    return p.ptr<T>(addr_);
+  }
+
+  const T* read_all(dsm::DsmProcess& p) const { return read(p, 0, count_); }
+  T* write_all(dsm::DsmProcess& p) const { return write(p, 0, count_); }
+
+ private:
+  void check_range(std::int64_t lo, std::int64_t hi) const {
+    ANOW_CHECK_MSG(0 <= lo && lo <= hi && hi <= count_,
+                   "SharedArray range [" << lo << "," << hi << ") out of [0,"
+                                         << count_ << ")");
+  }
+
+  dsm::GAddr addr_ = 0;
+  std::int64_t count_ = 0;
+};
+
+/// Reduction support in the style TreadMarks programs use: one page-aligned
+/// slot per process; each contributor writes its own slot inside the
+/// construct, the master combines after the join.  Slots are page-sized so
+/// single-writer arrays stay legal.
+template <typename T>
+class ReductionSlots {
+ public:
+  static constexpr int kMaxProcs = 64;
+
+  static ReductionSlots allocate(dsm::DsmSystem& system) {
+    ReductionSlots r;
+    r.addr_ = system.shared_malloc_aligned(kMaxProcs * dsm::kPageSize,
+                                           dsm::kPageSize);
+    return r;
+  }
+
+  /// Called inside the construct by each process.
+  void contribute(dsm::DsmProcess& p, const T& value) const {
+    ANOW_CHECK(p.pid() < kMaxProcs);
+    const dsm::GAddr slot =
+        addr_ + static_cast<dsm::GAddr>(p.pid()) * dsm::kPageSize;
+    p.write_range(slot, sizeof(T));
+    *p.ptr<T>(slot) = value;
+  }
+
+  /// Called by the master after the join; combines the first `nprocs` slots
+  /// in pid order (deterministic floating-point).
+  template <typename Combine>
+  T combine(dsm::DsmProcess& master, int nprocs, T init,
+            Combine&& op) const {
+    T acc = init;
+    for (int pid = 0; pid < nprocs; ++pid) {
+      const dsm::GAddr slot =
+          addr_ + static_cast<dsm::GAddr>(pid) * dsm::kPageSize;
+      master.read_range(slot, sizeof(T));
+      acc = op(acc, *master.cptr<T>(slot));
+    }
+    return acc;
+  }
+
+ private:
+  dsm::GAddr addr_ = 0;
+};
+
+}  // namespace anow::ompx

@@ -1,0 +1,29 @@
+#include "ompx/strip_mine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace anow::ompx {
+
+std::int64_t strip_count(double construct_seconds, double target_spacing_s,
+                         std::int64_t iterations) {
+  ANOW_CHECK(construct_seconds >= 0.0);
+  ANOW_CHECK(target_spacing_s > 0.0);
+  ANOW_CHECK(iterations >= 0);
+  if (construct_seconds <= target_spacing_s || iterations <= 1) return 1;
+  const auto strips = static_cast<std::int64_t>(
+      std::ceil(construct_seconds / target_spacing_s));
+  return std::min(strips, std::max<std::int64_t>(1, iterations));
+}
+
+IterRange strip_range(std::int64_t lo, std::int64_t hi, std::int64_t s,
+                      std::int64_t strips) {
+  ANOW_CHECK(strips >= 1);
+  ANOW_CHECK(s >= 0 && s < strips);
+  return static_block(lo, hi, static_cast<int>(s),
+                      static_cast<int>(strips));
+}
+
+}  // namespace anow::ompx

@@ -1,0 +1,29 @@
+// Compiler-controlled adaptation-point frequency (paper §7, future work):
+// "the compiler can control the frequency of adaptation points by
+// transformations similar to loop tiling or strip mining ... the compiler
+// can generate code that determines at runtime the trip counts or tiling of
+// the loops, subject to the characteristics of the execution environment."
+//
+// strip_count() is that runtime decision: given the estimated duration of
+// one parallel construct and a target adaptation-point spacing (e.g. the
+// grace period the NOW's owners grant), it returns how many strips to split
+// the iteration space into.  Runtime::parallel_strips() then executes one
+// construct per strip — each strip boundary is an adaptation point.
+#pragma once
+
+#include <cstdint>
+
+#include "ompx/partition.hpp"
+
+namespace anow::ompx {
+
+/// Number of strips so that one strip takes at most target_spacing_s.
+/// Always >= 1; never more than the iteration count.
+std::int64_t strip_count(double construct_seconds, double target_spacing_s,
+                         std::int64_t iterations);
+
+/// The iteration sub-range of strip `s` out of `strips` over [lo, hi).
+IterRange strip_range(std::int64_t lo, std::int64_t hi, std::int64_t s,
+                      std::int64_t strips);
+
+}  // namespace anow::ompx

@@ -1,0 +1,48 @@
+#include "sim/cluster.hpp"
+
+#include "util/check.hpp"
+
+namespace anow::sim {
+
+Cluster::Cluster(CostModel cost, int initial_hosts, std::uint64_t seed)
+    : cost_(cost), rng_(seed) {
+  net_ = std::make_unique<Network>(sim_, cost_, stats_, 0);
+  for (int i = 0; i < initial_hosts; ++i) {
+    add_host();
+  }
+}
+
+HostId Cluster::add_host(double speed_factor) {
+  if (speed_factor <= 0.0) speed_factor = cost_.cpu_speed;
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(std::make_unique<Host>(sim_, id, speed_factor));
+  net_->ensure_hosts(id + 1);
+  return id;
+}
+
+Host& Cluster::host(HostId id) {
+  ANOW_CHECK_MSG(id >= 0 && id < num_hosts(), "bad host id " << id);
+  return *hosts_[id];
+}
+
+Time Cluster::draw_spawn_cost() {
+  const Time lo = cost_.spawn_min;
+  const Time hi = cost_.spawn_max;
+  ANOW_CHECK(hi >= lo);
+  if (hi == lo) return lo;
+  return lo + static_cast<Time>(
+                  rng_.next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+int Cluster::freeze_all() {
+  for (auto& h : hosts_) h->cpu().freeze();
+  return num_hosts();
+}
+
+void Cluster::unfreeze_all(int frozen_hosts) {
+  if (frozen_hosts < 0) frozen_hosts = num_hosts();
+  ANOW_CHECK(frozen_hosts <= num_hosts());
+  for (int i = 0; i < frozen_hosts; ++i) hosts_[i]->cpu().unfreeze();
+}
+
+}  // namespace anow::sim

@@ -1,0 +1,70 @@
+// The simulated network of workstations: hosts + switch + shared services.
+//
+// A Cluster owns the simulator, the cost model, the network, the stats
+// registry, and one CpuScheduler per host.  The DSM and adaptive layers are
+// built on this interface only, so alternative substrates (e.g. a real
+// socket transport) could be swapped in behind it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace anow::sim {
+
+class Host {
+ public:
+  Host(Simulator& sim, HostId id, double speed_factor)
+      : id_(id), cpu_(sim, speed_factor) {}
+
+  HostId id() const { return id_; }
+  CpuScheduler& cpu() { return cpu_; }
+  const CpuScheduler& cpu() const { return cpu_; }
+
+ private:
+  HostId id_;
+  CpuScheduler cpu_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(CostModel cost = {}, int initial_hosts = 0,
+                   std::uint64_t seed = 1);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  util::StatsRegistry& stats() { return stats_; }
+  const CostModel& cost() const { return cost_; }
+  util::Rng& rng() { return rng_; }
+
+  HostId add_host(double speed_factor = 0.0);  // 0 => cost().cpu_speed
+  Host& host(HostId id);
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+
+  /// Draws a process-creation cost uniformly from the paper's 0.6–0.8 s
+  /// range (deterministic given the cluster seed).
+  Time draw_spawn_cost();
+
+  /// Pauses every host's CPU ("all processes wait for the completion of the
+  /// migration", paper §4.2).  Returns the number of hosts frozen; pass it
+  /// to unfreeze_all so hosts added during the freeze window are unaffected.
+  int freeze_all();
+  void unfreeze_all(int frozen_hosts = -1);
+
+ private:
+  CostModel cost_;
+  Simulator sim_;
+  util::StatsRegistry stats_;
+  util::Rng rng_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+};
+
+}  // namespace anow::sim

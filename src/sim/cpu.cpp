@@ -1,0 +1,117 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace anow::sim {
+
+namespace {
+// Completion slack below which a job counts as finished (avoids scheduling
+// zero-length follow-up events from floating-point residue).
+constexpr double kEpsilonSeconds = 1e-12;
+}  // namespace
+
+CpuScheduler::CpuScheduler(Simulator& sim, double speed_factor)
+    : sim_(sim), speed_factor_(speed_factor) {
+  ANOW_CHECK(speed_factor > 0.0);
+}
+
+double CpuScheduler::rate() const {
+  if (freeze_count_ > 0 || jobs_.empty()) return 0.0;
+  return speed_factor_ / static_cast<double>(jobs_.size());
+}
+
+void CpuScheduler::consume(double cpu_seconds, const void* tag) {
+  ANOW_CHECK(cpu_seconds >= 0.0);
+  ANOW_CHECK_MSG(sim_.in_fiber(), "CpuScheduler::consume outside a fiber");
+  if (cpu_seconds == 0.0) return;
+
+  sync();  // account progress of existing jobs before membership changes
+  jobs_.emplace_back();
+  Job& job = jobs_.back();
+  job.remaining = cpu_seconds;
+  job.tag = tag;
+  plan();
+  sim_.wait(job.wp, "cpu");
+  // The completion path in sync() erased the job already.
+}
+
+void CpuScheduler::freeze() {
+  sync();
+  ++freeze_count_;
+  plan();
+}
+
+void CpuScheduler::unfreeze() {
+  ANOW_CHECK(freeze_count_ > 0);
+  sync();
+  --freeze_count_;
+  plan();
+}
+
+void CpuScheduler::sync() {
+  const Time now = sim_.now();
+  const double elapsed = to_seconds(now - last_update_);
+  if (elapsed > 0.0 && last_rate_ > 0.0) {
+    const double done = elapsed * last_rate_;
+    busy_seconds_ += done * static_cast<double>(jobs_.size());
+    for (Job& j : jobs_) {
+      j.remaining = std::max(0.0, j.remaining - done);
+    }
+  }
+  last_update_ = now;
+
+  // Complete all jobs that have run out of work.  signal() resumes the
+  // owning fiber via a scheduled event, so erasing the job here is safe.
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining <= kEpsilonSeconds) {
+      sim_.signal(it->wp);
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CpuScheduler::migrate_jobs(const void* tag, CpuScheduler& dst) {
+  ANOW_CHECK(tag != nullptr);
+  ANOW_CHECK(&dst != this);
+  sync();
+  dst.sync();
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->tag == tag) {
+      auto next = std::next(it);
+      // splice keeps the Job (and its WaitPoint the parked fiber references)
+      // at a stable address.
+      dst.jobs_.splice(dst.jobs_.end(), jobs_, it);
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+  plan();
+  dst.plan();
+}
+
+void CpuScheduler::plan() {
+  last_rate_ = rate();
+  ++plan_gen_;
+  if (last_rate_ <= 0.0 || jobs_.empty()) return;
+
+  double min_remaining = jobs_.front().remaining;
+  for (const Job& j : jobs_) {
+    min_remaining = std::min(min_remaining, j.remaining);
+  }
+  const Time due = sim_.now() + std::max<Time>(1, from_seconds(min_remaining /
+                                                               last_rate_));
+  const std::uint64_t gen = plan_gen_;
+  sim_.at(due, [this, gen] {
+    if (gen != plan_gen_) return;  // superseded by a membership change
+    sync();
+    plan();
+  });
+}
+
+}  // namespace anow::sim

@@ -1,0 +1,75 @@
+// Per-host CPU scheduler.
+//
+// Simulated processes charge compute work in calibrated CPU-seconds; the
+// scheduler timeshares the host among the jobs that are actively computing
+// (a process blocked on a page fetch or barrier consumes no CPU).  This is
+// what makes *multiplexing* after an urgent leave come out right: two
+// processes on one host each progress at half speed, and — as the paper
+// notes — the other t-2 nodes then idle at the next barrier.
+//
+// A global freeze is used while a migration is in flight ("all processes
+// then wait for the completion of the migration", §4.2).
+#pragma once
+
+#include <cstdint>
+#include <list>
+
+#include "sim/cost_model.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace anow::sim {
+
+class CpuScheduler {
+ public:
+  CpuScheduler(Simulator& sim, double speed_factor);
+
+  /// Fiber context: blocks until cpu_seconds of work (measured on a
+  /// speed-1.0 host) have been executed at this host's effective rate.
+  /// The optional tag identifies the owning process so an in-flight job can
+  /// follow its process when it migrates (urgent leave).
+  void consume(double cpu_seconds, const void* tag = nullptr);
+
+  /// Moves all jobs with the given tag to another host's scheduler (process
+  /// migration).  The owning fibers stay parked; they simply finish on the
+  /// destination host's clock.
+  void migrate_jobs(const void* tag, CpuScheduler& dst);
+
+  /// Freeze/unfreeze counting (nested migrations stack).
+  void freeze();
+  void unfreeze();
+  bool frozen() const { return freeze_count_ > 0; }
+
+  /// Number of jobs currently computing (for multiplexing diagnostics).
+  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+
+  double speed_factor() const { return speed_factor_; }
+
+  /// Total CPU-seconds consumed on this host (busy-time accounting).
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  struct Job {
+    WaitPoint wp;
+    double remaining = 0.0;  // CPU-seconds at speed 1.0
+    const void* tag = nullptr;
+  };
+
+  /// Advances all jobs by the time elapsed at the previous rate and
+  /// completes finished jobs.
+  void sync();
+  /// Recomputes the rate and schedules the next completion event.
+  void plan();
+  double rate() const;  // CPU-seconds per wall second, per job
+
+  Simulator& sim_;
+  double speed_factor_;
+  int freeze_count_ = 0;
+  Time last_update_ = 0;
+  double last_rate_ = 0.0;
+  std::uint64_t plan_gen_ = 0;
+  double busy_seconds_ = 0.0;
+  std::list<Job> jobs_;
+};
+
+}  // namespace anow::sim

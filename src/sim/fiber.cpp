@@ -1,0 +1,79 @@
+#include "sim/fiber.hpp"
+
+#include "util/check.hpp"
+
+namespace anow::sim {
+
+Fiber::Fiber(Simulator& sim, std::string name, Body body)
+    : sim_(sim),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      thread_([this] { thread_main(); }) {}
+
+Fiber::~Fiber() {
+  if (thread_.joinable()) {
+    kill_and_join();
+  }
+}
+
+void Fiber::thread_main() {
+  // Wait for the first resume().
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return run_flag_; });
+    run_flag_ = false;
+    if (killed_) {
+      done_ = true;
+      parked_ = true;
+      cv_.notify_all();
+      return;
+    }
+  }
+  try {
+    body_();
+  } catch (const Killed&) {
+    // Normal teardown path: unwound by kill_and_join().
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  std::unique_lock lock(mutex_);
+  done_ = true;
+  parked_ = true;
+  cv_.notify_all();
+}
+
+void Fiber::resume() {
+  std::unique_lock lock(mutex_);
+  ANOW_CHECK_MSG(parked_ && !done_, "resume of fiber '" << name_
+                                                        << "' that is not parked");
+  parked_ = false;
+  run_flag_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return parked_; });
+}
+
+void Fiber::park() {
+  std::unique_lock lock(mutex_);
+  parked_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return run_flag_; });
+  run_flag_ = false;
+  if (killed_) {
+    throw Killed{};
+  }
+}
+
+void Fiber::kill_and_join() {
+  {
+    std::unique_lock lock(mutex_);
+    if (!done_) {
+      killed_ = true;
+      run_flag_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return done_; });
+    }
+  }
+  thread_.join();
+}
+
+}  // namespace anow::sim

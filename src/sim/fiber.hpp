@@ -1,0 +1,72 @@
+// Cooperative fiber built on a dedicated std::thread.
+//
+// Exactly one fiber (or the scheduler) runs at any instant; the scheduler
+// hands control to a fiber with resume() and regains it when the fiber parks
+// or finishes.  This gives simulated DSM processes a natural blocking
+// programming model (page faults, barriers, locks simply park the fiber)
+// while keeping the whole simulation logically single-threaded and therefore
+// deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace anow::sim {
+
+class Simulator;
+
+class Fiber {
+ public:
+  using Body = std::function<void()>;
+
+  Fiber(Simulator& sim, std::string name, Body body);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool done() const { return done_; }
+  bool parked() const { return parked_; }
+
+  /// Free-form label describing what the fiber is blocked on; shown in
+  /// deadlock diagnostics.
+  void set_wait_tag(std::string tag) { wait_tag_ = std::move(tag); }
+  const std::string& wait_tag() const { return wait_tag_; }
+
+ private:
+  friend class Simulator;
+
+  /// Thrown inside a parked fiber when the simulator shuts down, so the
+  /// fiber's stack unwinds cleanly (RAII) instead of being abandoned.
+  struct Killed {};
+
+  void thread_main();
+  /// Scheduler side: lets the fiber run; returns once it parks or finishes.
+  void resume();
+  /// Fiber side: yields control back to the scheduler; returns when resumed.
+  void park();
+  /// Scheduler side: unblocks a parked fiber with Killed and joins it.
+  void kill_and_join();
+
+  Simulator& sim_;
+  std::string name_;
+  Body body_;
+  std::string wait_tag_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool run_flag_ = false;    // fiber may proceed
+  bool parked_ = true;       // fiber is parked (or not yet started)
+  bool killed_ = false;
+  bool done_ = false;
+  std::exception_ptr error_;
+
+  std::thread thread_;  // must be last: starts running in the constructor
+};
+
+}  // namespace anow::sim

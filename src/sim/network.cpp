@@ -1,0 +1,84 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace anow::sim {
+
+Network::Network(Simulator& sim, const CostModel& cost,
+                 util::StatsRegistry& stats, int num_hosts)
+    : sim_(sim), cost_(cost), stats_(stats) {
+  ensure_hosts(num_hosts);
+}
+
+void Network::ensure_hosts(int num_hosts) {
+  ANOW_CHECK(num_hosts >= 0);
+  if (num_hosts > static_cast<int>(links_.size())) {
+    links_.resize(num_hosts);
+    uplink_free_.resize(num_hosts, 0);
+    downlink_free_.resize(num_hosts, 0);
+  }
+}
+
+const LinkStats& Network::link(HostId h) const {
+  ANOW_CHECK(h >= 0 && h < num_hosts());
+  return links_[h];
+}
+
+Time Network::send(HostId src, HostId dst, std::int64_t payload_bytes,
+                   std::function<void()> deliver) {
+  ANOW_CHECK(payload_bytes >= 0);
+  ANOW_CHECK(src >= 0 && src < num_hosts());
+  ANOW_CHECK(dst >= 0 && dst < num_hosts());
+
+  stats_.counter("net.messages")++;
+  stats_.counter("net.bytes") += payload_bytes + cost_.header_bytes;
+
+  if (src == dst) {
+    // Multiplexed processes on one host: loopback, no link traffic.
+    const Time arrival = sim_.now() + cost_.local_delivery;
+    sim_.at(arrival, std::move(deliver));
+    return arrival;
+  }
+
+  const std::int64_t wire_bytes = payload_bytes + cost_.header_bytes;
+  const Time ser = cost_.transfer_time(payload_bytes);
+
+  links_[src].up_bytes += wire_bytes;
+  links_[src].up_msgs++;
+  links_[dst].down_bytes += wire_bytes;
+  links_[dst].down_msgs++;
+
+  // Uplink: wait for earlier sends from this host, then serialize.
+  const Time up_start =
+      std::max(sim_.now() + cost_.send_overhead, uplink_free_[src]);
+  const Time up_end = up_start + ser;
+  uplink_free_[src] = up_end;
+
+  // Downlink: cut-through when idle (serialization already paid on the
+  // uplink); queue + serialize when busy.
+  const Time dn_end =
+      std::max(up_end + cost_.wire_latency,
+               downlink_free_[dst] + cost_.wire_latency + ser);
+  downlink_free_[dst] = dn_end - cost_.wire_latency;
+
+  const Time arrival = dn_end + cost_.recv_overhead;
+  sim_.at(arrival, std::move(deliver));
+  return arrival;
+}
+
+std::int64_t Network::max_link_traffic(const std::vector<LinkStats>& before,
+                                       const std::vector<LinkStats>& after) {
+  ANOW_CHECK(after.size() >= before.size());
+  std::int64_t best = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const std::int64_t up0 = i < before.size() ? before[i].up_bytes : 0;
+    const std::int64_t dn0 = i < before.size() ? before[i].down_bytes : 0;
+    best = std::max(best, after[i].up_bytes - up0);
+    best = std::max(best, after[i].down_bytes - dn0);
+  }
+  return best;
+}
+
+}  // namespace anow::sim

@@ -1,0 +1,65 @@
+// Switched full-duplex Ethernet model.
+//
+// Every host has a dedicated uplink (host -> switch) and downlink
+// (switch -> host).  A message serializes on the sender's uplink, crosses the
+// switch cut-through (so an uncontended message pays serialization only
+// once), and may queue behind earlier traffic on the receiver's downlink.
+// Links are independent — exactly the property the paper's §5.4 relies on:
+// "as we use a switched Ethernet ... the link with the most traffic is the
+// bottleneck".  Per-link byte counters feed that analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace anow::sim {
+
+using HostId = int;
+
+struct LinkStats {
+  std::int64_t up_bytes = 0;
+  std::int64_t down_bytes = 0;
+  std::int64_t up_msgs = 0;
+  std::int64_t down_msgs = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, const CostModel& cost, util::StatsRegistry& stats,
+          int num_hosts);
+
+  /// Sends payload_bytes from src to dst and schedules deliver at the
+  /// arrival time.  Returns the arrival time.  src == dst models two
+  /// processes multiplexed on one host (no link usage, small local cost).
+  Time send(HostId src, HostId dst, std::int64_t payload_bytes,
+            std::function<void()> deliver);
+
+  /// Grows the link table when hosts are added to the cluster.
+  void ensure_hosts(int num_hosts);
+
+  int num_hosts() const { return static_cast<int>(links_.size()); }
+
+  const LinkStats& link(HostId h) const;
+  std::vector<LinkStats> link_snapshot() const { return links_; }
+
+  /// The busiest single link direction, in bytes, between two snapshots —
+  /// the paper's key predictor of adaptation cost.
+  static std::int64_t max_link_traffic(const std::vector<LinkStats>& before,
+                                       const std::vector<LinkStats>& after);
+
+ private:
+  Simulator& sim_;
+  const CostModel& cost_;
+  util::StatsRegistry& stats_;
+  std::vector<LinkStats> links_;
+  std::vector<Time> uplink_free_;
+  std::vector<Time> downlink_free_;
+};
+
+}  // namespace anow::sim

@@ -1,0 +1,32 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace anow::sim {
+
+Time from_seconds(double seconds) {
+  return static_cast<Time>(std::llround(seconds * 1e9));
+}
+
+std::string format_time(Time t) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (t < 0) {
+    os << "-";
+    t = -t;
+  }
+  if (t >= kSec) {
+    os << std::setprecision(3) << to_seconds(t) << "s";
+  } else if (t >= kMsec) {
+    os << std::setprecision(3) << static_cast<double>(t) / kMsec << "ms";
+  } else if (t >= kUsec) {
+    os << std::setprecision(1) << static_cast<double>(t) / kUsec << "us";
+  } else {
+    os << t << "ns";
+  }
+  return os.str();
+}
+
+}  // namespace anow::sim

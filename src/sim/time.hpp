@@ -1,0 +1,28 @@
+// Virtual time for the NOW simulator.
+//
+// Time is kept in integer nanoseconds so event ordering is exact and runs are
+// bit-reproducible; doubles appear only at the edges (cost-model arithmetic,
+// report formatting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace anow::sim {
+
+using Time = std::int64_t;  // nanoseconds of virtual time
+
+constexpr Time kUsec = 1'000;
+constexpr Time kMsec = 1'000'000;
+constexpr Time kSec = 1'000'000'000;
+
+/// Converts seconds (double) to Time, rounding to the nearest nanosecond.
+Time from_seconds(double seconds);
+
+/// Converts Time to seconds.
+inline double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+/// Human-readable rendering, e.g. "1.204s", "313us".
+std::string format_time(Time t);
+
+}  // namespace anow::sim

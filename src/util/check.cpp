@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace anow::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "ANOW_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace anow::util

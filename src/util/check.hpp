@@ -1,0 +1,49 @@
+// Assertion macros used throughout adaptnow.
+//
+// ANOW_CHECK is always on (protocol invariants must hold in release builds
+// too: a DSM with a silently corrupted page table produces wrong numerical
+// answers, which is strictly worse than a crash).  ANOW_DCHECK compiles out
+// in NDEBUG builds and is reserved for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anow::util {
+
+/// Thrown when an ANOW_CHECK fails.  Tests can assert on this type.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace anow::util
+
+#define ANOW_CHECK(expr)                                                    \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::anow::util::check_failed(#expr, __FILE__, __LINE__, "");            \
+    }                                                                       \
+  } while (false)
+
+#define ANOW_CHECK_MSG(expr, ...)                                           \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      std::ostringstream anow_check_os_;                                    \
+      anow_check_os_ << __VA_ARGS__;                                        \
+      ::anow::util::check_failed(#expr, __FILE__, __LINE__,                 \
+                                 anow_check_os_.str());                     \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define ANOW_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define ANOW_DCHECK(expr) ANOW_CHECK(expr)
+#endif

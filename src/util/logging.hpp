@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-logical-threaded, so the logger
+// needs no synchronization; it exists to give benches/examples a readable
+// trace of protocol events (joins, leaves, GCs, migrations) without
+// polluting stdout of table-producing benches (logs go to stderr).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace anow::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive).
+LogLevel parse_log_level(const std::string& s);
+
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace anow::util
+
+// Usage: ANOW_LOG(kInfo, "adapt") << "join of host " << h;
+#define ANOW_LOG(level, tag)                                         \
+  if (::anow::util::LogLevel::level < ::anow::util::log_level()) {   \
+  } else                                                             \
+    ::anow::util::detail::LogLine(::anow::util::LogLevel::level, tag)

@@ -1,0 +1,38 @@
+// Tiny command-line option parser for benches and examples.
+//
+// Supports --key=value, --key value, and boolean --flag forms.  Unknown
+// options are an error so typos in sweeps don't silently run defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace anow::util {
+
+class Options {
+ public:
+  /// Parses argv; throws CheckError on malformed input.
+  Options(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& default_value) const;
+  std::int64_t get_int(const std::string& key,
+                       std::int64_t default_value) const;
+  double get_double(const std::string& key, double default_value) const;
+  bool get_bool(const std::string& key, bool default_value) const;
+
+  /// Keys seen on the command line (for validation by the caller).
+  const std::map<std::string, std::string>& raw() const { return values_; }
+
+  /// Checks that every provided key is in the allowed set; throws otherwise.
+  void allow_only(const std::vector<std::string>& keys) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace anow::util

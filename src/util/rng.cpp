@@ -1,0 +1,15 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace anow::util {
+
+double Rng::next_exponential(double mean) {
+  ANOW_CHECK(mean > 0.0);
+  // Inverse CDF; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+}  // namespace anow::util

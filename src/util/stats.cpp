@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace anow::util {
+
+std::int64_t StatsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double StatsRegistry::accum_value(const std::string& name) const {
+  auto it = accums_.find(name);
+  return it == accums_.end() ? 0.0 : it->second;
+}
+
+void StatsRegistry::clear() {
+  counters_.clear();
+  accums_.clear();
+}
+
+StatsRegistry::Snapshot StatsRegistry::snapshot() const {
+  return Snapshot{counters_, accums_};
+}
+
+StatsRegistry::Snapshot StatsRegistry::Snapshot::delta_since(
+    const Snapshot& earlier) const {
+  Snapshot d;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    d.counters[name] = value - (it == earlier.counters.end() ? 0 : it->second);
+  }
+  for (const auto& [name, value] : accums) {
+    auto it = earlier.accums.find(name);
+    d.accums[name] = value - (it == earlier.accums.end() ? 0.0 : it->second);
+  }
+  return d;
+}
+
+std::int64_t StatsRegistry::Snapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double StatsRegistry::Snapshot::accum(const std::string& name) const {
+  auto it = accums.find(name);
+  return it == accums.end() ? 0.0 : it->second;
+}
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Summary::mean() const {
+  ANOW_CHECK(n_ > 0);
+  return sum_ / static_cast<double>(n_);
+}
+
+double Summary::min() const {
+  ANOW_CHECK(n_ > 0);
+  return min_;
+}
+
+double Summary::max() const {
+  ANOW_CHECK(n_ > 0);
+  return max_;
+}
+
+double Summary::stddev() const {
+  ANOW_CHECK(n_ > 0);
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(n_) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace anow::util

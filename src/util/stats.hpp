@@ -1,0 +1,70 @@
+// Named counter/accumulator registry.
+//
+// The DSM, network, and adaptive layers all account traffic and event counts
+// here; benches snapshot/diff registries to report exactly the columns of the
+// paper's Table 1 (pages, MB, messages, diffs) and the §5.4 micro analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace anow::util {
+
+/// A monotonically growing set of named int64 counters and double
+/// accumulators.  Lookup by name is O(log n); hot paths should cache the
+/// returned reference.
+class StatsRegistry {
+ public:
+  std::int64_t& counter(const std::string& name) { return counters_[name]; }
+  double& accum(const std::string& name) { return accums_[name]; }
+
+  std::int64_t counter_value(const std::string& name) const;
+  double accum_value(const std::string& name) const;
+
+  void clear();
+
+  /// A point-in-time copy; subtract two snapshots to get deltas over a
+  /// measurement window (the paper's §5.4 methodology records statistics
+  /// starting at a chosen adaptation point).
+  struct Snapshot {
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, double> accums;
+
+    Snapshot delta_since(const Snapshot& earlier) const;
+    std::int64_t counter(const std::string& name) const;
+    double accum(const std::string& name) const;
+  };
+
+  Snapshot snapshot() const;
+
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& accums() const { return accums_; }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> accums_;
+};
+
+/// Online mean/min/max/stddev accumulator for per-event costs.
+class Summary {
+ public:
+  void add(double x);
+  std::int64_t count() const { return n_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+ private:
+  std::int64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace anow::util

@@ -1,0 +1,124 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anow::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ANOW_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  Row r;
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  ANOW_CHECK_MSG(!rows_.empty(), "call row() before add()");
+  ANOW_CHECK_MSG(rows_.back().cells.size() < headers_.size(),
+                 "row has more cells than headers");
+  rows_.back().cells.push_back(cell);
+  return *this;
+}
+
+Table& Table::add(std::int64_t value) { return add(format_thousands(value)); }
+
+Table& Table::add(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return add(os.str());
+}
+
+Table& Table::separator() {
+  pending_separator_ = true;
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto is_numeric = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (char ch : s) {
+      if (!(std::isdigit(static_cast<unsigned char>(ch)) || ch == '.' ||
+            ch == ',' || ch == '-' || ch == '+' || ch == '%' || ch == 'e')) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << "| ";
+      if (is_numeric(cell)) {
+        os << std::setw(static_cast<int>(widths[c])) << std::right << cell;
+      } else {
+        os << std::setw(static_cast<int>(widths[c])) << std::left << cell;
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& r : rows_) {
+    if (r.separator_before) print_sep();
+    print_row(r.cells);
+  }
+  print_sep();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_mb(std::int64_t bytes, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals)
+     << static_cast<double>(bytes) / (1024.0 * 1024.0);
+  return os.str();
+}
+
+std::string format_thousands(std::int64_t value) {
+  const bool neg = value < 0;
+  std::string digits = std::to_string(neg ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace anow::util

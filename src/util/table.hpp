@@ -1,0 +1,56 @@
+// ASCII table formatting for bench output.
+//
+// Every bench binary reproduces one of the paper's tables/figures as rows;
+// this class keeps the formatting consistent (right-aligned numbers,
+// left-aligned labels, column auto-width).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace anow::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.  Cells are appended with add().
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell) { return add(std::string(cell)); }
+  Table& add(std::int64_t value);
+  Table& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  Table& add(std::size_t value) {
+    return add(static_cast<std::int64_t>(value));
+  }
+  /// Fixed-point double with the given number of decimals.
+  Table& add(double value, int decimals = 2);
+
+  /// Inserts a horizontal separator line before the next row.
+  Table& separator();
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Formats a byte count as "123.45" megabytes (the unit Table 1 uses).
+std::string format_mb(std::int64_t bytes, int decimals = 2);
+
+/// Formats a count with thousands separators, e.g. 236,453 (Table 1 style).
+std::string format_thousands(std::int64_t value);
+
+}  // namespace anow::util

@@ -1,0 +1,179 @@
+// Unit + property tests for word-granularity RLE diffs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "dsm/diff.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace anow::dsm {
+namespace {
+
+using Page = std::array<std::uint8_t, kPageSize>;
+
+Page zero_page() {
+  Page p{};
+  return p;
+}
+
+TEST(Diff, IdenticalPagesGiveEmptyDiff) {
+  Page a = zero_page(), b = zero_page();
+  EXPECT_TRUE(make_diff(a.data(), b.data()).empty());
+}
+
+TEST(Diff, SingleWordChange) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[8] = 0xAB;  // word 1
+  DiffBytes d = make_diff(twin.data(), cur.data());
+  EXPECT_EQ(diff_run_count(d), 1u);
+  EXPECT_EQ(d.size(), 4u + kWordSize);
+  EXPECT_TRUE(diff_is_valid(d));
+}
+
+TEST(Diff, ApplyRecreatesPage) {
+  Page twin = zero_page(), cur = zero_page();
+  for (int w : {0, 1, 5, 100, 511}) {
+    cur[w * kWordSize + 3] = static_cast<std::uint8_t>(w);
+  }
+  DiffBytes d = make_diff(twin.data(), cur.data());
+  Page target = twin;
+  apply_diff(target.data(), d);
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), kPageSize), 0);
+}
+
+TEST(Diff, AdjacentWordsCoalesceIntoOneRun) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[10 * kWordSize] = 1;
+  cur[11 * kWordSize] = 2;
+  cur[12 * kWordSize] = 3;
+  DiffBytes d = make_diff(twin.data(), cur.data());
+  EXPECT_EQ(diff_run_count(d), 1u);
+}
+
+TEST(Diff, DisjointRunsStaySeparate) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[0] = 1;                  // word 0
+  cur[100 * kWordSize] = 2;    // word 100
+  DiffBytes d = make_diff(twin.data(), cur.data());
+  EXPECT_EQ(diff_run_count(d), 2u);
+}
+
+TEST(Diff, FullPageChange) {
+  Page twin = zero_page(), cur;
+  cur.fill(0xFF);
+  DiffBytes d = make_diff(twin.data(), cur.data());
+  EXPECT_EQ(diff_run_count(d), 1u);
+  EXPECT_EQ(d.size(), 4u + kPageSize);
+  Page target = zero_page();
+  apply_diff(target.data(), d);
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), kPageSize), 0);
+}
+
+TEST(Diff, LastWordOnly) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[kPageSize - 1] = 0x7;
+  DiffBytes d = make_diff(twin.data(), cur.data());
+  EXPECT_EQ(diff_run_count(d), 1u);
+  Page target = zero_page();
+  apply_diff(target.data(), d);
+  EXPECT_EQ(target[kPageSize - 1], 0x7);
+}
+
+TEST(Diff, ConcurrentDisjointDiffsMerge) {
+  // The multi-writer property: two writers modify disjoint words of the same
+  // page; applying both diffs to the original yields the union.
+  Page base = zero_page();
+  Page a = base, b = base;
+  a[0 * kWordSize] = 0xA;
+  b[1 * kWordSize] = 0xB;
+  DiffBytes da = make_diff(base.data(), a.data());
+  DiffBytes db = make_diff(base.data(), b.data());
+  Page merged = base;
+  apply_diff(merged.data(), da);
+  apply_diff(merged.data(), db);
+  EXPECT_EQ(merged[0], 0xA);
+  EXPECT_EQ(merged[kWordSize], 0xB);
+}
+
+TEST(Diff, TruncatedDiffRejected) {
+  Page twin = zero_page(), cur = zero_page();
+  cur[0] = 1;
+  DiffBytes d = make_diff(twin.data(), cur.data());
+  d.pop_back();
+  EXPECT_FALSE(diff_is_valid(d));
+  Page target = zero_page();
+  EXPECT_THROW(apply_diff(target.data(), d), util::CheckError);
+}
+
+TEST(Diff, OutOfBoundsRunRejected) {
+  // run at word 511 with count 2 overruns the page.
+  DiffBytes d = {0xFF, 0x01, 0x02, 0x00};
+  d.resize(4 + 2 * kWordSize, 0);
+  EXPECT_FALSE(diff_is_valid(d));
+  Page target = zero_page();
+  EXPECT_THROW(apply_diff(target.data(), d), util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random pages round-trip, random disjoint writers merge.
+// ---------------------------------------------------------------------------
+
+class DiffPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffPropertyTest, RoundTripRandomPages) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    Page twin, cur;
+    for (auto& byte : twin) byte = static_cast<std::uint8_t>(rng.next_u64());
+    cur = twin;
+    const int changes = static_cast<int>(rng.next_below(64));
+    for (int c = 0; c < changes; ++c) {
+      const auto w = rng.next_below(kWordsPerPage);
+      cur[w * kWordSize + rng.next_below(kWordSize)] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    DiffBytes d = make_diff(twin.data(), cur.data());
+    EXPECT_TRUE(diff_is_valid(d));
+    Page target = twin;
+    apply_diff(target.data(), d);
+    EXPECT_EQ(std::memcmp(target.data(), cur.data(), kPageSize), 0);
+  }
+}
+
+TEST_P(DiffPropertyTest, RandomDisjointWritersMergeCommutatively) {
+  util::Rng rng(GetParam() * 977);
+  for (int iter = 0; iter < 25; ++iter) {
+    Page base;
+    for (auto& byte : base) byte = static_cast<std::uint8_t>(rng.next_u64());
+    // Partition words among 3 writers randomly.
+    std::array<int, kWordsPerPage> who{};
+    for (auto& w : who) w = static_cast<int>(rng.next_below(3));
+    std::array<Page, 3> copies = {base, base, base};
+    Page expected = base;
+    for (std::size_t w = 0; w < kWordsPerPage; ++w) {
+      if (rng.next_bool(0.3)) {
+        const auto v = rng.next_u64();
+        std::memcpy(copies[who[w]].data() + w * kWordSize, &v, kWordSize);
+        std::memcpy(expected.data() + w * kWordSize, &v, kWordSize);
+      }
+    }
+    std::array<DiffBytes, 3> diffs;
+    for (int i = 0; i < 3; ++i) {
+      diffs[i] = make_diff(base.data(), copies[i].data());
+    }
+    // Apply in two different orders; both must give the same result.
+    Page m1 = base, m2 = base;
+    for (int i : {0, 1, 2}) apply_diff(m1.data(), diffs[i]);
+    for (int i : {2, 0, 1}) apply_diff(m2.data(), diffs[i]);
+    EXPECT_EQ(std::memcmp(m1.data(), expected.data(), kPageSize), 0);
+    EXPECT_EQ(std::memcmp(m2.data(), expected.data(), kPageSize), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace anow::dsm

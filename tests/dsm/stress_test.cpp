@@ -1,0 +1,259 @@
+// Randomized stress/property tests of the DSM protocol.
+//
+// The oracle is a plain array in the test; random programs of writes,
+// barriers, locks, GCs, and reads run through the full protocol and the
+// shared region must always equal the oracle at synchronization points.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dsm/system.hpp"
+#include "sim/cluster.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace anow::dsm {
+namespace {
+
+struct Plan {
+  // For each round and process: which slots (word indices) it writes.
+  // Slots are assigned so no two processes write the same slot in the same
+  // round (data-race freedom, as the protocol requires).
+  std::vector<std::vector<std::vector<std::int64_t>>> writes;  // [round][pid]
+  std::vector<bool> gc_after_round;
+  std::int64_t slots = 0;
+  int rounds = 0;
+  int nprocs = 0;
+};
+
+Plan make_plan(util::Rng& rng, int nprocs, int rounds, std::int64_t slots) {
+  Plan plan;
+  plan.slots = slots;
+  plan.rounds = rounds;
+  plan.nprocs = nprocs;
+  plan.writes.resize(rounds);
+  plan.gc_after_round.resize(rounds);
+  for (int r = 0; r < rounds; ++r) {
+    plan.writes[r].resize(nprocs);
+    for (std::int64_t s = 0; s < slots; ++s) {
+      if (rng.next_bool(0.35)) {
+        const int writer = static_cast<int>(rng.next_below(nprocs));
+        plan.writes[r][writer].push_back(s);
+      }
+    }
+    plan.gc_after_round[r] = rng.next_bool(0.2);
+  }
+  return plan;
+}
+
+/// Oracle: the expected array contents after all rounds.
+std::vector<std::int64_t> oracle(const Plan& plan) {
+  std::vector<std::int64_t> data(static_cast<std::size_t>(plan.slots), 0);
+  for (int r = 0; r < plan.rounds; ++r) {
+    for (int p = 0; p < plan.nprocs; ++p) {
+      for (std::int64_t s : plan.writes[r][p]) {
+        data[s] = (r + 1) * 1000 + p;
+      }
+    }
+  }
+  return data;
+}
+
+class DsmStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DsmStressTest, RandomWritePlansMatchOracle) {
+  util::Rng rng(GetParam() * 2654435761u);
+  const int nprocs = 2 + static_cast<int>(rng.next_below(7));  // 2..8
+  const int rounds = 4 + static_cast<int>(rng.next_below(8));
+  const std::int64_t slots = 2048;  // 4 pages of int64: heavy false sharing
+  static Plan plan;  // static: the task lambda must see it after register
+  plan = make_plan(rng, nprocs, rounds, slots);
+
+  sim::Cluster cluster({}, nprocs);
+  DsmConfig cfg;
+  cfg.heap_bytes = 1 << 20;
+  cfg.default_protocol = Protocol::kMultiWriter;
+  // Small threshold: force frequent automatic GCs too.
+  cfg.gc_threshold_bytes = 64 * 1024;
+  DsmSystem sys(cluster, cfg);
+
+  struct Args {
+    GAddr addr;
+    std::int64_t round;
+  };
+  auto task = sys.register_task(
+      "stress_round", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        Args args;
+        ANOW_CHECK(a.size() == sizeof(args));
+        std::memcpy(&args, a.data(), sizeof(args));
+        const auto& mine = plan.writes[args.round][p.pid()];
+        for (std::int64_t s : mine) {
+          p.write_range(args.addr + static_cast<GAddr>(s) * 8, 8);
+          p.ptr<std::int64_t>(args.addr)[s] =
+              (args.round + 1) * 1000 + p.pid();
+        }
+      });
+
+  sys.start(nprocs);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(slots * 8);
+    master.write_range(addr, static_cast<std::size_t>(slots) * 8);
+    std::memset(master.ptr<std::int64_t>(addr), 0,
+                static_cast<std::size_t>(slots) * 8);
+    for (int r = 0; r < plan.rounds; ++r) {
+      Args args{addr, r};
+      std::vector<std::uint8_t> packed(sizeof(args));
+      std::memcpy(packed.data(), &args, sizeof(args));
+      sys.run_parallel(task, packed);
+      if (plan.gc_after_round[r]) sys.gc_at_fork();
+    }
+    const auto want = oracle(plan);
+    master.read_range(addr, static_cast<std::size_t>(slots) * 8);
+    const auto* got = master.cptr<std::int64_t>(addr);
+    for (std::int64_t s = 0; s < slots; ++s) {
+      ASSERT_EQ(got[s], want[s]) << "slot " << s << " nprocs " << nprocs
+                                 << " rounds " << plan.rounds;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsmStressTest, ::testing::Range(1, 13));
+
+class LockStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LockStressTest, ChainedLockTransfersCarryConsistency) {
+  // Each process increments a shared counter under a lock several times;
+  // a reader under the same lock must always observe a consistent value.
+  // This exercises the lock-grant write-notice path, not just barriers.
+  util::Rng rng(GetParam() * 40503u);
+  const int nprocs = 2 + static_cast<int>(rng.next_below(6));
+  const int iters = 3 + static_cast<int>(rng.next_below(5));
+
+  sim::Cluster cluster({}, nprocs);
+  DsmConfig cfg;
+  cfg.heap_bytes = 1 << 20;
+  DsmSystem sys(cluster, cfg);
+  struct Args {
+    GAddr counter;
+    std::int64_t iters;
+  };
+  auto task = sys.register_task(
+      "locked_inc", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        Args args;
+        std::memcpy(&args, a.data(), sizeof(args));
+        for (std::int64_t i = 0; i < args.iters; ++i) {
+          p.lock_acquire(5);
+          p.write_range(args.counter, 16);
+          auto* c = p.ptr<std::int64_t>(args.counter);
+          // Invariant: the two cells move together under the lock.
+          ANOW_CHECK_MSG(c[0] == c[1], "torn read under lock");
+          c[0] += 1;
+          c[1] += 1;
+          p.lock_release(5);
+          p.compute(0.001);
+        }
+      });
+  sys.start(nprocs);
+  sys.run([&](DsmProcess& master) {
+    Args args{sys.shared_malloc(kPageSize), iters};
+    master.write_range(args.counter, 16);
+    master.ptr<std::int64_t>(args.counter)[0] = 0;
+    master.ptr<std::int64_t>(args.counter)[1] = 0;
+    std::vector<std::uint8_t> packed(sizeof(args));
+    std::memcpy(packed.data(), &args, sizeof(args));
+    sys.run_parallel(task, packed);
+    master.read_range(args.counter, 16);
+    EXPECT_EQ(master.cptr<std::int64_t>(args.counter)[0],
+              static_cast<std::int64_t>(nprocs) * iters);
+    EXPECT_EQ(master.cptr<std::int64_t>(args.counter)[1],
+              static_cast<std::int64_t>(nprocs) * iters);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockStressTest, ::testing::Range(1, 7));
+
+TEST(DsmStress, ThresholdGcFiresUnderChurn) {
+  // A multi-writer workload below keeps creating twins/diffs; with a tiny
+  // threshold the system must GC repeatedly and stay correct.
+  sim::Cluster cluster({}, 4);
+  DsmConfig cfg;
+  cfg.heap_bytes = 1 << 20;
+  cfg.gc_threshold_bytes = 16 * 1024;
+  DsmSystem sys(cluster, cfg);
+  struct Args {
+    GAddr addr;
+    std::int64_t n;
+  };
+  auto task = sys.register_task(
+      "churn", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        Args args;
+        std::memcpy(&args, a.data(), sizeof(args));
+        // Every process writes interleaved words across all pages.
+        p.write_range(args.addr, static_cast<std::size_t>(args.n) * 8);
+        auto* d = p.ptr<std::int64_t>(args.addr);
+        for (std::int64_t i = p.pid(); i < args.n; i += p.nprocs()) {
+          d[i] += 1;
+        }
+      });
+  sys.start(4);
+  sys.run([&](DsmProcess& master) {
+    Args args{sys.shared_malloc(16384 * 8), 16384};
+    master.write_range(args.addr, 16384 * 8);
+    std::memset(master.ptr<std::int64_t>(args.addr), 0, 16384 * 8);
+    std::vector<std::uint8_t> packed(sizeof(args));
+    std::memcpy(packed.data(), &args, sizeof(args));
+    for (int r = 0; r < 12; ++r) sys.run_parallel(task, packed);
+    master.read_range(args.addr, 16384 * 8);
+    for (std::int64_t i = 0; i < 16384; ++i) {
+      ASSERT_EQ(master.cptr<std::int64_t>(args.addr)[i], 12);
+    }
+  });
+  EXPECT_GT(sys.stats().counter_value("dsm.gc_runs"), 1);
+}
+
+TEST(DsmStress, PendingNoticesStayBounded) {
+  // The auto-GC must keep consistency metadata bounded even when one
+  // process never touches the written pages (its pending list would
+  // otherwise grow without limit).
+  sim::Cluster cluster({}, 3);
+  DsmConfig cfg;
+  cfg.heap_bytes = 1 << 20;
+  cfg.gc_threshold_bytes = 32 * 1024;
+  DsmSystem sys(cluster, cfg);
+  struct Args {
+    GAddr addr;
+    std::int64_t n;
+  };
+  auto task = sys.register_task(
+      "slabs", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        Args args;
+        std::memcpy(&args, a.data(), sizeof(args));
+        if (p.pid() == 0) return;  // the master never reads these pages
+        const std::int64_t half = args.n / 2;
+        const std::int64_t lo = p.pid() == 1 ? 0 : half;
+        const std::int64_t hi = p.pid() == 1 ? half : args.n;
+        p.write_range(args.addr + lo * 8,
+                      static_cast<std::size_t>(hi - lo) * 8);
+        auto* d = p.ptr<std::int64_t>(args.addr);
+        for (std::int64_t i = lo; i < hi; ++i) d[i] += 1;
+      });
+  sys.start(3);
+  sys.run([&](DsmProcess& master) {
+    Args args{sys.shared_malloc(8192 * 8), 8192};
+    std::vector<std::uint8_t> packed(sizeof(args));
+    std::memcpy(packed.data(), &args, sizeof(args));
+    for (int r = 0; r < 40; ++r) sys.run_parallel(task, packed);
+    // Metadata stayed bounded by the GC threshold (plus slack for the
+    // rounds since the last collection).
+    EXPECT_LT(master.consistency_bytes(), 3 * 32 * 1024);
+    master.read_range(args.addr, 8192 * 8);
+    for (std::int64_t i = 0; i < 8192; ++i) {
+      ASSERT_EQ(master.cptr<std::int64_t>(args.addr)[i], 40);
+    }
+  });
+  EXPECT_GT(sys.stats().counter_value("dsm.gc_runs"), 0);
+}
+
+}  // namespace
+}  // namespace anow::dsm

@@ -1,0 +1,154 @@
+// Harness tests: reference interpolation (§5.3 methodology), schedule
+// generators, and run_workload bookkeeping.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace anow::harness {
+namespace {
+
+TEST(Interpolation, ExactPointsReturnMeasurements) {
+  std::map<int, double> t = {{1, 1283.63}, {4, 361.38}, {8, 215.06}};
+  EXPECT_DOUBLE_EQ(interpolate_reference_seconds(t, 1.0), 1283.63);
+  EXPECT_DOUBLE_EQ(interpolate_reference_seconds(t, 4.0), 361.38);
+  EXPECT_DOUBLE_EQ(interpolate_reference_seconds(t, 8.0), 215.06);
+}
+
+TEST(Interpolation, BetweenPointsIsMonotone) {
+  std::map<int, double> t = {{4, 400.0}, {8, 220.0}};
+  const double mid = interpolate_reference_seconds(t, 6.0);
+  EXPECT_LT(mid, 400.0);
+  EXPECT_GT(mid, 220.0);
+  // Linear in 1/n: at n=6, x=(1/6) between 1/8 and 1/4.
+  const double x = (1.0 / 6 - 1.0 / 4) / (1.0 / 8 - 1.0 / 4);
+  EXPECT_NEAR(mid, 400.0 + (220.0 - 400.0) * x, 1e-9);
+}
+
+TEST(Interpolation, ClampsOutsideRange) {
+  std::map<int, double> t = {{4, 400.0}, {8, 220.0}};
+  EXPECT_DOUBLE_EQ(interpolate_reference_seconds(t, 2.0), 400.0);
+  EXPECT_DOUBLE_EQ(interpolate_reference_seconds(t, 10.0), 220.0);
+}
+
+TEST(Schedules, AlternatingLeaveJoinShape) {
+  auto events = alternating_leave_join(sim::from_seconds(10),
+                                       sim::from_seconds(30), 7, 3);
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, i % 2 == 0 ? core::AdaptKind::kLeave
+                                         : core::AdaptKind::kJoin);
+    EXPECT_EQ(events[i].host, 7);
+    if (i > 0) EXPECT_GT(events[i].at, events[i - 1].at);
+  }
+}
+
+TEST(Schedules, PoissonRespectsHorizonAndAlternation) {
+  util::Rng rng(42);
+  auto events = poisson_schedule(rng, 6.0, 0, sim::from_seconds(600), 4, 2);
+  EXPECT_GT(events.size(), 20u);  // ~60 expected
+  EXPECT_LT(events.size(), 120u);
+  std::map<int, bool> occupied = {{4, true}, {5, true}};
+  for (const auto& ev : events) {
+    EXPECT_LT(ev.at, sim::from_seconds(600));
+    ASSERT_TRUE(ev.host == 4 || ev.host == 5);
+    if (ev.kind == core::AdaptKind::kLeave) {
+      EXPECT_TRUE(occupied[ev.host]) << "leave of empty host";
+      occupied[ev.host] = false;
+    } else {
+      EXPECT_FALSE(occupied[ev.host]) << "join of occupied host";
+      occupied[ev.host] = true;
+    }
+  }
+}
+
+TEST(Runner, NonAdaptiveRejectsEvents) {
+  RunConfig cfg;
+  cfg.adaptive = false;
+  cfg.events = single_leave(sim::from_seconds(1), 1);
+  EXPECT_THROW(run_workload(cfg), util::CheckError);
+}
+
+TEST(Runner, AdaptiveAndBaseAgreeWithoutEvents) {
+  // The paper's first headline: in the absence of adapt events there is no
+  // cost to supporting adaptivity — runtime and traffic are identical.
+  RunConfig cfg;
+  cfg.app = "gauss";
+  cfg.size = apps::Size::kTest;
+  cfg.nprocs = 4;
+  cfg.adaptive = false;
+  auto base = run_workload(cfg);
+  cfg.adaptive = true;
+  auto adaptive = run_workload(cfg);
+  EXPECT_DOUBLE_EQ(adaptive.seconds, base.seconds);
+  EXPECT_EQ(adaptive.bytes, base.bytes);
+  EXPECT_EQ(adaptive.messages, base.messages);
+  EXPECT_EQ(adaptive.page_fetches, base.page_fetches);
+  EXPECT_EQ(adaptive.checksum, base.checksum);
+}
+
+TEST(Runner, AvgNodesReflectsLeave) {
+  RunConfig cfg;
+  cfg.app = "jacobi";
+  cfg.size = apps::Size::kBench;
+  cfg.nprocs = 4;
+  cfg.events = single_leave(sim::from_seconds(1.0), 3);
+  auto result = run_workload(cfg);
+  EXPECT_EQ(result.final_world, 3);
+  EXPECT_LT(result.avg_nodes, 4.0);
+  EXPECT_GT(result.avg_nodes, 2.9);
+}
+
+TEST(Runner, AdaptPointIntervalPositive) {
+  RunConfig cfg;
+  cfg.app = "nbf";
+  cfg.size = apps::Size::kTest;
+  cfg.nprocs = 2;
+  auto result = run_workload(cfg);
+  EXPECT_GT(result.adapt_point_interval_s, 0.0);
+  // NBF at test size: 2 constructs per iteration.
+  EXPECT_NEAR(result.adapt_point_interval_s,
+              result.seconds / (2.0 * 4.0), result.seconds);
+}
+
+TEST(Runner, DeterministicAcrossRepeats) {
+  RunConfig cfg;
+  cfg.app = "fft3d";
+  cfg.size = apps::Size::kTest;
+  cfg.nprocs = 4;
+  cfg.events = single_leave(sim::from_seconds(0.1), 2);
+  auto a = run_workload(cfg);
+  auto b = run_workload(cfg);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.records.size(), b.records.size());
+}
+
+TEST(Runner, AverageAdaptationCostComputes) {
+  std::map<int, double> ref;
+  RunConfig cfg;
+  cfg.app = "gauss";
+  cfg.size = apps::Size::kTest;
+  cfg.adaptive = false;
+  for (int n : {3, 4}) {
+    cfg.nprocs = n;
+    ref[n] = run_workload(cfg).seconds;
+  }
+  cfg.adaptive = true;
+  cfg.nprocs = 4;
+  cfg.events = single_leave(sim::from_seconds(0.1), 3);
+  auto adaptive = run_workload(cfg);
+  ASSERT_EQ(adaptive.records.size(), 1u);
+  const double cost = average_adaptation_cost(adaptive, ref);
+  // The adaptation must cost something, but not minutes at test size.
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 10.0);
+}
+
+}  // namespace
+}  // namespace anow::harness

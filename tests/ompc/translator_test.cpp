@@ -1,0 +1,235 @@
+// Tests for the omp2tmk translator (SUIF substitute).
+#include <gtest/gtest.h>
+
+#include "ompc/translator.hpp"
+#include "util/check.hpp"
+
+namespace anow::ompc {
+namespace {
+
+TEST(Pragma, RecognizesParallelFor) {
+  EXPECT_TRUE(is_parallel_for_pragma("#pragma omp parallel for"));
+  EXPECT_TRUE(is_parallel_for_pragma("  #pragma   omp  parallel   for  "));
+  EXPECT_TRUE(
+      is_parallel_for_pragma("#pragma omp parallel for schedule(static)"));
+  EXPECT_FALSE(is_parallel_for_pragma("#pragma omp barrier"));
+  EXPECT_FALSE(is_parallel_for_pragma("// #pragma omp parallel for"));
+  EXPECT_FALSE(is_parallel_for_pragma("int x = 0;"));
+}
+
+TEST(Pragma, ParsesReductionClause) {
+  std::string op, var;
+  parse_pragma_clauses("#pragma omp parallel for reduction(+:sum)", &op,
+                       &var);
+  EXPECT_EQ(op, "+");
+  EXPECT_EQ(var, "sum");
+}
+
+TEST(Pragma, ScheduleStaticAccepted) {
+  std::string op, var;
+  parse_pragma_clauses("#pragma omp parallel for schedule(static)", &op,
+                       &var);
+  EXPECT_TRUE(op.empty());
+}
+
+TEST(Pragma, DynamicScheduleRejected) {
+  std::string op, var;
+  EXPECT_THROW(parse_pragma_clauses(
+                   "#pragma omp parallel for schedule(dynamic)", &op, &var),
+               util::CheckError);
+}
+
+TEST(Pragma, UnsupportedClauseRejected) {
+  std::string op, var;
+  EXPECT_THROW(parse_pragma_clauses(
+                   "#pragma omp parallel for collapse(2)", &op, &var),
+               util::CheckError);
+}
+
+TEST(Pragma, MaxReductionRejected) {
+  std::string op, var;
+  EXPECT_THROW(parse_pragma_clauses(
+                   "#pragma omp parallel for reduction(max:m)", &op, &var),
+               util::CheckError);
+}
+
+TEST(ForHeader, ParsesCanonicalLoop) {
+  ParallelLoop loop;
+  ASSERT_TRUE(parse_for_header("for (int i = 0; i < n; i++)", &loop));
+  EXPECT_EQ(loop.induction_var, "i");
+  EXPECT_EQ(loop.induction_type, "int");
+  EXPECT_EQ(loop.lower, "0");
+  EXPECT_EQ(loop.upper, "n");
+}
+
+TEST(ForHeader, ParsesExpressionsAndPreIncrement) {
+  ParallelLoop loop;
+  ASSERT_TRUE(
+      parse_for_header("for (long k = lo + 1; k < hi * 2; ++k)", &loop));
+  EXPECT_EQ(loop.induction_var, "k");
+  EXPECT_EQ(loop.lower, "lo + 1");
+  EXPECT_EQ(loop.upper, "hi * 2");
+}
+
+TEST(ForHeader, ParsesPlusEqualsOne) {
+  ParallelLoop loop;
+  EXPECT_TRUE(parse_for_header("for (int i = 0; i < 10; i += 1)", &loop));
+}
+
+TEST(ForHeader, RejectsNonUnitStride) {
+  ParallelLoop loop;
+  EXPECT_FALSE(parse_for_header("for (int i = 0; i < n; i += 2)", &loop));
+}
+
+TEST(ForHeader, RejectsLessEqual) {
+  ParallelLoop loop;
+  EXPECT_FALSE(parse_for_header("for (int i = 0; i <= n; i++)", &loop));
+}
+
+TEST(ForHeader, RejectsDownwardLoop) {
+  ParallelLoop loop;
+  EXPECT_FALSE(parse_for_header("for (int i = n; i > 0; i--)", &loop));
+}
+
+TEST(ForHeader, RejectsWrongConditionVariable) {
+  ParallelLoop loop;
+  EXPECT_FALSE(parse_for_header("for (int i = 0; j < n; i++)", &loop));
+}
+
+TEST(Block, ExtractsNestedBraces) {
+  std::string text = "{ a { b } c } tail";
+  std::size_t pos = 0;
+  EXPECT_EQ(extract_block(text, &pos), " a { b } c ");
+  EXPECT_EQ(text.substr(pos), " tail");
+}
+
+TEST(Block, UnbalancedThrows) {
+  std::string text = "{ a { b }";
+  std::size_t pos = 0;
+  EXPECT_THROW(extract_block(text, &pos), util::CheckError);
+}
+
+TEST(Translate, OutlinesSimpleLoop) {
+  const std::string src = R"(
+double a[100];
+#pragma omp parallel for
+for (int i = 0; i < 100; i++) {
+  a[i] = a[i] * 2.0;
+}
+)";
+  auto result = translate(src, "demo");
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_EQ(result.loops[0].induction_var, "i");
+  // The outlined procedure exists and recomputes the partition.
+  EXPECT_NE(result.code.find("void demo_region_0"), std::string::npos);
+  EXPECT_NE(result.code.find("static_block(0, 100, __p.pid(), __p.nprocs())"),
+            std::string::npos);
+  // The construct site became a fork.
+  EXPECT_NE(result.code.find("__omp_rt.parallel(__region_0"),
+            std::string::npos);
+  // The body survived outlining.
+  EXPECT_NE(result.code.find("a[i] = a[i] * 2.0;"), std::string::npos);
+  // The pragma is gone from the rewritten program.
+  EXPECT_EQ(result.code.find("#pragma"), std::string::npos);
+}
+
+TEST(Translate, MultipleLoopsGetDistinctRegions) {
+  const std::string src = R"(
+#pragma omp parallel for
+for (int i = 0; i < n; i++) {
+  x[i] = i;
+}
+int between = 1;
+#pragma omp parallel for
+for (int j = 0; j < m; j++) {
+  y[j] = j;
+}
+)";
+  auto result = translate(src, "two");
+  ASSERT_EQ(result.loops.size(), 2u);
+  EXPECT_NE(result.code.find("two_region_0"), std::string::npos);
+  EXPECT_NE(result.code.find("two_region_1"), std::string::npos);
+  // Sequential code between constructs is preserved.
+  EXPECT_NE(result.code.find("int between = 1;"), std::string::npos);
+}
+
+TEST(Translate, ReductionRedirectsAccumulation) {
+  const std::string src = R"(
+#pragma omp parallel for reduction(+:sum)
+for (int i = 0; i < n; i++) {
+  sum += a[i];
+}
+)";
+  auto result = translate(src, "red");
+  EXPECT_NE(result.code.find("__red_sum += a[i];"), std::string::npos);
+  EXPECT_NE(result.code.find("contribute(__p, __red_sum)"),
+            std::string::npos);
+  EXPECT_NE(result.code.find("combine(__p"), std::string::npos);
+}
+
+TEST(Translate, MultiLineBodiesAndHeaders) {
+  const std::string src =
+      "#pragma omp parallel for\n"
+      "for (int i = 0;\n"
+      "     i < rows;\n"
+      "     i++)\n"
+      "{\n"
+      "  double t = b[i];\n"
+      "  c[i] = t + 1;\n"
+      "}\n"
+      "after();\n";
+  auto result = translate(src, "ml");
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_NE(result.code.find("c[i] = t + 1;"), std::string::npos);
+  EXPECT_NE(result.code.find("after();"), std::string::npos);
+}
+
+TEST(Translate, UnsupportedLoopShapeThrows) {
+  const std::string src = R"(
+#pragma omp parallel for
+for (int i = n; i > 0; i--) {
+  a[i] = 0;
+}
+)";
+  EXPECT_THROW(translate(src), util::CheckError);
+}
+
+TEST(Translate, MissingBracesThrow) {
+  const std::string src =
+      "#pragma omp parallel for\n"
+      "for (int i = 0; i < n; i++) a[i] = 0;\n";
+  EXPECT_THROW(translate(src), util::CheckError);
+}
+
+TEST(Translate, NoPragmasPassesThrough) {
+  const std::string src = "int main() { return 0; }\n";
+  auto result = translate(src);
+  EXPECT_TRUE(result.loops.empty());
+  EXPECT_NE(result.code.find("int main() { return 0; }"), std::string::npos);
+}
+
+TEST(Translate, PartitionIsPerConstruct) {
+  // The transparency property at the source level: every outlined region
+  // contains its own partition computation (pid/nprocs are read inside the
+  // construct, never hoisted).
+  const std::string src = R"(
+#pragma omp parallel for
+for (int i = 0; i < n; i++) {
+  a[i] = 0;
+}
+#pragma omp parallel for
+for (int i = 0; i < n; i++) {
+  a[i] += 1;
+}
+)";
+  auto result = translate(src, "tp");
+  std::size_t count = 0;
+  for (std::size_t p = result.code.find("static_block(");
+       p != std::string::npos; p = result.code.find("static_block(", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);  // one per construct
+}
+
+}  // namespace
+}  // namespace anow::ompc

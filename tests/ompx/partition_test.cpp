@@ -1,0 +1,119 @@
+// Property tests for iteration partitioning — the compiler-generated code
+// whose re-evaluation at every construct makes adaptation transparent.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "dsm/types.hpp"
+#include "ompx/partition.hpp"
+#include "util/check.hpp"
+
+namespace anow::ompx {
+namespace {
+
+struct Case {
+  std::int64_t lo, hi;
+  int nprocs;
+};
+
+class StaticBlockTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StaticBlockTest, CoversEveryIterationExactlyOnce) {
+  const auto [lo, hi, nprocs] = GetParam();
+  std::vector<int> hits(static_cast<std::size_t>(hi - lo), 0);
+  for (int pid = 0; pid < nprocs; ++pid) {
+    IterRange r = static_block(lo, hi, pid, nprocs);
+    EXPECT_GE(r.lo, lo);
+    EXPECT_LE(r.hi, hi);
+    for (std::int64_t i = r.lo; i < r.hi; ++i) hits[i - lo]++;
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "iteration " << (lo + static_cast<std::int64_t>(i));
+  }
+}
+
+TEST_P(StaticBlockTest, BlocksAreBalancedWithinOne) {
+  const auto [lo, hi, nprocs] = GetParam();
+  std::int64_t min_len = hi - lo + 1, max_len = -1;
+  for (int pid = 0; pid < nprocs; ++pid) {
+    IterRange r = static_block(lo, hi, pid, nprocs);
+    min_len = std::min(min_len, r.count());
+    max_len = std::max(max_len, r.count());
+  }
+  EXPECT_LE(max_len - min_len, 1);
+}
+
+TEST_P(StaticBlockTest, BlocksAreOrderedByPid) {
+  const auto [lo, hi, nprocs] = GetParam();
+  std::int64_t prev_hi = lo;
+  for (int pid = 0; pid < nprocs; ++pid) {
+    IterRange r = static_block(lo, hi, pid, nprocs);
+    EXPECT_EQ(r.lo, prev_hi);
+    prev_hi = r.hi;
+  }
+  EXPECT_EQ(prev_hi, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StaticBlockTest,
+    ::testing::Values(Case{0, 100, 1}, Case{0, 100, 3}, Case{0, 100, 8},
+                      Case{1, 2499, 7}, Case{0, 7, 8}, Case{0, 0, 4},
+                      Case{5, 6, 2}, Case{0, 1024, 6}, Case{10, 17, 3}));
+
+class AlignedBlockTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, int>> {};
+
+TEST_P(AlignedBlockTest, CoversExactlyOnceAndAligned) {
+  const auto [n, align, nprocs] = GetParam();
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  for (int pid = 0; pid < nprocs; ++pid) {
+    IterRange r = aligned_block(n, align, pid, nprocs);
+    if (r.empty()) continue;  // processes beyond the chunk count idle
+    EXPECT_EQ(r.lo % align, 0) << "pid " << pid;
+    EXPECT_TRUE(r.hi % align == 0 || r.hi == n) << "pid " << pid;
+    for (std::int64_t i = r.lo; i < r.hi; ++i) hits[i]++;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i], 1) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AlignedBlockTest,
+    ::testing::Values(std::tuple(4096l, 512l, 8), std::tuple(4096l, 512l, 6),
+                      std::tuple(1000l, 512l, 3), std::tuple(100l, 512l, 4),
+                      std::tuple(131072l, 512l, 6), std::tuple(512l, 512l, 2),
+                      std::tuple(24l, 8l, 5)));
+
+TEST(CyclicOwner, PartitionsAllIndices) {
+  const int nprocs = 5;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    int owners = 0;
+    for (int pid = 0; pid < nprocs; ++pid) {
+      if (cyclic_owner(i, pid, nprocs)) ++owners;
+    }
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+TEST(StaticBlock, InvalidPidThrows) {
+  EXPECT_THROW(static_block(0, 10, 3, 3), util::CheckError);
+  EXPECT_THROW(static_block(0, 10, -1, 3), util::CheckError);
+}
+
+TEST(Partition, RepartitionAfterTeamChangeCoversSameSpace) {
+  // The transparency mechanism: partitions for different nprocs cover the
+  // same iteration space.
+  const std::int64_t n = 2500;
+  for (int nprocs : {1, 2, 3, 5, 7, 8}) {
+    std::int64_t total = 0;
+    for (int pid = 0; pid < nprocs; ++pid) {
+      total += static_block(0, n, pid, nprocs).count();
+    }
+    EXPECT_EQ(total, n);
+  }
+}
+
+}  // namespace
+}  // namespace anow::ompx

@@ -1,0 +1,113 @@
+// Tests for compiler-controlled adaptation-point frequency (paper §7
+// future work: strip mining to increase the rate of adaptation points).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/adapt.hpp"
+#include "dsm/system.hpp"
+#include "ompx/strip_mine.hpp"
+#include "sim/cluster.hpp"
+#include "util/check.hpp"
+
+namespace anow::ompx {
+namespace {
+
+TEST(StripCount, OneStripWhenConstructIsShortEnough) {
+  EXPECT_EQ(strip_count(0.1, 3.0, 1000), 1);
+  EXPECT_EQ(strip_count(3.0, 3.0, 1000), 1);
+}
+
+TEST(StripCount, SplitsLongConstructs) {
+  EXPECT_EQ(strip_count(9.0, 3.0, 1000), 3);
+  EXPECT_EQ(strip_count(10.0, 3.0, 1000), 4);  // ceil
+}
+
+TEST(StripCount, NeverExceedsIterationCount) {
+  EXPECT_EQ(strip_count(100.0, 0.001, 7), 7);
+}
+
+TEST(StripCount, RejectsNonPositiveSpacing) {
+  EXPECT_THROW(strip_count(1.0, 0.0, 10), util::CheckError);
+}
+
+TEST(StripRange, StripsCoverTheIterationSpace) {
+  const std::int64_t lo = 3, hi = 1003;
+  for (std::int64_t strips : {1, 2, 3, 7}) {
+    std::int64_t covered = 0;
+    std::int64_t prev_hi = lo;
+    for (std::int64_t s = 0; s < strips; ++s) {
+      IterRange r = strip_range(lo, hi, s, strips);
+      EXPECT_EQ(r.lo, prev_hi);
+      prev_hi = r.hi;
+      covered += r.count();
+    }
+    EXPECT_EQ(prev_hi, hi);
+    EXPECT_EQ(covered, hi - lo);
+  }
+}
+
+TEST(StripMine, MoreStripsMeanMoreAdaptationPointsAndFasterLeaves) {
+  // One long parallel loop (one construct ~ 8 s at 2 procs).  Without strip
+  // mining a leave with a 1 s grace period must migrate; with strips, the
+  // adaptation points come fast enough for a normal leave.
+  struct Args {
+    dsm::GAddr addr;
+    std::int64_t lo, hi, n;
+  };
+  auto run = [&](std::int64_t strips) {
+    sim::Cluster cluster({}, 2);
+    dsm::DsmConfig cfg;
+    cfg.heap_bytes = 1 << 20;
+    cfg.private_image_bytes = 1 << 20;
+    dsm::DsmSystem sys(cluster, cfg);
+    core::AdaptiveRuntime adapt(sys);
+    auto task = sys.register_task(
+        "strip", [](dsm::DsmProcess& p, const std::vector<std::uint8_t>& a) {
+          Args args;
+          std::memcpy(&args, a.data(), sizeof(args));
+          const IterRange mine =
+              static_block(args.lo, args.hi, p.pid(), p.nprocs());
+          if (mine.empty()) return;
+          p.write_range(args.addr + mine.lo * 8,
+                        static_cast<std::size_t>(mine.count()) * 8);
+          auto* d = p.ptr<std::int64_t>(args.addr);
+          for (std::int64_t i = mine.lo; i < mine.hi; ++i) d[i] += 1;
+          // 16 ms of work per iteration at 1 proc.
+          p.compute(0.016 * static_cast<double>(mine.count()));
+        });
+    adapt.post_leave(sim::from_seconds(0.5), 1, sim::from_seconds(1.0));
+    sys.start(2);
+    std::int64_t migrations = 0;
+    sys.run([&](dsm::DsmProcess& m) {
+      const std::int64_t n = 1000;
+      Args args{sys.shared_malloc(n * 8), 0, n, n};
+      m.write_range(args.addr, n * 8);
+      std::memset(m.ptr<std::int64_t>(args.addr), 0, n * 8);
+      // The §7 transformation: split the construct into `strips` forks.
+      for (std::int64_t s = 0; s < strips; ++s) {
+        IterRange r = strip_range(0, n, s, strips);
+        Args strip_args{args.addr, r.lo, r.hi, n};
+        std::vector<std::uint8_t> packed(sizeof(strip_args));
+        std::memcpy(packed.data(), &strip_args, sizeof(strip_args));
+        sys.run_parallel(task, packed);
+      }
+      m.read_range(args.addr, n * 8);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ANOW_CHECK(m.cptr<std::int64_t>(args.addr)[i] == 1);
+      }
+      migrations = sys.stats().counter_value("adapt.migrations");
+    });
+    return migrations;
+  };
+
+  // Monolithic construct: the grace period expires mid-construct.
+  EXPECT_EQ(run(1), 1);
+  // Strip-mined per the §7 recipe: adaptation points every ~0.8 s < grace.
+  const std::int64_t strips = strip_count(8.0, 0.8, 1000);
+  EXPECT_GE(strips, 10);
+  EXPECT_EQ(run(strips), 0);  // normal leave, no migration
+}
+
+}  // namespace
+}  // namespace anow::ompx

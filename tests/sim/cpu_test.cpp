@@ -1,0 +1,184 @@
+// Tests for the per-host CPU scheduler: timesharing, freeze, determinism.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace anow::sim {
+namespace {
+
+TEST(Cpu, SingleJobTakesItsDuration) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time done = -1;
+  sim.spawn("w", [&] {
+    cpu.consume(2.0);
+    done = sim.now();
+  });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done), 2.0, 1e-6);
+}
+
+TEST(Cpu, SpeedFactorScalesDuration) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2.0);  // twice as fast as the reference machine
+  Time done = -1;
+  sim.spawn("w", [&] {
+    cpu.consume(2.0);
+    done = sim.now();
+  });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done), 1.0, 1e-6);
+}
+
+TEST(Cpu, TwoJobsTimeshare) {
+  // Two equal jobs started together on one host: each takes 2x as long
+  // (this is the multiplexing model for urgent leaves).
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time d1 = -1, d2 = -1;
+  sim.spawn("a", [&] {
+    cpu.consume(1.0);
+    d1 = sim.now();
+  });
+  sim.spawn("b", [&] {
+    cpu.consume(1.0);
+    d2 = sim.now();
+  });
+  sim.run();
+  EXPECT_NEAR(to_seconds(d1), 2.0, 1e-6);
+  EXPECT_NEAR(to_seconds(d2), 2.0, 1e-6);
+}
+
+TEST(Cpu, UnequalJobsFinishCorrectly) {
+  // Jobs of 1s and 3s: share until the short one finishes at t=2, then the
+  // long one runs alone: 2 + (3-1) = 4s? No: after 2s shared, long job has
+  // consumed 1s of its 3s, and finishes 2s later at t=4.
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time d_short = -1, d_long = -1;
+  sim.spawn("short", [&] {
+    cpu.consume(1.0);
+    d_short = sim.now();
+  });
+  sim.spawn("long", [&] {
+    cpu.consume(3.0);
+    d_long = sim.now();
+  });
+  sim.run();
+  EXPECT_NEAR(to_seconds(d_short), 2.0, 1e-6);
+  EXPECT_NEAR(to_seconds(d_long), 4.0, 1e-6);
+}
+
+TEST(Cpu, LateArrivalSlowsExistingJob) {
+  // Job A (2s) runs alone for 1s, then B (0.5s) arrives: A+B share.
+  // B finishes after 1s of sharing (t=2); A then has 0.5s left, done t=2.5.
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time da = -1, db = -1;
+  sim.spawn("A", [&] {
+    cpu.consume(2.0);
+    da = sim.now();
+  });
+  sim.spawn("B", [&] {
+    sim.sleep_for(kSec);
+    cpu.consume(0.5);
+    db = sim.now();
+  });
+  sim.run();
+  EXPECT_NEAR(to_seconds(db), 2.0, 1e-6);
+  EXPECT_NEAR(to_seconds(da), 2.5, 1e-6);
+}
+
+TEST(Cpu, FreezeStopsProgress) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time done = -1;
+  sim.spawn("w", [&] {
+    cpu.consume(1.0);
+    done = sim.now();
+  });
+  // Freeze during [0.5s, 1.5s): the job finishes at 2.0s instead of 1.0s.
+  sim.at(from_seconds(0.5), [&] { cpu.freeze(); });
+  sim.at(from_seconds(1.5), [&] { cpu.unfreeze(); });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done), 2.0, 1e-6);
+}
+
+TEST(Cpu, NestedFreezeRequiresMatchingUnfreeze) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time done = -1;
+  sim.spawn("w", [&] {
+    cpu.consume(1.0);
+    done = sim.now();
+  });
+  sim.at(from_seconds(0.25), [&] { cpu.freeze(); });
+  sim.at(from_seconds(0.25), [&] { cpu.freeze(); });
+  sim.at(from_seconds(0.5), [&] { cpu.unfreeze(); });  // still frozen
+  sim.at(from_seconds(1.0), [&] { cpu.unfreeze(); });  // now running again
+  sim.run();
+  EXPECT_NEAR(to_seconds(done), 1.75, 1e-6);
+}
+
+TEST(Cpu, UnfreezeWithoutFreezeThrows) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  EXPECT_THROW(cpu.unfreeze(), util::CheckError);
+}
+
+TEST(Cpu, ZeroWorkIsFree) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time done = -1;
+  sim.spawn("w", [&] {
+    cpu.consume(0.0);
+    done = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(Cpu, BusySecondsAccounted) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  sim.spawn("a", [&] { cpu.consume(1.5); });
+  sim.spawn("b", [&] { cpu.consume(0.5); });
+  sim.run();
+  EXPECT_NEAR(cpu.busy_seconds(), 2.0, 1e-6);
+}
+
+TEST(Cpu, SequentialConsumesAccumulate) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0);
+  Time done = -1;
+  sim.spawn("w", [&] {
+    for (int i = 0; i < 10; ++i) cpu.consume(0.1);
+    done = sim.now();
+  });
+  sim.run();
+  EXPECT_NEAR(to_seconds(done), 1.0, 1e-4);
+}
+
+TEST(Cpu, ClusterFreezeAllFreezesEveryHost) {
+  Cluster c({}, 2);
+  Time d0 = -1, d1 = -1;
+  c.sim().spawn("h0", [&] {
+    c.host(0).cpu().consume(1.0);
+    d0 = c.sim().now();
+  });
+  c.sim().spawn("h1", [&] {
+    c.host(1).cpu().consume(1.0);
+    d1 = c.sim().now();
+  });
+  c.sim().at(from_seconds(0.5), [&] { c.freeze_all(); });
+  c.sim().at(from_seconds(1.0), [&] { c.unfreeze_all(); });
+  c.sim().run();
+  EXPECT_NEAR(to_seconds(d0), 1.5, 1e-6);
+  EXPECT_NEAR(to_seconds(d1), 1.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace anow::sim

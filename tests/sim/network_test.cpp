@@ -1,0 +1,162 @@
+// Tests for the switched-Ethernet model, including calibration against the
+// paper's measured primitive costs (§5.1).
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace anow::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  CostModel cost_;
+  Simulator sim_;
+  util::StatsRegistry stats_;
+  Network net_{sim_, cost_, stats_, 4};
+};
+
+TEST_F(NetworkTest, OneByteOneWayLatency) {
+  Time arrival = -1;
+  net_.send(0, 1, 1, [] {});
+  arrival = net_.send(0, 1, 1, [] {});
+  // One-way = send + serialization(65B) + wire + recv; the paper's 1-byte
+  // roundtrip is 126 us, i.e. ~63 us one way.
+  Time one_way = cost_.send_overhead + cost_.transfer_time(1) +
+                 cost_.wire_latency + cost_.recv_overhead;
+  EXPECT_NEAR(static_cast<double>(one_way), 63.0 * kUsec, 3.0 * kUsec);
+  (void)arrival;
+}
+
+TEST_F(NetworkTest, RoundTripMatchesPaper126us) {
+  // Ping-pong of 1-byte messages between two idle hosts.
+  Time done = -1;
+  net_.send(0, 1, 1, [&] {
+    net_.send(1, 0, 1, [&] { done = sim_.now(); });
+  });
+  sim_.run();
+  EXPECT_NEAR(static_cast<double>(done), 126.0 * kUsec, 6.0 * kUsec);
+}
+
+TEST_F(NetworkTest, DeliveryCallbackFiresAtArrivalTime) {
+  Time expected = net_.send(2, 3, 100, [] {});
+  Time fired = -1;
+  // Second message queues behind the first on both links.
+  net_.send(2, 3, 100, [&] { fired = sim_.now(); });
+  sim_.run();
+  EXPECT_GT(fired, expected);
+}
+
+TEST_F(NetworkTest, UplinkSerializationQueues) {
+  // Two large back-to-back messages from the same host to different
+  // destinations share the uplink: the second arrives roughly one
+  // serialization later.
+  Time t1 = net_.send(0, 1, 1 << 20, [] {});
+  Time t2 = net_.send(0, 2, 1 << 20, [] {});
+  Time ser = cost_.transfer_time(1 << 20);
+  EXPECT_NEAR(static_cast<double>(t2 - t1), static_cast<double>(ser),
+              static_cast<double>(kUsec));
+}
+
+TEST_F(NetworkTest, IndependentLinksDoNotInterfere) {
+  // 0->1 and 2->3 use disjoint links: both arrive at the uncontended time.
+  Time a = net_.send(0, 1, 1 << 20, [] {});
+  Time b = net_.send(2, 3, 1 << 20, [] {});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(NetworkTest, DownlinkContentionQueues) {
+  // 0->2 and 1->2 collide on host 2's downlink.
+  Time a = net_.send(0, 2, 1 << 20, [] {});
+  Time b = net_.send(1, 2, 1 << 20, [] {});
+  Time ser = cost_.transfer_time(1 << 20);
+  EXPECT_GE(b - a, ser - 2 * kUsec);
+}
+
+TEST_F(NetworkTest, SameHostBypassesLinks) {
+  Time arrival = net_.send(1, 1, 1 << 20, [] {});
+  EXPECT_EQ(arrival, sim_.now() + cost_.local_delivery);
+  EXPECT_EQ(net_.link(1).up_bytes, 0);
+  EXPECT_EQ(net_.link(1).down_bytes, 0);
+}
+
+TEST_F(NetworkTest, PerLinkAccounting) {
+  net_.send(0, 1, 1000, [] {});
+  net_.send(0, 2, 500, [] {});
+  net_.send(3, 0, 200, [] {});
+  EXPECT_EQ(net_.link(0).up_bytes, 1000 + 500 + 2 * cost_.header_bytes);
+  EXPECT_EQ(net_.link(0).up_msgs, 2);
+  EXPECT_EQ(net_.link(0).down_bytes, 200 + cost_.header_bytes);
+  EXPECT_EQ(net_.link(1).down_bytes, 1000 + cost_.header_bytes);
+  EXPECT_EQ(net_.link(2).down_bytes, 500 + cost_.header_bytes);
+}
+
+TEST_F(NetworkTest, GlobalStatsCountMessagesAndBytes) {
+  net_.send(0, 1, 100, [] {});
+  net_.send(1, 1, 50, [] {});  // local counts too
+  EXPECT_EQ(stats_.counter_value("net.messages"), 2);
+  EXPECT_EQ(stats_.counter_value("net.bytes"),
+            150 + 2 * cost_.header_bytes);
+}
+
+TEST_F(NetworkTest, MaxLinkTrafficDelta) {
+  auto before = net_.link_snapshot();
+  net_.send(0, 1, 10000, [] {});
+  net_.send(0, 1, 10000, [] {});
+  net_.send(2, 3, 500, [] {});
+  auto after = net_.link_snapshot();
+  EXPECT_EQ(Network::max_link_traffic(before, after),
+            2 * (10000 + cost_.header_bytes));
+}
+
+TEST_F(NetworkTest, EnsureHostsGrows) {
+  net_.ensure_hosts(10);
+  EXPECT_EQ(net_.num_hosts(), 10);
+  // Growing never shrinks.
+  net_.ensure_hosts(2);
+  EXPECT_EQ(net_.num_hosts(), 10);
+}
+
+TEST(Cluster, AddHostGrowsNetwork) {
+  Cluster c({}, 2);
+  EXPECT_EQ(c.num_hosts(), 2);
+  HostId h = c.add_host();
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(c.net().num_hosts(), 3);
+}
+
+TEST(Cluster, SpawnCostInPaperRange) {
+  Cluster c({}, 1);
+  for (int i = 0; i < 100; ++i) {
+    Time t = c.draw_spawn_cost();
+    EXPECT_GE(t, c.cost().spawn_min);
+    EXPECT_LE(t, c.cost().spawn_max);
+  }
+}
+
+TEST(Cluster, SpawnCostDeterministicPerSeed) {
+  Cluster a({}, 1, 42), b({}, 1, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.draw_spawn_cost(), b.draw_spawn_cost());
+  }
+}
+
+TEST(CostModel, MigrationRateMatchesPaper) {
+  CostModel cm;
+  // 47.8 MB Jacobi image at 8.1 MB/s ≈ 5.9 s of pure transfer; the paper's
+  // 6.7 s includes spawn. Check the rate itself.
+  Time t = cm.migration_time(47'800'000);
+  EXPECT_NEAR(to_seconds(t), 47.8 / (8.1 * 1.024 * 1.024), 0.2);
+}
+
+TEST(CostModel, TransferTimeIncludesHeader) {
+  CostModel cm;
+  EXPECT_GT(cm.transfer_time(0), 0);
+  EXPECT_NEAR(static_cast<double>(cm.transfer_time(4096)),
+              (4096.0 + cm.header_bytes) / (12.5 * 1024 * 1024) * 1e9,
+              1000.0);
+}
+
+}  // namespace
+}  // namespace anow::sim

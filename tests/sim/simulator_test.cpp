@@ -1,0 +1,218 @@
+// Unit tests for the discrete-event simulator and fiber scheduling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace anow::sim {
+namespace {
+
+TEST(Time, FromSecondsRoundTrips) {
+  EXPECT_EQ(from_seconds(1.0), kSec);
+  EXPECT_EQ(from_seconds(0.000126), 126 * kUsec);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(3.25)), 3.25);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(format_time(126 * kUsec), "126.0us");
+  EXPECT_EQ(format_time(1308 * kUsec), "1.308ms");
+  EXPECT_EQ(format_time(3 * kSec), "3.000s");
+  EXPECT_EQ(format_time(42), "42ns");
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(5, [&] { order.push_back(1); });
+  sim.at(5, [&] { order.push_back(2); });
+  sim.at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(5, [] {}), util::CheckError);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, FiberRunsAndFinishes) {
+  Simulator sim;
+  bool ran = false;
+  sim.spawn("f", [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(sim.all_fibers_done());
+}
+
+TEST(Simulator, SleepAdvancesVirtualTime) {
+  Simulator sim;
+  Time woke_at = -1;
+  sim.spawn("sleeper", [&] {
+    sim.sleep_for(5 * kSec);
+    woke_at = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, 5 * kSec);
+}
+
+TEST(Simulator, WaitThenSignal) {
+  Simulator sim;
+  WaitPoint wp;
+  Time resumed_at = -1;
+  sim.spawn("waiter", [&] {
+    sim.wait(wp, "test");
+    resumed_at = sim.now();
+  });
+  sim.at(3 * kSec, [&] { sim.signal(wp); });
+  sim.run();
+  EXPECT_EQ(resumed_at, 3 * kSec);
+}
+
+TEST(Simulator, SignalBeforeWaitReturnsImmediately) {
+  Simulator sim;
+  WaitPoint wp;
+  sim.signal(wp);
+  bool passed = false;
+  sim.spawn("waiter", [&] {
+    sim.wait(wp);
+    passed = true;
+  });
+  sim.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(Simulator, DoubleSignalThrows) {
+  Simulator sim;
+  WaitPoint wp;
+  sim.signal(wp);
+  EXPECT_THROW(sim.signal(wp), util::CheckError);
+}
+
+TEST(Simulator, FiberExceptionPropagatesFromRun) {
+  Simulator sim;
+  sim.spawn("bad", [] { ANOW_CHECK_MSG(false, "boom"); });
+  EXPECT_THROW(sim.run(), util::CheckError);
+}
+
+TEST(Simulator, TwoFibersInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<std::string> log;
+  WaitPoint a_to_b, b_to_a;
+  sim.spawn("A", [&] {
+    log.push_back("A1");
+    sim.signal(a_to_b);
+    sim.wait(b_to_a);
+    log.push_back("A2");
+  });
+  sim.spawn("B", [&] {
+    sim.wait(a_to_b);
+    log.push_back("B1");
+    sim.signal(b_to_a);
+  });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"A1", "B1", "A2"}));
+}
+
+TEST(Simulator, ParkedFiberReportNamesBlockedFiber) {
+  Simulator sim;
+  WaitPoint never;
+  sim.spawn("stuck", [&] { sim.wait(never, "page 42"); });
+  sim.run();
+  EXPECT_FALSE(sim.all_fibers_done());
+  auto report = sim.parked_fiber_report();
+  EXPECT_NE(report.find("stuck"), std::string::npos);
+  EXPECT_NE(report.find("page 42"), std::string::npos);
+}
+
+TEST(Simulator, DestructorUnwindsParkedFibers) {
+  bool destroyed = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  {
+    Simulator sim;
+    WaitPoint never;
+    sim.spawn("stuck", [&] {
+      Sentinel s{&destroyed};
+      sim.wait(never, "forever");
+    });
+    sim.run();
+    EXPECT_FALSE(destroyed);
+  }
+  EXPECT_TRUE(destroyed);  // RAII ran during fiber kill
+}
+
+TEST(Simulator, ReapDoneFibers) {
+  Simulator sim;
+  sim.spawn("f1", [] {});
+  sim.spawn("f2", [] {});
+  sim.run();
+  EXPECT_EQ(sim.live_fiber_count(), 0u);
+  sim.reap_done_fibers();
+  EXPECT_TRUE(sim.all_fibers_done());
+}
+
+TEST(Simulator, ManySleepersWakeInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.spawn("s" + std::to_string(i), [&, i] {
+      sim.sleep_for((10 - i) * kMsec);
+      order.push_back(i);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(Simulator, EventsExecutedCounter) {
+  Simulator sim;
+  sim.at(1, [] {});
+  sim.at(2, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, NestedSchedulingFromEvents) {
+  Simulator sim;
+  std::vector<Time> times;
+  sim.at(10, [&] {
+    times.push_back(sim.now());
+    sim.after(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Time>{10, 15}));
+}
+
+}  // namespace
+}  // namespace anow::sim

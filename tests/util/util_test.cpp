@@ -1,0 +1,224 @@
+// Unit tests for the utility layer: checks, rng, stats, table, options.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace anow::util {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) { ANOW_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(ANOW_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    ANOW_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(1);
+  EXPECT_THROW(r.next_exponential(0.0), CheckError);
+}
+
+TEST(Stats, CounterStartsAtZeroAndAccumulates) {
+  StatsRegistry s;
+  EXPECT_EQ(s.counter_value("x"), 0);
+  s.counter("x") += 5;
+  s.counter("x") += 2;
+  EXPECT_EQ(s.counter_value("x"), 7);
+}
+
+TEST(Stats, AccumAccumulates) {
+  StatsRegistry s;
+  s.accum("t") += 1.5;
+  s.accum("t") += 2.5;
+  EXPECT_DOUBLE_EQ(s.accum_value("t"), 4.0);
+}
+
+TEST(Stats, SnapshotDelta) {
+  StatsRegistry s;
+  s.counter("a") = 10;
+  auto before = s.snapshot();
+  s.counter("a") += 7;
+  s.counter("b") = 3;
+  auto delta = s.snapshot().delta_since(before);
+  EXPECT_EQ(delta.counter("a"), 7);
+  EXPECT_EQ(delta.counter("b"), 3);
+  EXPECT_EQ(delta.counter("missing"), 0);
+}
+
+TEST(Stats, ClearResets) {
+  StatsRegistry s;
+  s.counter("a") = 1;
+  s.clear();
+  EXPECT_EQ(s.counter_value("a"), 0);
+}
+
+TEST(Summary, MeanMinMaxStddev) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), CheckError);
+}
+
+TEST(Table, FormatsHeadersAndRows) {
+  Table t({"App", "Time"});
+  t.row().add("Jacobi").add(215.06, 2);
+  t.row().add("Gauss").add(243.46, 2);
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("App"), std::string::npos);
+  EXPECT_NE(out.find("215.06"), std::string::npos);
+  EXPECT_NE(out.find("Gauss"), std::string::npos);
+}
+
+TEST(Table, ThousandsSeparators) {
+  EXPECT_EQ(format_thousands(0), "0");
+  EXPECT_EQ(format_thousands(999), "999");
+  EXPECT_EQ(format_thousands(1000), "1,000");
+  EXPECT_EQ(format_thousands(236453), "236,453");
+  EXPECT_EQ(format_thousands(-1234567), "-1,234,567");
+}
+
+TEST(Table, FormatMb) {
+  EXPECT_EQ(format_mb(1024 * 1024), "1.00");
+  EXPECT_EQ(format_mb(336148234, 2), "320.58");
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), CheckError);
+}
+
+TEST(Options, ParsesKeyEqualsValue) {
+  const char* argv[] = {"prog", "--nodes=8", "--app=jacobi"};
+  Options o(3, argv);
+  EXPECT_EQ(o.get_int("nodes", 0), 8);
+  EXPECT_EQ(o.get_string("app", ""), "jacobi");
+}
+
+TEST(Options, ParsesSeparateValue) {
+  const char* argv[] = {"prog", "--nodes", "4"};
+  Options o(3, argv);
+  EXPECT_EQ(o.get_int("nodes", 0), 4);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--full"};
+  Options o(2, argv);
+  EXPECT_TRUE(o.get_bool("full", false));
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options o(1, argv);
+  EXPECT_EQ(o.get_int("nodes", 6), 6);
+  EXPECT_DOUBLE_EQ(o.get_double("grace", 3.0), 3.0);
+  EXPECT_FALSE(o.get_bool("full", false));
+}
+
+TEST(Options, RejectsNonOption) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Options(2, argv), CheckError);
+}
+
+TEST(Options, RejectsBadInteger) {
+  const char* argv[] = {"prog", "--nodes=abc"};
+  Options o(2, argv);
+  EXPECT_THROW(o.get_int("nodes", 0), CheckError);
+}
+
+TEST(Options, AllowOnlyCatchesTypos) {
+  const char* argv[] = {"prog", "--nodse=8"};
+  Options o(2, argv);
+  EXPECT_THROW(o.allow_only({"nodes"}), CheckError);
+}
+
+TEST(Options, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1", "--d=false"};
+  Options o(5, argv);
+  EXPECT_TRUE(o.get_bool("a", false));
+  EXPECT_FALSE(o.get_bool("b", true));
+  EXPECT_TRUE(o.get_bool("c", false));
+  EXPECT_FALSE(o.get_bool("d", true));
+}
+
+}  // namespace
+}  // namespace anow::util
