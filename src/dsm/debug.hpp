@@ -1,0 +1,18 @@
+// Debug aids shared by the DSM runtime and the protocol engines.
+#pragma once
+
+#include <cstdlib>
+
+namespace anow::dsm {
+
+/// Page selected for protocol-event tracing via ANOW_TRACE_PAGE=<id>
+/// (-1 = tracing off).  One cached parse shared by every tracer.
+inline int traced_page() {
+  static const int page = [] {
+    const char* env = std::getenv("ANOW_TRACE_PAGE");
+    return env ? std::atoi(env) : -1;
+  }();
+  return page;
+}
+
+}  // namespace anow::dsm

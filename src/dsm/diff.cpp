@@ -19,6 +19,18 @@ std::uint16_t get_u16(const DiffBytes& in, std::size_t pos) {
                                      << 8));
 }
 
+/// Word comparison via two u32 loads (memcpy compiles to plain loads and
+/// avoids the per-word memcmp call that dominated the scan).
+bool word_equal(const std::uint8_t* a, const std::uint8_t* b) {
+  static_assert(kWordSize == 8, "word_equal reads exactly one 8-byte word");
+  std::uint32_t a0, a1, b0, b1;
+  std::memcpy(&a0, a, 4);
+  std::memcpy(&a1, a + 4, 4);
+  std::memcpy(&b0, b, 4);
+  std::memcpy(&b1, b + 4, 4);
+  return a0 == b0 && a1 == b1;
+}
+
 }  // namespace
 
 DiffBytes make_diff(const std::uint8_t* twin, const std::uint8_t* new_page) {
@@ -27,15 +39,18 @@ DiffBytes make_diff(const std::uint8_t* twin, const std::uint8_t* new_page) {
   while (w < kWordsPerPage) {
     // Find the next modified word.
     while (w < kWordsPerPage &&
-           std::memcmp(twin + w * kWordSize, new_page + w * kWordSize,
-                       kWordSize) == 0) {
+           word_equal(twin + w * kWordSize, new_page + w * kWordSize)) {
       ++w;
     }
     if (w == kWordsPerPage) break;
+    if (out.capacity() == 0) {
+      // Worst case (everything after this word changed) in one allocation;
+      // trimmed below.
+      out.reserve(4 + kPageSize - w * kWordSize);
+    }
     const std::size_t run_start = w;
     while (w < kWordsPerPage &&
-           std::memcmp(twin + w * kWordSize, new_page + w * kWordSize,
-                       kWordSize) != 0) {
+           !word_equal(twin + w * kWordSize, new_page + w * kWordSize)) {
       ++w;
     }
     const std::size_t run_len = w - run_start;
@@ -46,6 +61,8 @@ DiffBytes make_diff(const std::uint8_t* twin, const std::uint8_t* new_page) {
     out.insert(out.end(), new_page + byte_start,
                new_page + byte_start + byte_len);
   }
+  // Diffs are archived until the next GC; don't pin worst-case capacity.
+  out.shrink_to_fit();
   return out;
 }
 

@@ -17,13 +17,20 @@ struct WireSize {
            static_cast<std::int64_t>(m.applied.size()) * 8;
   }
   std::int64_t operator()(const DiffRequest& m) const {
-    return 16 + static_cast<std::int64_t>(m.iseqs.size()) * 4;
+    std::int64_t total = 16;
+    for (const auto& pg : m.pages) {
+      total += 8 + static_cast<std::int64_t>(pg.iseqs.size()) * 4;
+    }
+    return total;
   }
   std::int64_t operator()(const DiffReply& m) const {
     std::int64_t total = 16;
-    for (const auto& [iseq, bytes] : m.diffs) {
-      (void)iseq;
-      total += 8 + static_cast<std::int64_t>(bytes.size());
+    for (const auto& pg : m.pages) {
+      total += 8;
+      for (const auto& [iseq, bytes] : pg.diffs) {
+        (void)iseq;
+        total += 8 + static_cast<std::int64_t>(bytes.size());
+      }
     }
     return total;
   }

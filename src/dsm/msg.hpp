@@ -6,20 +6,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <variant>
 #include <vector>
 
 #include "dsm/diff.hpp"
 #include "dsm/interval.hpp"
+#include "dsm/protocol/applied_map.hpp"
 #include "dsm/types.hpp"
 
 namespace anow::dsm {
-
-/// Which consistency metadata a page copy reflects: creator uid -> highest
-/// interval iseq applied.  Sent along with full-page copies so the receiver
-/// knows which pending notices the copy already covers.
-using AppliedMap = std::map<Uid, std::int32_t>;
 
 struct PageRequest {
   Uid requester = kNoUid;
@@ -35,18 +30,31 @@ struct PageReply {
   std::uint64_t cookie = 0;
 };
 
-struct DiffRequest {
-  Uid requester = kNoUid;
+/// Intervals of one page wanted from the serving creator.
+struct DiffPageRequest {
   PageId page = -1;
   std::vector<std::int32_t> iseqs;  // intervals of the server to fetch
+};
+
+/// Batched diff fetch: all wanted diffs of one creator, possibly spanning
+/// several pages.  The per-page fault path sends one entry; the per-barrier
+/// GC validation path coalesces every owned page it must validate into a
+/// single request per creator (one message round instead of one per page).
+struct DiffRequest {
+  Uid requester = kNoUid;
+  std::vector<DiffPageRequest> pages;
   std::uint64_t cookie = 0;
 };
 
-struct DiffReply {
+struct DiffPageReply {
   PageId page = -1;
-  Uid creator = kNoUid;
   // (iseq, encoded diff) pairs, in the order requested.
   std::vector<std::pair<std::int32_t, DiffBytes>> diffs;
+};
+
+struct DiffReply {
+  Uid creator = kNoUid;
+  std::vector<DiffPageReply> pages;
   std::uint64_t cookie = 0;
 };
 

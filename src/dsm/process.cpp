@@ -1,10 +1,10 @@
 #include "dsm/process.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include "dsm/debug.hpp"
 #include "dsm/system.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -13,31 +13,14 @@ namespace anow::dsm {
 
 namespace {
 
-// Debug aid: set ANOW_TRACE_PAGE=<id> to trace one page's protocol events.
-int trace_page() {
-  static int page = [] {
-    const char* env = std::getenv("ANOW_TRACE_PAGE");
-    return env ? std::atoi(env) : -1;
-  }();
-  return page;
-}
-
+// Process-side tracer (ANOW_TRACE_PAGE): stamps virtual time.
 #define ANOW_PTRACE(pg, what)                                             \
   do {                                                                    \
-    if ((pg) == trace_page()) {                                           \
+    if ((pg) == traced_page()) {                                          \
       std::cerr << "[ptrace t=" << sim::to_seconds(now()) << " uid" << uid_ \
                 << "] " << what << "\n";                                  \
     }                                                                     \
   } while (0)
-
-/// Application order for pending diffs: causal (lamport) first; concurrent
-/// intervals (same lamport) touch disjoint words, so any deterministic
-/// tiebreak is correct.
-bool notice_order(const PendingNotice& a, const PendingNotice& b) {
-  if (a.lamport != b.lamport) return a.lamport < b.lamport;
-  if (a.creator != b.creator) return a.creator < b.creator;
-  return a.iseq < b.iseq;
-}
 
 }  // namespace
 
@@ -45,17 +28,12 @@ DsmProcess::DsmProcess(DsmSystem& system, Uid uid, sim::HostId host)
     : system_(system), uid_(uid), host_(host) {
   const auto& cfg = system_.config();
   region_.assign(static_cast<std::size_t>(cfg.heap_bytes), 0);
-  pages_.resize(static_cast<std::size_t>(system_.num_pages()));
-  // The master starts with a valid, exclusive copy of every (zeroed) page;
-  // everyone else faults pages in on demand — the initial data
-  // distribution.  Exclusivity keeps the master's initialization phase free
-  // of twins and write notices.
-  if (is_master()) {
-    for (auto& ps : pages_) {
-      ps.have_copy = true;
-      ps.exclusive = true;
-    }
-  }
+  engine_ = protocol::make_engine(cfg);
+  // The master seeds with a valid, exclusive copy of every (zeroed) page;
+  // everyone else faults pages in on demand — the initial data distribution.
+  engine_->attach_node(uid_, region_.data(), system_.num_pages(),
+                       system_.protocol_table(), system_.stats(),
+                       /*seed_all_valid=*/is_master());
 }
 
 DsmProcess::~DsmProcess() = default;
@@ -70,21 +48,8 @@ std::int64_t DsmProcess::image_bytes() const {
   return system_.config().heap_bytes + system_.config().private_image_bytes;
 }
 
-std::int64_t DsmProcess::resident_pages() const {
-  std::int64_t n = 0;
-  for (const auto& ps : pages_) {
-    if (ps.have_copy) ++n;
-  }
-  return n;
-}
-
-std::int64_t DsmProcess::consistency_bytes() const {
-  return archive_bytes_ + twin_bytes_ +
-         pending_count_ * static_cast<std::int64_t>(sizeof(PendingNotice));
-}
-
 // ---------------------------------------------------------------------------
-// Shared-memory access
+// Shared-memory access (the range-touch fault front-end)
 // ---------------------------------------------------------------------------
 
 void DsmProcess::read_range(GAddr addr, std::size_t len) {
@@ -93,7 +58,7 @@ void DsmProcess::read_range(GAddr addr, std::size_t len) {
   ANOW_CHECK_MSG(last <= system_.num_pages(),
                  "read_range beyond shared heap: addr=" << addr);
   for (PageId p = first; p < last; ++p) {
-    if (!pages_[p].is_valid()) {
+    if (!engine_->page(p).is_valid()) {
       system_.stats().counter("dsm.faults.read")++;
       fault_in(p);
     }
@@ -106,20 +71,20 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
   ANOW_CHECK_MSG(last <= system_.num_pages(),
                  "write_range beyond shared heap: addr=" << addr);
   for (PageId p = first; p < last; ++p) {
-    PageState& ps = pages_[p];
-    if (!ps.is_valid()) {
+    if (!engine_->page(p).is_valid()) {
       system_.stats().counter("dsm.faults.read")++;
       fault_in(p);
     }
-    if (ps.dirty) continue;  // already writable this interval
+    if (engine_->page(p).dirty) continue;  // already writable this interval
 
     // Exclusive-mode shortcut: no other process holds a copy, so there is
     // nothing to invalidate — no twin, no write notice, and only one write
     // trap for as long as exclusivity lasts.
     bool trap_charged = false;
-    if (ps.exclusive) {
-      ANOW_PTRACE(p, "exclusive write declare, val=" << *cptr<std::int64_t>(page_base(p)));
-      if (!ps.exclusive_rw) {
+    if (engine_->page(p).exclusive) {
+      ANOW_PTRACE(p, "exclusive write declare, val="
+                         << *cptr<std::int64_t>(page_base(p)));
+      if (!engine_->page(p).exclusive_rw) {
         system_.stats().counter("dsm.faults.write")++;
         // compute() parks the fiber; a page-request handler may revoke
         // exclusivity (and even dirty the page) while we sleep, so the
@@ -127,13 +92,12 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
         compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
         trap_charged = true;
       }
-      if (ps.exclusive) {
-        ps.exclusive_rw = true;
-        ps.exclusive_epoch = epoch_;
+      if (engine_->note_exclusive_write(p)) {
         ++accessed_since_fork_;
         continue;
       }
-      if (ps.dirty) {  // the revoking serve already twinned the page
+      if (engine_->page(p).dirty) {
+        // The revoking serve already twinned the page.
         ++accessed_since_fork_;
         continue;
       }
@@ -144,241 +108,113 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
       system_.stats().counter("dsm.faults.write")++;
       compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
     }
-    if (system_.protocol_of(p) == Protocol::kMultiWriter) {
-      if (ps.twin != nullptr) {
-        // Rewriting a page whose previous interval was never diffed: the
-        // old diff must be captured before new writes land.
-        materialize_diff(p);
-        compute(sim::to_seconds(
-            system_.cluster().cost().diff_create_time(kPageSize)));
-      }
-      ps.twin = std::make_unique<std::uint8_t[]>(kPageSize);
-      std::memcpy(ps.twin.get(), region_.data() + page_base(p), kPageSize);
-      twin_bytes_ += static_cast<std::int64_t>(kPageSize);
+    if (engine_->flush_lazy_twin(p)) {
+      // Rewriting a page whose previous interval was never diffed: the old
+      // diff was captured before new writes land.
+      compute(sim::to_seconds(
+          system_.cluster().cost().diff_create_time(kPageSize)));
     }
-    ps.dirty = true;
-    dirty_pages_.push_back(p);
-    ANOW_PTRACE(p, "write declare (twin) val=" << *cptr<std::int64_t>(page_base(p)));
+    engine_->declare_write(p);
+    ANOW_PTRACE(p, "write declare (twin) val="
+                       << *cptr<std::int64_t>(page_base(p)));
     ++accessed_since_fork_;
   }
 }
 
-void DsmProcess::materialize_diff(PageId page) {
-  PageState& ps = pages_[page];
-  ANOW_CHECK(ps.twin != nullptr && !ps.dirty && ps.twin_iseq > 0);
-  DiffBytes diff = make_diff(ps.twin.get(), region_.data() + page_base(page));
-  // Creation cost is a handler-side scan; charged as elapsed time here
-  // because materialization happens in both fiber and handler contexts.
-  archive_bytes_ += static_cast<std::int64_t>(diff.size());
-  own_diffs_[page][ps.twin_iseq] = std::move(diff);
-  ps.twin.reset();
-  ps.twin_iseq = 0;
-  twin_bytes_ -= static_cast<std::int64_t>(kPageSize);
-  system_.stats().counter("dsm.diffs_created")++;
-}
+// ---------------------------------------------------------------------------
+// Fault machinery
+// ---------------------------------------------------------------------------
 
-Uid DsmProcess::pick_page_source(const PageState& ps) const {
-  if (!ps.pending.empty()) {
-    // Fetch from the most recent writer; its copy reflects everything it
-    // had applied before writing.
-    const PendingNotice* best = &ps.pending.front();
-    for (const auto& n : ps.pending) {
-      if (n.lamport > best->lamport ||
-          (n.lamport == best->lamport && n.creator > best->creator)) {
-        best = &n;
-      }
-    }
-    return best->creator;
-  }
-  return ps.owner_hint;
+void DsmProcess::fetch_page_copy(PageId page, bool must_cover_pending) {
+  const Uid src = engine_->pick_page_source(page);
+  ANOW_CHECK_MSG(src != uid_,
+                 "page " << page << " owner hint points at self but no copy");
+  const std::uint64_t cookie = new_cookie();
+  Message req;
+  req.src = uid_;
+  req.body = PageRequest{uid_, page, 0, cookie};
+  Message reply = rpc(src, std::move(req), cookie);
+  auto& pr = std::get<PageReply>(reply.body);
+  ANOW_CHECK(pr.page == page);
+  ANOW_CHECK(pr.data.size() == kPageSize);
+  std::memcpy(region_.data() + page_base(page), pr.data.data(), kPageSize);
+  ANOW_PTRACE(page, "fetched full copy from " << reply.src << " val="
+                        << *cptr<std::int64_t>(page_base(page)));
+  engine_->install_copy(page, pr.applied, must_cover_pending);
 }
 
 void DsmProcess::fault_in(PageId page) {
-  PageState& ps = pages_[page];
   ++accessed_since_fork_;
   // SIGSEGV dispatch + mprotect + bookkeeping on the faulting node.
   compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
 
-  if (!ps.have_copy) {
-    Uid src = pick_page_source(ps);
-    ANOW_CHECK_MSG(src != uid_, "page " << page
-                                        << " owner hint points at self but no copy");
+  if (!engine_->page(page).have_copy) {
+    fetch_page_copy(page, /*must_cover_pending=*/false);
+  }
+  if (!engine_->page(page).pending.empty()) {
+    apply_pending_diffs(page);
+    ANOW_PTRACE(page, "applied diffs, val="
+                          << *cptr<std::int64_t>(page_base(page)));
+  }
+  ANOW_CHECK(engine_->page(page).is_valid());
+}
+
+std::vector<DiffReply> DsmProcess::fetch_diffs(
+    const std::vector<protocol::DiffFetchPlan>& plans) {
+  flush_cpu();
+  std::vector<std::uint64_t> cookies;
+  cookies.reserve(plans.size());
+  for (const auto& plan : plans) {
     const std::uint64_t cookie = new_cookie();
+    register_reply(cookie);  // register before send
     Message req;
     req.src = uid_;
-    req.body = PageRequest{uid_, page, 0, cookie};
-    Message reply = rpc(src, std::move(req), cookie);
-    auto& pr = std::get<PageReply>(reply.body);
-    ANOW_CHECK(pr.page == page);
-    ANOW_CHECK(pr.data.size() == kPageSize);
-    std::memcpy(region_.data() + page_base(page), pr.data.data(), kPageSize);
-    ANOW_PTRACE(page, "fetched full copy from " << reply.src << " val=" << *cptr<std::int64_t>(page_base(page)));
-    ps.have_copy = true;
-    ps.applied = pr.applied;
-    // Drop pending notices the copy already covers.
-    auto covered = [&](const PendingNotice& n) {
-      auto it = ps.applied.find(n.creator);
-      bool is_covered = it != ps.applied.end() && it->second >= n.iseq;
-      if (is_covered) --pending_count_;
-      return is_covered;
-    };
-    ps.pending.erase(
-        std::remove_if(ps.pending.begin(), ps.pending.end(), covered),
-        ps.pending.end());
+    req.body = DiffRequest{uid_, plan.pages, cookie};
+    system_.send(uid_, plan.creator, std::move(req));
+    cookies.push_back(cookie);
   }
-
-  if (!ps.pending.empty()) {
-    apply_pending_diffs(page);
-    ANOW_PTRACE(page, "applied diffs, val=" << *cptr<std::int64_t>(page_base(page)));
+  // Collect replies (any arrival order; wait consumes ready flags).
+  std::vector<DiffReply> replies;
+  replies.reserve(cookies.size());
+  for (const std::uint64_t cookie : cookies) {
+    PendingReply* pr = find_reply(cookie);
+    if (!pr->ready) {
+      system_.cluster().sim().wait(pr->wp, "diff reply");
+    }
+    replies.push_back(std::move(std::get<DiffReply>(pr->msg.body)));
+    erase_reply(cookie);
   }
-  ANOW_CHECK(ps.is_valid());
+  return replies;
 }
 
 void DsmProcess::apply_pending_diffs(PageId page) {
-  PageState& ps = pages_[page];
-
   // Our own un-diffed interval must be captured before remote diffs are
   // merged into the local copy (they would otherwise leak into our diff).
-  if (ps.twin != nullptr && !ps.dirty) {
-    materialize_diff(page);
+  if (engine_->flush_lazy_twin(page)) {
     compute(sim::to_seconds(
         system_.cluster().cost().diff_create_time(kPageSize)));
   }
 
   // Single-writer pages: one full-page fetch from the last writer replaces
   // the local copy and covers every earlier notice.
-  if (system_.protocol_of(page) == Protocol::kSingleWriter) {
-    const Uid src = pick_page_source(ps);
-    const std::uint64_t cookie = new_cookie();
-    Message req;
-    req.src = uid_;
-    req.body = PageRequest{uid_, page, 0, cookie};
-    Message reply = rpc(src, std::move(req), cookie);
-    auto& pr = std::get<PageReply>(reply.body);
-    std::memcpy(region_.data() + page_base(page), pr.data.data(), kPageSize);
-    ps.applied = pr.applied;
-    for (const auto& n : ps.pending) {
-      auto it = ps.applied.find(n.creator);
-      ANOW_CHECK_MSG(it != ps.applied.end() && it->second >= n.iseq,
-                     "single-writer copy from " << src
-                                                << " does not cover notice");
-      --pending_count_;
-    }
-    ps.pending.clear();
+  if (engine_->protocol_of(page) == Protocol::kSingleWriter) {
+    fetch_page_copy(page, /*must_cover_pending=*/true);
     return;
   }
 
-  // Multi-writer: fetch the diffs for all pending notices, grouped per
-  // creator, requested in parallel (TreadMarks overlaps these fetches).
-  std::map<Uid, std::vector<std::int32_t>> by_creator;
-  for (const auto& n : ps.pending) {
-    by_creator[n.creator].push_back(n.iseq);
-  }
-  struct Outstanding {
-    Uid creator;
-    std::uint64_t cookie;
-  };
-  std::vector<Outstanding> outstanding;
-  flush_cpu();
-  for (auto& [creator, iseqs] : by_creator) {
-    std::sort(iseqs.begin(), iseqs.end());
-    const std::uint64_t cookie = new_cookie();
-    pending_replies_[cookie];  // register before send
-    Message req;
-    req.src = uid_;
-    req.body = DiffRequest{uid_, page, iseqs, cookie};
-    system_.send(uid_, creator, std::move(req));
-    outstanding.push_back({creator, cookie});
-  }
-
-  // Collect replies (any arrival order; wait consumes ready flags).
-  std::map<Uid, DiffReply> replies;
-  for (const auto& o : outstanding) {
-    auto& pr = pending_replies_.at(o.cookie);
-    if (!pr.ready) {
-      system_.cluster().sim().wait(pr.wp, "diff reply");
-    }
-    replies[o.creator] = std::get<DiffReply>(pr.msg.body);
-    pending_replies_.erase(o.cookie);
-  }
-
-  // Apply in causal order.
-  std::vector<PendingNotice> order = ps.pending;
-  std::sort(order.begin(), order.end(), notice_order);
-  std::int64_t applied_bytes = 0;
-  for (const auto& n : order) {
-    auto& dr = replies.at(n.creator);
-    const DiffBytes* found = nullptr;
-    for (const auto& [iseq, bytes] : dr.diffs) {
-      if (iseq == n.iseq) {
-        found = &bytes;
-        break;
-      }
-    }
-    ANOW_CHECK_MSG(found != nullptr, "diff for interval missing in reply");
-    apply_diff(region_.data() + page_base(page), *found);
-    applied_bytes += static_cast<std::int64_t>(found->size());
-    auto& high = ps.applied[n.creator];
-    high = std::max(high, n.iseq);
-  }
+  // Multi-writer: fetch the diffs for all pending notices, one batched
+  // request per creator, issued in parallel.
+  const auto plans = engine_->plan_diff_fetches(&page, 1);
+  const auto replies = fetch_diffs(plans);
+  const std::int64_t applied_bytes =
+      engine_->apply_fetched_diffs(page, replies);
   compute(sim::to_seconds(
       system_.cluster().cost().diff_apply_time(applied_bytes)));
-  pending_count_ -= static_cast<std::int64_t>(ps.pending.size());
-  ps.pending.clear();
 }
 
-// ---------------------------------------------------------------------------
-// Interval management
-// ---------------------------------------------------------------------------
-
-Interval DsmProcess::finish_interval() {
-  Interval iv;
-  iv.creator = uid_;
-  if (dirty_pages_.empty()) {
-    iv.iseq = 0;  // empty interval: not logged, consumes no sequence number
-    ++epoch_;
-    return iv;
-  }
-  iv.iseq = next_iseq_++;
-  for (PageId p : dirty_pages_) {
-    PageState& ps = pages_[p];
-    ANOW_CHECK(ps.dirty);
-    ps.dirty = false;
-    if (system_.protocol_of(p) == Protocol::kMultiWriter) {
-      // Lazy diffing: keep the twin; the diff is materialized only if
-      // someone requests it or the page is written again.  The notice goes
-      // out regardless (a real system cannot know whether the writes
-      // changed anything).
-      ANOW_CHECK(ps.twin != nullptr);
-      ps.twin_iseq = iv.iseq;
-      iv.notices.push_back({p, Protocol::kMultiWriter});
-    } else {
-      iv.notices.push_back({p, Protocol::kSingleWriter});
-    }
-    ps.applied[uid_] = iv.iseq;
-  }
-  dirty_pages_.clear();
-  ++epoch_;
-  system_.stats().counter("dsm.intervals")++;
-  return iv;
-}
-
-void DsmProcess::integrate_intervals(const std::vector<Interval>& intervals) {
-  for (const auto& iv : intervals) {
-    ANOW_CHECK(iv.creator != uid_);
-    for (const auto& wn : iv.notices) {
-      PageState& ps = pages_[wn.page];
-      auto it = ps.applied.find(iv.creator);
-      if (it != ps.applied.end() && it->second >= iv.iseq) continue;
-      if (wn.protocol == Protocol::kSingleWriter) {
-        ANOW_CHECK_MSG(!ps.dirty,
-                       "single-writer page " << wn.page
-                                             << " written concurrently");
-      }
-      ps.pending.push_back({iv.creator, iv.iseq, iv.lamport, wn.protocol});
-      ANOW_PTRACE(wn.page, "notice from " << iv.creator << " iseq " << iv.iseq);
-      ++pending_count_;
-    }
+void DsmProcess::apply_owner_hints(const OwnerDelta& delta) {
+  for (const auto& [page, owner] : delta) {
+    engine_->page(page).owner_hint = owner;
   }
 }
 
@@ -389,7 +225,7 @@ void DsmProcess::integrate_intervals(const std::vector<Interval>& intervals) {
 void DsmProcess::barrier(std::int32_t barrier_id) {
   flush_cpu();
   system_.stats().counter("dsm.barrier_waits")++;
-  Interval iv = finish_interval();
+  Interval iv = engine_->finish_interval();
   Message arrive;
   arrive.src = uid_;
   arrive.body = BarrierArrive{uid_, barrier_id, std::move(iv),
@@ -399,8 +235,8 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
   while (true) {
     Message m = next_instruction("barrier");
     if (auto* gp = std::get_if<GcPrepare>(&m.body)) {
-      gc_prepare_serve_seq_ = serve_seq_;
-      integrate_intervals(gp->intervals);
+      engine_->note_gc_prepare();
+      engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
       Message ack;
       ack.src = uid_;
@@ -411,13 +247,11 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
     auto* rel = std::get_if<BarrierRelease>(&m.body);
     ANOW_CHECK_MSG(rel != nullptr, "unexpected instruction inside barrier");
     ANOW_CHECK(rel->barrier_id == barrier_id);
-    integrate_intervals(rel->intervals);
+    engine_->integrate(rel->intervals);
     if (rel->gc_commit) {
-      gc_commit(rel->owner_delta);
+      engine_->gc_commit_node(rel->owner_delta);
     } else {
-      for (const auto& [page, owner] : rel->owner_delta) {
-        pages_[page].owner_hint = owner;
-      }
+      apply_owner_hints(rel->owner_delta);
     }
     return;
   }
@@ -433,13 +267,13 @@ void DsmProcess::lock_acquire(std::int32_t lock_id) {
   system_.cluster().sim().wait(lock_wp_, "lock grant");
   ANOW_CHECK(lock_granted_);
   lock_granted_ = false;
-  integrate_intervals(lock_grant_intervals_);
+  engine_->integrate(lock_grant_intervals_);
   lock_grant_intervals_.clear();
 }
 
 void DsmProcess::lock_release(std::int32_t lock_id) {
   flush_cpu();
-  Interval iv = finish_interval();
+  Interval iv = engine_->finish_interval();
   Message rel;
   rel.src = uid_;
   rel.body = LockReleaseMsg{uid_, lock_id, std::move(iv)};
@@ -469,78 +303,50 @@ void DsmProcess::flush_cpu() {
 void DsmProcess::gc_validate(const OwnerDelta& owners) {
   // Local page-table scan.
   compute(sim::to_seconds(system_.cluster().cost().gc_per_page) *
-          static_cast<double>(pages_.size()));
-  // Effective post-GC owner = delta entry if present, else the current
-  // hint (a page owned continuously since the previous GC keeps hint ==
-  // self at its owner).  Both kinds must be made fully valid here: an owner
-  // can hold pending notices from a concurrent same-epoch writer even when
-  // its ownership does not change.
-  std::map<PageId, Uid> delta_map(owners.begin(), owners.end());
-  for (PageId p = 0; p < static_cast<PageId>(pages_.size()); ++p) {
-    PageState& ps = pages_[p];
-    auto it = delta_map.find(p);
-    const Uid owner = it != delta_map.end() ? it->second : ps.owner_hint;
-    if (owner != uid_) continue;
-    ANOW_CHECK_MSG(ps.have_copy,
-                   "GC made uid " << uid_ << " owner of page " << p
-                                  << " it never wrote");
-    if (!ps.pending.empty()) {
-      system_.stats().counter("dsm.gc_validation_faults")++;
-      fault_in(p);
-    }
-  }
-}
-
-void DsmProcess::gc_commit(const OwnerDelta& delta) {
-  for (const auto& [page, owner] : delta) {
-    pages_[page].owner_hint = owner;
-  }
-  for (PageId p = 0; p < static_cast<PageId>(pages_.size()); ++p) {
-    PageState& ps = pages_[p];
-    if (ps.dirty) {
-      // Only possible via a serve of an exclusive page while we are parked
-      // here (the conservative twin path); we must own such a page.
-      ANOW_CHECK_MSG(ps.owner_hint == uid_,
-                     "dirty non-owned page " << p << " at GC commit");
-      // Keep dirty + twin: the next release point announces the notice.
-      // The page is no longer exclusive (someone just got a copy).
-      ps.applied.clear();
-      continue;
-    }
-    if (ps.twin != nullptr) {
-      // Lazy twin whose diff was never requested; after the commit nobody
-      // can ever need it (all stale copies are dropped below).
-      ps.twin.reset();
-      ps.twin_iseq = 0;
-      twin_bytes_ -= static_cast<std::int64_t>(kPageSize);
-    }
-    if (ps.owner_hint == uid_) {
-      ANOW_CHECK_MSG(ps.have_copy && ps.pending.empty(),
-                     "owned page " << p << " not validated at GC commit");
-      // Every other copy is dropped below (on its holder), so the owner's
-      // copy is provably sole — unless it was served after the GC prepare,
-      // in which case the requester may already have committed and kept
-      // the copy: no exclusivity then.
-      if (ps.last_served <= gc_prepare_serve_seq_) {
-        ANOW_PTRACE(p, "gc: granted exclusivity");
-        ps.exclusive = true;
-        ps.exclusive_rw = false;
-        ps.exclusive_epoch = -1;
-      }
+          static_cast<double>(system_.num_pages()));
+  const std::vector<PageId> need = engine_->gc_pages_to_validate(owners);
+  // Batchable: multi-writer pages with a copy, whose pending notices are
+  // pure diff traffic — validated with one message round per creator
+  // instead of one per page.  The rest (no copy yet, or single-writer
+  // full-copy fetches) go through the normal fault path.
+  std::vector<PageId> batchable;
+  std::vector<PageId> rest;
+  for (PageId p : need) {
+    const auto& pm = engine_->page(p);
+    if (pm.have_copy &&
+        engine_->protocol_of(p) == Protocol::kMultiWriter) {
+      batchable.push_back(p);
     } else {
-      // Drop non-owned copies even when valid; this makes exclusivity
-      // sound and is why a join needs only the page->owner map (§4.1).
-      if (ps.have_copy) ANOW_PTRACE(p, "gc: dropped copy, owner now " << ps.owner_hint);
-      ps.have_copy = false;
-      ps.pending.clear();
-      ps.exclusive = false;
-      ps.exclusive_rw = false;
+      rest.push_back(p);
     }
-    ps.applied.clear();
   }
-  pending_count_ = 0;
-  own_diffs_.clear();
-  archive_bytes_ = 0;
+  if (!batchable.empty()) {
+    for (PageId p : batchable) {
+      system_.stats().counter("dsm.gc_validation_faults")++;
+      ++accessed_since_fork_;
+      compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
+      if (engine_->flush_lazy_twin(p)) {
+        compute(sim::to_seconds(
+            system_.cluster().cost().diff_create_time(kPageSize)));
+      }
+    }
+    const auto plans =
+        engine_->plan_diff_fetches(batchable.data(), batchable.size());
+    system_.stats().counter("dsm.gc_batched_fetch_rounds") +=
+        static_cast<std::int64_t>(plans.size());
+    const auto replies = fetch_diffs(plans);
+    std::int64_t applied_bytes = 0;
+    for (PageId p : batchable) {
+      applied_bytes += engine_->apply_fetched_diffs(p, replies);
+      ANOW_CHECK(engine_->page(p).is_valid());
+    }
+    compute(sim::to_seconds(
+        system_.cluster().cost().diff_apply_time(applied_bytes)));
+  }
+  for (PageId p : rest) {
+    system_.stats().counter("dsm.gc_validation_faults")++;
+    fault_in(p);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -579,9 +385,10 @@ void DsmProcess::handle(Message msg) {
           lock_granted_ = true;
           system_.cluster().sim().signal(lock_wp_);
         } else if constexpr (std::is_same_v<T, PageMapMsg>) {
-          ANOW_CHECK(body.owner_by_page.size() == pages_.size());
-          for (PageId p = 0; p < static_cast<PageId>(pages_.size()); ++p) {
-            pages_[p].owner_hint = body.owner_by_page[p];
+          ANOW_CHECK(static_cast<PageId>(body.owner_by_page.size()) ==
+                     engine_->num_pages());
+          for (PageId p = 0; p < engine_->num_pages(); ++p) {
+            engine_->page(p).owner_hint = body.owner_by_page[p];
           }
         } else {
           // Fork / Terminate / BarrierRelease / GcPrepare: woken in the
@@ -596,34 +403,10 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
   ANOW_CHECK_MSG(alive_, "page request reached terminated process "
                              << uid_ << " (stale owner hint for page "
                              << req.page << ")");
-  PageState& ps = pages_[req.page];
-  if (ps.exclusive && ps.have_copy) {
-    // Serving the page ends exclusivity.  If the page was write-declared in
-    // the *current* interval the owner may still be writing through raw
-    // pointers, so conservatively treat it as dirty from here: snapshot a
-    // twin now (multi-writer) and let the next release point announce a
-    // write notice — any words written after this serve then propagate as a
-    // diff.  Pages only written in finished intervals are served clean.
-    const bool maybe_mid_write =
-        ps.exclusive_rw && ps.exclusive_epoch == epoch_;
-    ps.exclusive = false;
-    ps.exclusive_rw = false;
-    if (!ps.dirty && maybe_mid_write) {
-      if (system_.protocol_of(req.page) == Protocol::kMultiWriter) {
-        ANOW_CHECK(ps.twin == nullptr);
-        ps.twin = std::make_unique<std::uint8_t[]>(kPageSize);
-        std::memcpy(ps.twin.get(), region_.data() + page_base(req.page),
-                    kPageSize);
-        twin_bytes_ += static_cast<std::int64_t>(kPageSize);
-      }
-      ps.dirty = true;
-      dirty_pages_.push_back(req.page);
-    }
-  }
-  if (!ps.have_copy) {
+  if (!engine_->prepare_serve(req.page)) {
     // Stale hint: forward along our best knowledge (Li/Hudak-style chain).
     ANOW_CHECK_MSG(req.forward_hops < 16, "page request forwarding loop");
-    Uid next = pick_page_source(ps);
+    const Uid next = engine_->pick_page_source(req.page);
     ANOW_CHECK(next != uid_);
     system_.stats().counter("dsm.page_forwards")++;
     Message fwd;
@@ -636,14 +419,14 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
   }
   ANOW_PTRACE(req.page, "serving page to " << req.requester << " val="
                             << *cptr<std::int64_t>(page_base(req.page)));
-  ps.last_served = ++serve_seq_;
+  engine_->record_serve(req.page);
   system_.stats().counter("dsm.page_fetches")++;
   PageReply reply;
   reply.page = req.page;
   reply.cookie = req.cookie;
   reply.data.assign(region_.begin() + page_base(req.page),
                     region_.begin() + page_base(req.page) + kPageSize);
-  reply.applied = ps.applied;
+  reply.applied = engine_->page(req.page).applied;
   Message m;
   m.src = uid_;
   m.body = std::move(reply);
@@ -657,29 +440,15 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
 }
 
 void DsmProcess::handle_diff_request(const DiffRequest& req, Uid /*src*/) {
-  sim::Time service = system_.cluster().cost().diff_service_fixed;
-  // Materialize the lazy twin's diff on demand (TreadMarks semantics).
-  PageState& ps = pages_[req.page];
-  if (ps.twin != nullptr && !ps.dirty) {
-    materialize_diff(req.page);
-    service += system_.cluster().cost().diff_create_time(kPageSize);
-  }
   DiffReply reply;
-  reply.page = req.page;
   reply.creator = uid_;
   reply.cookie = req.cookie;
-  auto page_it = own_diffs_.find(req.page);
-  ANOW_CHECK_MSG(page_it != own_diffs_.end(),
-                 "diff request for page " << req.page
-                                          << " with no archived diffs");
-  for (std::int32_t iseq : req.iseqs) {
-    auto it = page_it->second.find(iseq);
-    ANOW_CHECK_MSG(it != page_it->second.end(),
-                   "diff request for unknown interval " << iseq);
-    reply.diffs.emplace_back(iseq, it->second);
-  }
-  system_.stats().counter("dsm.diff_fetches") +=
-      static_cast<std::int64_t>(reply.diffs.size());
+  const int materialized = engine_->collect_diffs(req.pages, reply.pages);
+  // Batched requests pay the fixed service cost once; lazy-twin diffs
+  // materialized on demand (TreadMarks semantics) charge creation time.
+  const sim::Time service =
+      system_.cluster().cost().diff_service_fixed +
+      materialized * system_.cluster().cost().diff_create_time(kPageSize);
   Message m;
   m.src = uid_;
   m.body = std::move(reply);
@@ -690,23 +459,51 @@ void DsmProcess::handle_diff_request(const DiffRequest& req, Uid /*src*/) {
       });
 }
 
+// ---------------------------------------------------------------------------
+// Reply rendezvous
+// ---------------------------------------------------------------------------
+
+DsmProcess::PendingReply& DsmProcess::register_reply(std::uint64_t cookie) {
+  pending_replies_.push_back(std::make_unique<PendingReply>());
+  pending_replies_.back()->cookie = cookie;
+  return *pending_replies_.back();
+}
+
+DsmProcess::PendingReply* DsmProcess::find_reply(std::uint64_t cookie) {
+  for (auto& pr : pending_replies_) {
+    if (pr->cookie == cookie) return pr.get();
+  }
+  return nullptr;
+}
+
+void DsmProcess::erase_reply(std::uint64_t cookie) {
+  for (auto& pr : pending_replies_) {
+    if (pr->cookie == cookie) {
+      pr = std::move(pending_replies_.back());
+      pending_replies_.pop_back();
+      return;
+    }
+  }
+  ANOW_CHECK_MSG(false, "erase of unknown reply cookie");
+}
+
 void DsmProcess::deliver_reply(std::uint64_t cookie, Message msg) {
-  auto it = pending_replies_.find(cookie);
-  ANOW_CHECK_MSG(it != pending_replies_.end(), "reply with unknown cookie");
-  it->second.msg = std::move(msg);
-  it->second.ready = true;
-  system_.cluster().sim().signal(it->second.wp);
+  PendingReply* pr = find_reply(cookie);
+  ANOW_CHECK_MSG(pr != nullptr, "reply with unknown cookie");
+  pr->msg = std::move(msg);
+  pr->ready = true;
+  system_.cluster().sim().signal(pr->wp);
 }
 
 Message DsmProcess::rpc(Uid dst, Message msg, std::uint64_t cookie) {
   flush_cpu();
-  auto& pr = pending_replies_[cookie];
+  PendingReply& pr = register_reply(cookie);
   system_.send(uid_, dst, std::move(msg));
   if (!pr.ready) {
     system_.cluster().sim().wait(pr.wp, "rpc reply");
   }
   Message reply = std::move(pr.msg);
-  pending_replies_.erase(cookie);
+  erase_reply(cookie);
   return reply;
 }
 
@@ -743,15 +540,14 @@ void DsmProcess::apply_team(const std::vector<std::pair<Uid, Pid>>& team) {
 }
 
 void DsmProcess::run_task(const ForkMsg& fork) {
-  ++epoch_;  // new construct: past exclusive write declarations are settled
+  // New construct: past exclusive write declarations are settled.
+  engine_->begin_construct();
   apply_team(fork.team);
-  integrate_intervals(fork.intervals);
+  engine_->integrate(fork.intervals);
   if (fork.gc_commit) {
-    gc_commit(fork.owner_delta);
+    engine_->gc_commit_node(fork.owner_delta);
   } else {
-    for (const auto& [page, owner] : fork.owner_delta) {
-      pages_[page].owner_hint = owner;
-    }
+    apply_owner_hints(fork.owner_delta);
   }
   accessed_since_fork_ = 0;
   system_.run_task_body(fork.task_id, *this, fork.args);
@@ -777,8 +573,8 @@ void DsmProcess::slave_main() {
       continue;
     }
     if (auto* gp = std::get_if<GcPrepare>(&m.body)) {
-      gc_prepare_serve_seq_ = serve_seq_;
-      integrate_intervals(gp->intervals);
+      engine_->note_gc_prepare();
+      engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
       Message ack;
       ack.src = uid_;

@@ -1,26 +1,24 @@
 // A DSM process: one simulated TreadMarks process running on some host.
 //
-// The process owns a full local copy of the shared region plus the per-page
-// protocol state (validity, twin, pending write notices, applied-diff map,
-// diff archive for its own intervals).  Application code runs in the
-// process's fiber and interacts with shared memory through the range-touch
-// API (read_range/write_range), which drives the same page-fault state
-// machine mprotect would: invalid -> fetch (full page or diffs),
-// first-write -> twin + dirty.
+// The process owns a full local copy of the shared region plus its
+// consistency engine (dsm/protocol/), which holds all per-page protocol
+// state.  What remains here is fiber plumbing — the RPC rendezvous, the
+// instruction queue, CPU-cost coalescing — and the range-touch fault
+// front-end (read_range/write_range), which drives the same page-fault
+// state machine mprotect would by calling into the engine: invalid -> fetch
+// (full page or diffs), first-write -> twin + dirty.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dsm/config.hpp"
-#include "dsm/diff.hpp"
-#include "dsm/interval.hpp"
 #include "dsm/msg.hpp"
+#include "dsm/protocol/engine.hpp"
 #include "dsm/types.hpp"
 #include "sim/cluster.hpp"
 #include "sim/simulator.hpp"
@@ -49,6 +47,8 @@ class DsmProcess {
   bool alive() const { return alive_; }
   sim::HostId host() const { return host_; }
   DsmSystem& system() { return system_; }
+  protocol::ConsistencyEngine& engine() { return *engine_; }
+  const protocol::ConsistencyEngine& engine() const { return *engine_; }
 
   // --- shared memory (fiber context) ----------------------------------------
   /// Ensures [addr, addr+len) is readable, faulting pages in as needed.
@@ -90,51 +90,18 @@ class DsmProcess {
   std::int64_t image_bytes() const;
 
   /// Number of pages this process currently has a (possibly stale) copy of.
-  std::int64_t resident_pages() const;
+  std::int64_t resident_pages() const { return engine_->resident_pages(); }
   /// Pages accessed (faulted or written) since the last fork.
   std::int64_t accessed_pages_since_fork() const { return accessed_since_fork_; }
 
   /// Current consistency-metadata footprint (twins + own diff archive +
   /// pending notices) — drives the GC threshold.
-  std::int64_t consistency_bytes() const;
+  std::int64_t consistency_bytes() const {
+    return engine_->consistency_bytes();
+  }
 
  private:
   friend class DsmSystem;
-
-  struct PageState {
-    bool have_copy = false;  // local frame holds data (possibly stale)
-    bool dirty = false;      // written in the current interval
-    Uid owner_hint = kMasterUid;
-    /// dirty && twin: active twin of the current interval.
-    /// !dirty && twin: *lazy* twin — the interval ended but the diff has not
-    /// been materialized yet (TreadMarks creates diffs on demand; most are
-    /// never requested).  twin_iseq names the interval it belongs to.
-    std::unique_ptr<std::uint8_t[]> twin;
-    std::int32_t twin_iseq = 0;
-    /// Sole-copy (copyset == self) optimization, as in TreadMarks: writes to
-    /// an exclusive page need no twin and no write notice because nobody
-    /// holds a copy to invalidate.  Granted to owned pages at GC commit
-    /// (which drops every non-owner copy, making exclusivity provable) and
-    /// revoked the moment the page is served to another process.
-    bool exclusive = false;
-    /// The page is already write-enabled under exclusivity (the single trap
-    /// was charged).
-    bool exclusive_rw = false;
-    /// Interval epoch of the last exclusive write declaration; a serve only
-    /// needs the conservative twin when this equals the current epoch (the
-    /// owner may still be writing through raw pointers).
-    std::int64_t exclusive_epoch = -1;
-    /// serve_seq_ value when this page was last served to another process.
-    std::uint64_t last_served = 0;
-    AppliedMap applied;
-    std::vector<PendingNotice> pending;
-
-    bool is_valid() const { return have_copy && pending.empty(); }
-  };
-
-  /// Converts a lazy twin into an archived diff (on rewrite, on a diff
-  /// request, or before remote diffs are applied over the local copy).
-  void materialize_diff(PageId page);
 
   // --- message plumbing -------------------------------------------------------
   void handle(Message msg);
@@ -151,20 +118,20 @@ class DsmProcess {
 
   // --- fault machinery ---------------------------------------------------------
   void fault_in(PageId page);
-  /// Chooses where to fetch a full copy of the page from.
-  Uid pick_page_source(const PageState& ps) const;
+  /// Fetches a full page copy via RPC and installs it in the engine.
+  void fetch_page_copy(PageId page, bool must_cover_pending);
   void apply_pending_diffs(PageId page);
-  void integrate_intervals(const std::vector<Interval>& intervals);
-  /// Ends the current interval: creates diffs for dirty multi-writer pages,
-  /// archives them, and returns the interval record (empty notices if
-  /// nothing was written).
-  Interval finish_interval();
+  /// Issues every fetch plan in parallel and collects the replies
+  /// (TreadMarks overlaps these fetches).
+  std::vector<DiffReply> fetch_diffs(
+      const std::vector<protocol::DiffFetchPlan>& plans);
+  void apply_owner_hints(const OwnerDelta& delta);
 
   // --- GC ------------------------------------------------------------------------
-  /// Validates pages this process will own after GC (fetches pending diffs).
+  /// Validates pages this process will own after GC: multi-writer pages
+  /// with a copy are validated with one batched diff fetch per creator;
+  /// the rest go through the normal fault path.
   void gc_validate(const OwnerDelta& owners);
-  /// Drops consistency metadata and stale copies; applies owner delta.
-  void gc_commit(const OwnerDelta& delta);
 
   // --- slave main loop --------------------------------------------------------------
   void slave_main();
@@ -181,35 +148,24 @@ class DsmProcess {
   bool announce_join_ = false;  // joiner: run connection setup + JoinReady
 
   std::vector<std::uint8_t> region_;
-  std::vector<PageState> pages_;
+  std::unique_ptr<protocol::ConsistencyEngine> engine_;
 
-  // Own diff archive: page -> iseq -> encoded diff.
-  std::map<PageId, std::map<std::int32_t, DiffBytes>> own_diffs_;
-  std::int64_t archive_bytes_ = 0;
-  std::int64_t twin_bytes_ = 0;
-  std::int64_t pending_count_ = 0;
-
-  std::int32_t next_iseq_ = 1;
-  std::vector<PageId> dirty_pages_;
   std::int64_t accessed_since_fork_ = 0;
-  /// Bumped at every release point and construct start; see
-  /// PageState::exclusive_epoch.
-  std::int64_t epoch_ = 0;
   /// Coalesced small CPU charges awaiting flush_cpu().
   double deferred_cpu_ = 0.0;
-  /// Serve bookkeeping for sound exclusivity grants: a page served after
-  /// the GC prepare may belong to a requester that already committed (and
-  /// thus kept the copy), so the commit must not re-grant exclusivity.
-  std::uint64_t serve_seq_ = 1;
-  std::uint64_t gc_prepare_serve_seq_ = 0;
 
-  // Reply rendezvous.
+  // Reply rendezvous: flat (the handful of outstanding RPCs of one fiber),
+  // unique_ptr entries so WaitPoint addresses stay stable across growth.
   struct PendingReply {
+    std::uint64_t cookie = 0;
     sim::WaitPoint wp;
     Message msg;
     bool ready = false;
   };
-  std::map<std::uint64_t, PendingReply> pending_replies_;
+  PendingReply& register_reply(std::uint64_t cookie);
+  PendingReply* find_reply(std::uint64_t cookie);
+  void erase_reply(std::uint64_t cookie);
+  std::vector<std::unique_ptr<PendingReply>> pending_replies_;
   std::uint64_t next_cookie_ = 1;
 
   // Instruction queue (fork / terminate / gc-prepare / barrier-release).

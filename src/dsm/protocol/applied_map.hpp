@@ -1,0 +1,70 @@
+// Flat per-page applied-interval map.
+//
+// Records which consistency metadata a page copy reflects: creator uid ->
+// highest interval iseq applied.  Shipped with full-page copies so the
+// receiver knows which pending write notices the copy already covers.
+//
+// Kept as a small sorted vector instead of a node-based map: it sits on the
+// per-page fault path (lookup on every pending-notice prune, bump on every
+// diff application), and a page rarely accumulates more than a handful of
+// writers between garbage collections.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dsm/types.hpp"
+
+namespace anow::dsm {
+
+class AppliedMap {
+ public:
+  using Entry = std::pair<Uid, std::int32_t>;
+
+  /// Highest iseq of `creator` this copy reflects (0 = none).
+  std::int32_t get(Uid creator) const {
+    const auto it = lower(creator);
+    return it != entries_.end() && it->first == creator ? it->second : 0;
+  }
+
+  bool covers(Uid creator, std::int32_t iseq) const {
+    return get(creator) >= iseq;
+  }
+
+  /// Raises the recorded iseq for `creator` (inserts if absent).
+  void bump(Uid creator, std::int32_t iseq) {
+    const auto it = lower(creator);
+    if (it != entries_.end() && it->first == creator) {
+      it->second = std::max(it->second, iseq);
+    } else {
+      entries_.insert(it, {creator, iseq});
+    }
+  }
+
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  friend bool operator==(const AppliedMap& a, const AppliedMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<Entry>::iterator lower(Uid creator) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), creator,
+        [](const Entry& e, Uid uid) { return e.first < uid; });
+  }
+  std::vector<Entry>::const_iterator lower(Uid creator) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), creator,
+        [](const Entry& e, Uid uid) { return e.first < uid; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace anow::dsm

@@ -1,0 +1,65 @@
+// Dense delivery matrix: delivered(target, creator) = highest iseq of
+// `creator`'s intervals already sent to `target`.
+//
+// Replaces the master's map-of-maps: uids are dense (allocated by a
+// monotonic counter and never reused), so a (uid slot x uid slot) int32
+// matrix gives O(1) lookups on the per-barrier interval-collection path and
+// one cache line per target row for typical team sizes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dsm/types.hpp"
+
+namespace anow::dsm::protocol {
+
+class DeliveryMatrix {
+ public:
+  /// Grows the matrix so `uid` is addressable (amortized; re-strides).
+  void ensure(Uid uid) {
+    if (uid < stride_) return;
+    Uid new_stride = std::max<Uid>(stride_ == 0 ? 8 : stride_ * 2, uid + 1);
+    std::vector<std::int32_t> grown(
+        static_cast<std::size_t>(new_stride) * new_stride, 0);
+    for (Uid t = 0; t < stride_; ++t) {
+      std::copy_n(cells_.begin() + static_cast<std::size_t>(t) * stride_,
+                  stride_,
+                  grown.begin() + static_cast<std::size_t>(t) * new_stride);
+    }
+    cells_.swap(grown);
+    stride_ = new_stride;
+  }
+
+  std::int32_t get(Uid target, Uid creator) const {
+    return cells_[index(target, creator)];
+  }
+
+  /// Raises delivered(target, creator) to at least `iseq`.
+  void raise(Uid target, Uid creator, std::int32_t iseq) {
+    auto& cell = cells_[index(target, creator)];
+    cell = std::max(cell, iseq);
+  }
+
+  /// Forgets everything delivered *to* a departed process (uids are never
+  /// reused, so zeroing is equivalent to erasure).
+  void forget(Uid target) {
+    if (target >= stride_) return;
+    std::fill_n(cells_.begin() + static_cast<std::size_t>(target) * stride_,
+                stride_, 0);
+  }
+
+  /// Resets the whole matrix (interval-log GC).
+  void clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+ private:
+  std::size_t index(Uid target, Uid creator) const {
+    return static_cast<std::size_t>(target) * stride_ + creator;
+  }
+
+  Uid stride_ = 0;
+  std::vector<std::int32_t> cells_;
+};
+
+}  // namespace anow::dsm::protocol

@@ -1,0 +1,86 @@
+#include "dsm/protocol/engine.hpp"
+
+#include "dsm/protocol/lrc_engine.hpp"
+#include "util/check.hpp"
+
+namespace anow::dsm::protocol {
+
+void ConsistencyEngine::attach_node(Uid self, std::uint8_t* region,
+                                    PageId num_pages,
+                                    const std::vector<Protocol>& protocol,
+                                    util::StatsRegistry& stats,
+                                    bool seed_all_valid) {
+  ANOW_CHECK_MSG(pages_.empty() && owner_.empty(),
+                 "engine already attached");
+  self_ = self;
+  region_ = region;
+  protocol_ = &protocol;
+  stats_ = &stats;
+  pages_ = std::vector<PageMeta>(static_cast<std::size_t>(num_pages));
+  if (seed_all_valid) {
+    // The master starts with a valid, exclusive copy of every (zeroed)
+    // page; everyone else faults pages in on demand — the initial data
+    // distribution.  Exclusivity keeps the master's initialization phase
+    // free of twins and write notices.
+    for (auto& pm : pages_) {
+      pm.have_copy = true;
+      pm.exclusive = true;
+    }
+  }
+  on_attach_node();
+}
+
+void ConsistencyEngine::attach_master(PageId num_pages,
+                                      util::StatsRegistry& stats) {
+  ANOW_CHECK_MSG(pages_.empty() && owner_.empty(),
+                 "engine already attached");
+  stats_ = &stats;
+  owner_.assign(static_cast<std::size_t>(num_pages), kMasterUid);
+  on_attach_master();
+}
+
+std::int64_t ConsistencyEngine::resident_pages() const {
+  std::int64_t n = 0;
+  for (const auto& pm : pages_) {
+    if (pm.have_copy) ++n;
+  }
+  return n;
+}
+
+std::vector<PageId> ConsistencyEngine::pages_owned_by(Uid uid) const {
+  std::vector<PageId> out;
+  for (PageId p = 0; p < static_cast<PageId>(owner_.size()); ++p) {
+    if (owner_[static_cast<std::size_t>(p)] == uid) out.push_back(p);
+  }
+  return out;
+}
+
+void ConsistencyEngine::queue_owner_update(PageId p, Uid owner) {
+  queued_owner_updates_.emplace_back(p, owner);
+  owner_[static_cast<std::size_t>(p)] = owner;
+}
+
+void ConsistencyEngine::reset_owners_to_master() {
+  for (auto& o : owner_) o = kMasterUid;
+}
+
+PendingOwnerCommit ConsistencyEngine::take_pending_commit(
+    bool include_queued_updates) {
+  PendingOwnerCommit out;
+  out.gc_commit = pending_commit_;
+  out.delta = std::move(pending_delta_);
+  pending_commit_ = false;
+  pending_delta_.clear();
+  if (include_queued_updates) {
+    out.delta.insert(out.delta.end(), queued_owner_updates_.begin(),
+                     queued_owner_updates_.end());
+    queued_owner_updates_.clear();
+  }
+  return out;
+}
+
+std::unique_ptr<ConsistencyEngine> make_engine(const DsmConfig& config) {
+  return std::make_unique<LrcEngine>(config);
+}
+
+}  // namespace anow::dsm::protocol

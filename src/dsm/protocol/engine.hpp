@@ -1,0 +1,263 @@
+// The pluggable consistency engine.
+//
+// Everything the lazy-release-consistency protocol knows — per-page state
+// (validity, twins, pending write notices, applied intervals), the diff
+// archive, interval construction/integration, and the master-side directory
+// (interval log, delivery matrix, owner map, GC policy) — lives behind this
+// interface.  DsmProcess keeps only fiber plumbing and the range-touch fault
+// front-end; DsmSystem keeps team/heap/lock/barrier orchestration.  Protocol
+// variants (eager invalidate, home-based) plug in as alternative engines
+// without touching either.
+//
+// An engine instance plays one of two roles:
+//   * node side   — one per DsmProcess (attach_node); drives the per-page
+//     fault state machine.  All node-side calls are non-blocking: operations
+//     that need remote data return a fetch *plan* and the process performs
+//     the blocking RPCs, handing results back.
+//   * master side — one owned by DsmSystem (attach_master); logs intervals,
+//     tracks delivery, owns the authoritative page->owner map and the GC
+//     policy.
+//
+// Hot-path page state is a flat vector of PageMeta owned by the base class
+// (no per-access virtual dispatch, no node-based containers); virtuals cover
+// only protocol *transitions*.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsm/config.hpp"
+#include "dsm/interval.hpp"
+#include "dsm/msg.hpp"
+#include "dsm/protocol/applied_map.hpp"
+#include "dsm/types.hpp"
+#include "util/stats.hpp"
+
+namespace anow::dsm::protocol {
+
+/// Flat per-page protocol state (one entry per page of the shared region).
+struct PageMeta {
+  bool have_copy = false;  // local frame holds data (possibly stale)
+  bool dirty = false;      // written in the current interval
+  /// Sole-copy (copyset == self) optimization, as in TreadMarks: writes to
+  /// an exclusive page need no twin and no write notice because nobody
+  /// holds a copy to invalidate.  Granted to owned pages at GC commit
+  /// (which drops every non-owner copy, making exclusivity provable) and
+  /// revoked the moment the page is served to another process.
+  bool exclusive = false;
+  /// The page is already write-enabled under exclusivity (the single trap
+  /// was charged).
+  bool exclusive_rw = false;
+  Uid owner_hint = kMasterUid;
+  /// dirty && twin: active twin of the current interval.
+  /// !dirty && twin: *lazy* twin — the interval ended but the diff has not
+  /// been materialized yet (TreadMarks creates diffs on demand; most are
+  /// never requested).  twin_iseq names the interval it belongs to.
+  std::int32_t twin_iseq = 0;
+  /// Interval epoch of the last exclusive write declaration; a serve only
+  /// needs the conservative twin when this equals the current epoch (the
+  /// owner may still be writing through raw pointers).
+  std::int64_t exclusive_epoch = -1;
+  /// Engine serve_seq value when this page was last served to another
+  /// process (soundness of exclusivity re-grants across a GC).
+  std::uint64_t last_served = 0;
+  std::unique_ptr<std::uint8_t[]> twin;
+  AppliedMap applied;
+  std::vector<PendingNotice> pending;
+
+  bool is_valid() const { return have_copy && pending.empty(); }
+};
+
+/// One batched fetch the node should issue: every wanted diff of one
+/// creator, possibly spanning several pages (one message round per creator).
+struct DiffFetchPlan {
+  Uid creator = kNoUid;
+  std::vector<DiffPageRequest> pages;
+};
+
+/// Owner-map changes to broadcast with the next fork or barrier release.
+struct PendingOwnerCommit {
+  bool gc_commit = false;
+  OwnerDelta delta;
+};
+
+class ConsistencyEngine {
+ public:
+  explicit ConsistencyEngine(const DsmConfig& config) : config_(&config) {}
+  virtual ~ConsistencyEngine() = default;
+
+  ConsistencyEngine(const ConsistencyEngine&) = delete;
+  ConsistencyEngine& operator=(const ConsistencyEngine&) = delete;
+
+  virtual const char* name() const = 0;
+
+  // ========================= node side ===================================
+  /// Binds this engine to one process.  `region` is the process's local copy
+  /// of the shared heap (stable for the engine's lifetime); `seed_all_valid`
+  /// gives the master its initial valid+exclusive copy of every zeroed page.
+  void attach_node(Uid self, std::uint8_t* region, PageId num_pages,
+                   const std::vector<Protocol>& protocol,
+                   util::StatsRegistry& stats, bool seed_all_valid);
+
+  PageMeta& page(PageId p) { return pages_[static_cast<std::size_t>(p)]; }
+  const PageMeta& page(PageId p) const {
+    return pages_[static_cast<std::size_t>(p)];
+  }
+  PageId num_pages() const { return static_cast<PageId>(pages_.size()); }
+  Protocol protocol_of(PageId p) const {
+    return (*protocol_)[static_cast<std::size_t>(p)];
+  }
+  std::int64_t epoch() const { return epoch_; }
+
+  /// A new parallel construct begins: past exclusive write declarations are
+  /// settled.
+  void begin_construct() { ++epoch_; }
+
+  // --- write fault path --------------------------------------------------
+  /// Re-checks exclusivity after the (possibly parked) write trap: if the
+  /// page is still exclusive, write-enables it under the current epoch and
+  /// returns true.  Returns false when a concurrent serve revoked it.
+  virtual bool note_exclusive_write(PageId p) = 0;
+  /// Converts a lazy twin (finished interval whose diff was never made)
+  /// into an archived diff.  Returns true when a diff was materialized, so
+  /// the caller can charge the creation cost.
+  virtual bool flush_lazy_twin(PageId p) = 0;
+  /// Declares a write in the current interval: twin (multi-writer) + dirty.
+  virtual void declare_write(PageId p) = 0;
+
+  // --- read fault path ---------------------------------------------------
+  /// Where to fetch a full copy of the page from.
+  virtual Uid pick_page_source(PageId p) const = 0;
+  /// Installs a fetched full-page copy (the caller already memcpy'd the
+  /// payload into the region): records the applied map and prunes pending
+  /// notices the copy covers.  With `must_cover_pending`, every pending
+  /// notice must be covered (single-writer fetch from the last writer).
+  virtual void install_copy(PageId p, const AppliedMap& applied,
+                            bool must_cover_pending) = 0;
+  /// Groups the pending notices of `pages` into one fetch plan per creator.
+  virtual std::vector<DiffFetchPlan> plan_diff_fetches(const PageId* pages,
+                                                       std::size_t count) = 0;
+  /// Applies the fetched diffs of one page in causal order and clears its
+  /// pending list.  Returns encoded bytes applied (for cost accounting).
+  virtual std::int64_t apply_fetched_diffs(
+      PageId p, const std::vector<DiffReply>& replies) = 0;
+
+  // --- serve side (event context, never blocks) --------------------------
+  /// Prepares serving a full-page copy: ends exclusivity (conservative twin
+  /// if the owner may be mid-write).  Returns false when this node holds no
+  /// copy and the request must be forwarded.
+  virtual bool prepare_serve(PageId p) = 0;
+  /// Marks the page served (exclusivity re-grant bookkeeping).
+  virtual void record_serve(PageId p) = 0;
+  /// Collects archived diffs for a batched request, materializing lazy
+  /// twins on demand.  Returns the number of diffs materialized (the caller
+  /// charges creation cost per materialization).
+  virtual int collect_diffs(const std::vector<DiffPageRequest>& pages,
+                            std::vector<DiffPageReply>& out) = 0;
+
+  // --- interval lifecycle ------------------------------------------------
+  /// Ends the current interval: write notices for dirty pages, lazy twins
+  /// kept for on-demand diffing.  iseq == 0 means empty (not logged).
+  virtual Interval finish_interval() = 0;
+  /// Integrates received write notices (invalidations) into page state.
+  virtual void integrate(const std::vector<Interval>& intervals) = 0;
+
+  // --- GC, node side -----------------------------------------------------
+  /// Snapshot the serve sequence at GC prepare (exclusivity soundness).
+  virtual void note_gc_prepare() = 0;
+  /// Pages this node will own after the delta and must make fully valid.
+  virtual std::vector<PageId> gc_pages_to_validate(
+      const OwnerDelta& owners) = 0;
+  /// Drops consistency metadata and stale copies; applies the owner delta
+  /// and re-grants exclusivity where provably sound.
+  virtual void gc_commit_node(const OwnerDelta& delta) = 0;
+
+  // --- accounting --------------------------------------------------------
+  /// Twins + own diff archive + pending notices (drives the GC threshold).
+  std::int64_t consistency_bytes() const {
+    return archive_bytes_ + twin_bytes_ +
+           pending_count_ * static_cast<std::int64_t>(sizeof(PendingNotice));
+  }
+  std::int64_t resident_pages() const;
+
+  // ========================= master side =================================
+  /// Binds this engine as the master-side consistency manager.
+  void attach_master(PageId num_pages, util::StatsRegistry& stats);
+
+  /// Makes `uid` addressable in the delivery matrix / interval log.
+  virtual void note_uid(Uid uid) = 0;
+  /// Drops delivery state for a departed process (uids are never reused).
+  virtual void forget_uid(Uid uid) = 0;
+
+  /// Logs one barrier epoch: all intervals are concurrent and share a fresh
+  /// lamport stamp.
+  virtual void log_epoch(std::vector<Interval> intervals) = 0;
+  /// Logs a lock-release interval under its own fresh lamport stamp.
+  virtual void log_release(Interval interval) = 0;
+  /// Intervals the target has not seen yet, in causal order; marks them
+  /// delivered.
+  virtual std::vector<Interval> collect_undelivered(Uid target) = 0;
+
+  // --- owner map (authoritative, master only) ----------------------------
+  const std::vector<Uid>& owner_by_page() const { return owner_; }
+  Uid owner_of(PageId p) const { return owner_[static_cast<std::size_t>(p)]; }
+  void set_owner(PageId p, Uid owner) {
+    owner_[static_cast<std::size_t>(p)] = owner;
+  }
+  std::vector<PageId> pages_owned_by(Uid uid) const;
+  /// Records an ownership change to broadcast with the next fork.
+  void queue_owner_update(PageId p, Uid owner);
+  /// Checkpoint restore: every page returns to the master.
+  void reset_owners_to_master();
+
+  // --- GC policy + pending commit ----------------------------------------
+  void request_gc() { gc_requested_ = true; }
+  /// Whether a GC should run at this barrier, given the largest
+  /// consistency-metadata footprint any process reported.
+  virtual bool gc_should_run(std::int64_t max_consistency_bytes) const = 0;
+  /// Starts a GC: computes the owner delta (last writer wins) and clears
+  /// the request flag.
+  virtual OwnerDelta gc_begin() = 0;
+  /// Completes a GC at the master: applies the delta to the owner map,
+  /// resets the interval log + delivery matrix, and arms the pending commit
+  /// that rides on the next fork or barrier release.
+  virtual void gc_finish(const OwnerDelta& delta) = 0;
+  /// Consumes the pending commit (fork: queued ownership transfers from the
+  /// leave protocol ride along; barrier release: GC delta only).
+  PendingOwnerCommit take_pending_commit(bool include_queued_updates);
+
+ protected:
+  /// Role-specific sizing hooks, called at the end of attach_node /
+  /// attach_master once the base state is in place.
+  virtual void on_attach_node() {}
+  virtual void on_attach_master() {}
+
+  const DsmConfig* config_ = nullptr;
+  util::StatsRegistry* stats_ = nullptr;
+
+  // Node-side state.
+  Uid self_ = kNoUid;
+  std::uint8_t* region_ = nullptr;
+  const std::vector<Protocol>* protocol_ = nullptr;
+  std::vector<PageMeta> pages_;
+  std::vector<PageId> dirty_pages_;
+  std::int32_t next_iseq_ = 1;
+  /// Bumped at every release point and construct start.
+  std::int64_t epoch_ = 0;
+  std::int64_t archive_bytes_ = 0;
+  std::int64_t twin_bytes_ = 0;
+  std::int64_t pending_count_ = 0;
+
+  // Master-side state.
+  std::vector<Uid> owner_;
+  OwnerDelta queued_owner_updates_;
+  bool gc_requested_ = false;
+  bool pending_commit_ = false;
+  OwnerDelta pending_delta_;
+};
+
+/// Builds the engine selected by the configuration (today: always LRC).
+std::unique_ptr<ConsistencyEngine> make_engine(const DsmConfig& config);
+
+}  // namespace anow::dsm::protocol

@@ -1,0 +1,530 @@
+#include "dsm/protocol/lrc_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+
+#include "dsm/debug.hpp"
+#include "dsm/diff.hpp"
+#include "util/check.hpp"
+
+namespace anow::dsm::protocol {
+
+namespace {
+
+// Engine-side tracer (ANOW_TRACE_PAGE): no timestamp — the engine has no
+// clock; the process-side tracer in process.cpp carries virtual time.
+#define ANOW_ETRACE(pg, what)                                      \
+  do {                                                             \
+    if ((pg) == traced_page()) {                                   \
+      std::cerr << "[ptrace uid" << self_ << "] " << what << "\n"; \
+    }                                                              \
+  } while (0)
+
+/// Application order for pending diffs: causal (lamport) first; concurrent
+/// intervals (same lamport) touch disjoint words, so any deterministic
+/// tiebreak is correct.
+bool notice_order(const PendingNotice& a, const PendingNotice& b) {
+  if (a.lamport != b.lamport) return a.lamport < b.lamport;
+  if (a.creator != b.creator) return a.creator < b.creator;
+  return a.iseq < b.iseq;
+}
+
+}  // namespace
+
+void LrcEngine::on_attach_node() {
+  own_diffs_.resize(pages_.size());
+  ctr_diffs_created_ = &stats_->counter("dsm.diffs_created");
+  ctr_intervals_ = &stats_->counter("dsm.intervals");
+  ctr_diff_fetches_ = &stats_->counter("dsm.diff_fetches");
+}
+
+void LrcEngine::on_attach_master() {
+  last_writer_.assign(owner_.size(), {});
+}
+
+// ---------------------------------------------------------------------------
+// Node side: twins + diff archive
+// ---------------------------------------------------------------------------
+
+void LrcEngine::materialize_diff(PageId p) {
+  PageMeta& pm = page(p);
+  ANOW_CHECK(pm.twin != nullptr && !pm.dirty && pm.twin_iseq > 0);
+  DiffBytes diff = make_diff(pm.twin.get(), region_ + page_base(p));
+  // Creation cost is a handler-side scan; charged as elapsed time by the
+  // caller because materialization happens in both fiber and handler
+  // contexts.
+  archive_bytes_ += static_cast<std::int64_t>(diff.size());
+  own_diffs_[static_cast<std::size_t>(p)].push_back(
+      {pm.twin_iseq, std::move(diff)});
+  pm.twin.reset();
+  pm.twin_iseq = 0;
+  twin_bytes_ -= static_cast<std::int64_t>(kPageSize);
+  (*ctr_diffs_created_)++;
+}
+
+const DiffBytes& LrcEngine::archived_diff(PageId p, std::int32_t iseq) const {
+  const auto& archive = own_diffs_[static_cast<std::size_t>(p)];
+  const auto it = std::lower_bound(
+      archive.begin(), archive.end(), iseq,
+      [](const ArchivedDiff& d, std::int32_t want) { return d.iseq < want; });
+  ANOW_CHECK_MSG(it != archive.end() && it->iseq == iseq,
+                 "diff request for unknown interval " << iseq);
+  return it->bytes;
+}
+
+bool LrcEngine::note_exclusive_write(PageId p) {
+  PageMeta& pm = page(p);
+  if (!pm.exclusive) return false;
+  pm.exclusive_rw = true;
+  pm.exclusive_epoch = epoch_;
+  return true;
+}
+
+bool LrcEngine::flush_lazy_twin(PageId p) {
+  PageMeta& pm = page(p);
+  if (pm.twin == nullptr || pm.dirty) return false;
+  materialize_diff(p);
+  return true;
+}
+
+void LrcEngine::declare_write(PageId p) {
+  PageMeta& pm = page(p);
+  if (protocol_of(p) == Protocol::kMultiWriter) {
+    ANOW_CHECK(pm.twin == nullptr);
+    pm.twin = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memcpy(pm.twin.get(), region_ + page_base(p), kPageSize);
+    twin_bytes_ += static_cast<std::int64_t>(kPageSize);
+  }
+  pm.dirty = true;
+  dirty_pages_.push_back(p);
+}
+
+// ---------------------------------------------------------------------------
+// Node side: read fault path
+// ---------------------------------------------------------------------------
+
+Uid LrcEngine::pick_page_source(PageId p) const {
+  const PageMeta& pm = page(p);
+  if (!pm.pending.empty()) {
+    // Fetch from the most recent writer; its copy reflects everything it
+    // had applied before writing.
+    const PendingNotice* best = &pm.pending.front();
+    for (const auto& n : pm.pending) {
+      if (n.lamport > best->lamport ||
+          (n.lamport == best->lamport && n.creator > best->creator)) {
+        best = &n;
+      }
+    }
+    return best->creator;
+  }
+  return pm.owner_hint;
+}
+
+void LrcEngine::install_copy(PageId p, const AppliedMap& applied,
+                             bool must_cover_pending) {
+  PageMeta& pm = page(p);
+  pm.have_copy = true;
+  pm.applied = applied;
+  if (must_cover_pending) {
+    // Single-writer fetch: the last writer's copy must cover every pending
+    // notice for the page.
+    for (const auto& n : pm.pending) {
+      ANOW_CHECK_MSG(pm.applied.covers(n.creator, n.iseq),
+                     "single-writer copy does not cover notice for page "
+                         << p);
+      --pending_count_;
+    }
+    pm.pending.clear();
+    return;
+  }
+  // Drop pending notices the copy already covers.
+  auto covered = [&](const PendingNotice& n) {
+    const bool is_covered = pm.applied.covers(n.creator, n.iseq);
+    if (is_covered) --pending_count_;
+    return is_covered;
+  };
+  pm.pending.erase(
+      std::remove_if(pm.pending.begin(), pm.pending.end(), covered),
+      pm.pending.end());
+}
+
+std::vector<DiffFetchPlan> LrcEngine::plan_diff_fetches(const PageId* pages,
+                                                        std::size_t count) {
+  struct Want {
+    Uid creator;
+    PageId page;
+    std::int32_t iseq;
+  };
+  std::vector<Want> wants;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const auto& n : page(pages[i]).pending) {
+      wants.push_back({n.creator, pages[i], n.iseq});
+    }
+  }
+  std::sort(wants.begin(), wants.end(), [](const Want& a, const Want& b) {
+    if (a.creator != b.creator) return a.creator < b.creator;
+    if (a.page != b.page) return a.page < b.page;
+    return a.iseq < b.iseq;
+  });
+  std::vector<DiffFetchPlan> plans;
+  for (const auto& w : wants) {
+    if (plans.empty() || plans.back().creator != w.creator) {
+      plans.push_back({w.creator, {}});
+    }
+    auto& pages_of_plan = plans.back().pages;
+    if (pages_of_plan.empty() || pages_of_plan.back().page != w.page) {
+      pages_of_plan.push_back({w.page, {}});
+    }
+    pages_of_plan.back().iseqs.push_back(w.iseq);
+  }
+  return plans;
+}
+
+std::int64_t LrcEngine::apply_fetched_diffs(
+    PageId p, const std::vector<DiffReply>& replies) {
+  PageMeta& pm = page(p);
+  // Apply in causal order.
+  std::vector<PendingNotice> order = pm.pending;
+  std::sort(order.begin(), order.end(), notice_order);
+  std::int64_t applied_bytes = 0;
+  for (const auto& n : order) {
+    const DiffBytes* found = nullptr;
+    for (const auto& reply : replies) {
+      if (reply.creator != n.creator) continue;
+      // reply.pages is sorted by page id (plan_diff_fetches sorts), so a
+      // batched GC validation round stays O(pages log pages) overall.
+      const auto it = std::lower_bound(
+          reply.pages.begin(), reply.pages.end(), p,
+          [](const DiffPageReply& pg, PageId want) { return pg.page < want; });
+      if (it != reply.pages.end() && it->page == p) {
+        for (const auto& [iseq, bytes] : it->diffs) {
+          if (iseq == n.iseq) {
+            found = &bytes;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    ANOW_CHECK_MSG(found != nullptr, "diff for interval missing in reply");
+    apply_diff(region_ + page_base(p), *found);
+    applied_bytes += static_cast<std::int64_t>(found->size());
+    pm.applied.bump(n.creator, n.iseq);
+  }
+  pending_count_ -= static_cast<std::int64_t>(pm.pending.size());
+  pm.pending.clear();
+  ANOW_ETRACE(p, "applied diffs");
+  return applied_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Node side: serving
+// ---------------------------------------------------------------------------
+
+bool LrcEngine::prepare_serve(PageId p) {
+  PageMeta& pm = page(p);
+  if (pm.exclusive && pm.have_copy) {
+    // Serving the page ends exclusivity.  If the page was write-declared in
+    // the *current* interval the owner may still be writing through raw
+    // pointers, so conservatively treat it as dirty from here: snapshot a
+    // twin now (multi-writer) and let the next release point announce a
+    // write notice — any words written after this serve then propagate as a
+    // diff.  Pages only written in finished intervals are served clean.
+    const bool maybe_mid_write =
+        pm.exclusive_rw && pm.exclusive_epoch == epoch_;
+    pm.exclusive = false;
+    pm.exclusive_rw = false;
+    if (!pm.dirty && maybe_mid_write) {
+      if (protocol_of(p) == Protocol::kMultiWriter) {
+        ANOW_CHECK(pm.twin == nullptr);
+        pm.twin = std::make_unique<std::uint8_t[]>(kPageSize);
+        std::memcpy(pm.twin.get(), region_ + page_base(p), kPageSize);
+        twin_bytes_ += static_cast<std::int64_t>(kPageSize);
+      }
+      pm.dirty = true;
+      dirty_pages_.push_back(p);
+    }
+  }
+  return pm.have_copy;
+}
+
+void LrcEngine::record_serve(PageId p) {
+  page(p).last_served = ++serve_seq_;
+}
+
+int LrcEngine::collect_diffs(const std::vector<DiffPageRequest>& pages,
+                             std::vector<DiffPageReply>& out) {
+  int materialized = 0;
+  for (const auto& req : pages) {
+    // Materialize the lazy twin's diff on demand (TreadMarks semantics).
+    if (flush_lazy_twin(req.page)) ++materialized;
+    ANOW_CHECK_MSG(!own_diffs_[static_cast<std::size_t>(req.page)].empty(),
+                   "diff request for page " << req.page
+                                            << " with no archived diffs");
+    DiffPageReply pg;
+    pg.page = req.page;
+    for (std::int32_t iseq : req.iseqs) {
+      pg.diffs.emplace_back(iseq, archived_diff(req.page, iseq));
+    }
+    *ctr_diff_fetches_ += static_cast<std::int64_t>(pg.diffs.size());
+    out.push_back(std::move(pg));
+  }
+  return materialized;
+}
+
+// ---------------------------------------------------------------------------
+// Node side: intervals
+// ---------------------------------------------------------------------------
+
+Interval LrcEngine::finish_interval() {
+  Interval iv;
+  iv.creator = self_;
+  if (dirty_pages_.empty()) {
+    iv.iseq = 0;  // empty interval: not logged, consumes no sequence number
+    ++epoch_;
+    return iv;
+  }
+  iv.iseq = next_iseq_++;
+  for (PageId p : dirty_pages_) {
+    PageMeta& pm = page(p);
+    ANOW_CHECK(pm.dirty);
+    pm.dirty = false;
+    if (protocol_of(p) == Protocol::kMultiWriter) {
+      // Lazy diffing: keep the twin; the diff is materialized only if
+      // someone requests it or the page is written again.  The notice goes
+      // out regardless (a real system cannot know whether the writes
+      // changed anything).
+      ANOW_CHECK(pm.twin != nullptr);
+      pm.twin_iseq = iv.iseq;
+      iv.notices.push_back({p, Protocol::kMultiWriter});
+    } else {
+      iv.notices.push_back({p, Protocol::kSingleWriter});
+    }
+    pm.applied.bump(self_, iv.iseq);
+  }
+  dirty_pages_.clear();
+  ++epoch_;
+  (*ctr_intervals_)++;
+  return iv;
+}
+
+void LrcEngine::integrate(const std::vector<Interval>& intervals) {
+  for (const auto& iv : intervals) {
+    ANOW_CHECK(iv.creator != self_);
+    for (const auto& wn : iv.notices) {
+      PageMeta& pm = page(wn.page);
+      if (pm.applied.covers(iv.creator, iv.iseq)) continue;
+      if (wn.protocol == Protocol::kSingleWriter) {
+        ANOW_CHECK_MSG(!pm.dirty,
+                       "single-writer page " << wn.page
+                                             << " written concurrently");
+      }
+      pm.pending.push_back({iv.creator, iv.iseq, iv.lamport, wn.protocol});
+      ANOW_ETRACE(wn.page, "notice from " << iv.creator << " iseq "
+                                          << iv.iseq);
+      ++pending_count_;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node side: garbage collection
+// ---------------------------------------------------------------------------
+
+void LrcEngine::note_gc_prepare() {
+  // A page served after the GC prepare may belong to a requester that
+  // already committed (and thus kept the copy), so the commit must not
+  // re-grant exclusivity for it.
+  gc_prepare_serve_seq_ = serve_seq_;
+}
+
+std::vector<PageId> LrcEngine::gc_pages_to_validate(const OwnerDelta& owners) {
+  // Effective post-GC owner = delta entry if present, else the current hint
+  // (a page owned continuously since the previous GC keeps hint == self at
+  // its owner).  Both kinds must be made fully valid: an owner can hold
+  // pending notices from a concurrent same-epoch writer even when its
+  // ownership does not change.
+  std::vector<std::uint8_t> overridden(pages_.size(), 0);
+  std::vector<Uid> new_owner(pages_.size(), kNoUid);
+  for (const auto& [p, owner] : owners) {
+    overridden[static_cast<std::size_t>(p)] = 1;
+    new_owner[static_cast<std::size_t>(p)] = owner;
+  }
+  std::vector<PageId> need;
+  for (PageId p = 0; p < num_pages(); ++p) {
+    const PageMeta& pm = page(p);
+    const Uid owner = overridden[static_cast<std::size_t>(p)]
+                          ? new_owner[static_cast<std::size_t>(p)]
+                          : pm.owner_hint;
+    if (owner != self_) continue;
+    ANOW_CHECK_MSG(pm.have_copy, "GC made uid " << self_ << " owner of page "
+                                                << p << " it never wrote");
+    if (!pm.pending.empty()) need.push_back(p);
+  }
+  return need;
+}
+
+void LrcEngine::gc_commit_node(const OwnerDelta& delta) {
+  for (const auto& [p, owner] : delta) {
+    page(p).owner_hint = owner;
+  }
+  for (PageId p = 0; p < num_pages(); ++p) {
+    PageMeta& pm = page(p);
+    if (pm.dirty) {
+      // Only possible via a serve of an exclusive page while the fiber is
+      // parked at the barrier (the conservative twin path); we must own
+      // such a page.
+      ANOW_CHECK_MSG(pm.owner_hint == self_,
+                     "dirty non-owned page " << p << " at GC commit");
+      // Keep dirty + twin: the next release point announces the notice.
+      // The page is no longer exclusive (someone just got a copy).
+      pm.applied.clear();
+      continue;
+    }
+    if (pm.twin != nullptr) {
+      // Lazy twin whose diff was never requested; after the commit nobody
+      // can ever need it (all stale copies are dropped below).
+      pm.twin.reset();
+      pm.twin_iseq = 0;
+      twin_bytes_ -= static_cast<std::int64_t>(kPageSize);
+    }
+    if (pm.owner_hint == self_) {
+      ANOW_CHECK_MSG(pm.have_copy && pm.pending.empty(),
+                     "owned page " << p << " not validated at GC commit");
+      // Every other copy is dropped below (on its holder), so the owner's
+      // copy is provably sole — unless it was served after the GC prepare,
+      // in which case the requester may already have committed and kept
+      // the copy: no exclusivity then.
+      if (pm.last_served <= gc_prepare_serve_seq_) {
+        ANOW_ETRACE(p, "gc: granted exclusivity");
+        pm.exclusive = true;
+        pm.exclusive_rw = false;
+        pm.exclusive_epoch = -1;
+      }
+    } else {
+      // Drop non-owned copies even when valid; this makes exclusivity
+      // sound and is why a join needs only the page->owner map (§4.1).
+      if (pm.have_copy) {
+        ANOW_ETRACE(p, "gc: dropped copy, owner now " << pm.owner_hint);
+      }
+      pm.have_copy = false;
+      pm.pending.clear();
+      pm.exclusive = false;
+      pm.exclusive_rw = false;
+    }
+    pm.applied.clear();
+  }
+  pending_count_ = 0;
+  for (auto& archive : own_diffs_) archive.clear();
+  archive_bytes_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Master side: interval log + delivery matrix
+// ---------------------------------------------------------------------------
+
+void LrcEngine::note_uid(Uid uid) {
+  delivered_.ensure(uid);
+  if (static_cast<std::size_t>(uid) >= interval_log_.size()) {
+    interval_log_.resize(static_cast<std::size_t>(uid) + 1);
+  }
+}
+
+void LrcEngine::forget_uid(Uid uid) { delivered_.forget(uid); }
+
+void LrcEngine::log_interval(Interval interval) {
+  if (interval.iseq == 0) return;  // empty interval
+  ANOW_CHECK(!interval.notices.empty());
+  for (const auto& wn : interval.notices) {
+    LastWrite& lw = last_writer_[static_cast<std::size_t>(wn.page)];
+    if (wn.protocol == Protocol::kSingleWriter && lw.uid != kNoUid &&
+        lw.uid != interval.creator && lw.lamport == interval.lamport) {
+      ANOW_CHECK_MSG(false, "two single-writer writers for page "
+                                << wn.page << " in one epoch (uids " << lw.uid
+                                << ", " << interval.creator << ")");
+    }
+    if (interval.lamport > lw.lamport ||
+        (interval.lamport == lw.lamport && interval.creator > lw.uid)) {
+      lw.uid = interval.creator;
+      lw.lamport = interval.lamport;
+    }
+  }
+  delivered_.raise(interval.creator, interval.creator, interval.iseq);
+  interval_log_[static_cast<std::size_t>(interval.creator)].push_back(
+      std::move(interval));
+}
+
+void LrcEngine::log_epoch(std::vector<Interval> intervals) {
+  // All intervals of one barrier epoch are concurrent: same lamport stamp.
+  ++lamport_clock_;
+  for (auto& iv : intervals) {
+    iv.lamport = lamport_clock_;
+    log_interval(std::move(iv));
+  }
+}
+
+void LrcEngine::log_release(Interval interval) {
+  ++lamport_clock_;
+  interval.lamport = lamport_clock_;
+  log_interval(std::move(interval));
+}
+
+std::vector<Interval> LrcEngine::collect_undelivered(Uid target) {
+  delivered_.ensure(target);
+  std::vector<Interval> out;
+  for (Uid creator = 0; creator < static_cast<Uid>(interval_log_.size());
+       ++creator) {
+    if (creator == target) continue;
+    const auto& log = interval_log_[static_cast<std::size_t>(creator)];
+    if (log.empty()) continue;
+    const std::int32_t high = delivered_.get(target, creator);
+    for (const auto& iv : log) {
+      if (iv.iseq > high) out.push_back(iv);
+    }
+    delivered_.raise(target, creator, log.back().iseq);
+  }
+  std::sort(out.begin(), out.end(), [](const Interval& a, const Interval& b) {
+    if (a.lamport != b.lamport) return a.lamport < b.lamport;
+    if (a.creator != b.creator) return a.creator < b.creator;
+    return a.iseq < b.iseq;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Master side: garbage collection
+// ---------------------------------------------------------------------------
+
+bool LrcEngine::gc_should_run(std::int64_t max_consistency_bytes) const {
+  return gc_requested_ ||
+         (config_->auto_gc &&
+          max_consistency_bytes > config_->gc_threshold_bytes);
+}
+
+OwnerDelta LrcEngine::gc_begin() {
+  gc_requested_ = false;
+  OwnerDelta delta;
+  for (PageId p = 0; p < static_cast<PageId>(owner_.size()); ++p) {
+    const LastWrite& lw = last_writer_[static_cast<std::size_t>(p)];
+    if (lw.uid != kNoUid && lw.uid != owner_[static_cast<std::size_t>(p)]) {
+      delta.emplace_back(p, lw.uid);
+    }
+  }
+  return delta;
+}
+
+void LrcEngine::gc_finish(const OwnerDelta& delta) {
+  for (const auto& [p, owner] : delta) {
+    owner_[static_cast<std::size_t>(p)] = owner;
+  }
+  for (auto& lw : last_writer_) lw = {};
+  for (auto& log : interval_log_) log.clear();
+  delivered_.clear();
+  // The processes commit when the next fork/release delivers
+  // gc_commit=true; until then the delta stays pending.
+  pending_commit_ = true;
+  pending_delta_ = delta;
+}
+
+}  // namespace anow::dsm::protocol

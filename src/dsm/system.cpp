@@ -16,8 +16,8 @@ DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
   const auto pages =
       static_cast<std::size_t>(config_.heap_bytes / kPageSize);
   protocol_.assign(pages, config_.default_protocol);
-  owner_.assign(pages, kMasterUid);
-  last_writer_.assign(pages, {});
+  engine_ = protocol::make_engine(config_);
+  engine_->attach_master(static_cast<PageId>(pages), cluster_.stats());
 }
 
 DsmSystem::~DsmSystem() = default;
@@ -84,10 +84,11 @@ void DsmSystem::start(int nprocs) {
   while (cluster_.num_hosts() < nprocs) cluster_.add_host();
   for (int i = 0; i < nprocs; ++i) {
     const Uid uid = next_uid_++;
+    engine_->note_uid(uid);
     auto proc = std::make_unique<DsmProcess>(*this, uid, i);
     proc->pid_ = i;
     proc->team_size_ = nprocs;
-    processes_[uid] = std::move(proc);
+    processes_.push_back(std::move(proc));
     team_.push_back(uid);
   }
   // Slave fibers; the master's fiber is created in run().
@@ -107,12 +108,12 @@ void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
     main(*master);
     // Shut down every live process — team members and joiners that were
     // spawned but never adopted.
-    for (auto& [uid, proc] : processes_) {
-      if (uid == kMasterUid || !proc->alive()) continue;
+    for (auto& proc : processes_) {
+      if (proc->uid() == kMasterUid || !proc->alive()) continue;
       Message t;
       t.src = kMasterUid;
       t.body = TerminateMsg{};
-      send(kMasterUid, uid, std::move(t));
+      send(kMasterUid, proc->uid(), std::move(t));
     }
     master->alive_ = false;
   });
@@ -123,14 +124,14 @@ void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
 }
 
 DsmProcess& DsmSystem::process(Uid uid) {
-  auto it = processes_.find(uid);
-  ANOW_CHECK_MSG(it != processes_.end(), "no process with uid " << uid);
-  return *it->second;
+  ANOW_CHECK_MSG(uid >= 0 && uid < static_cast<Uid>(processes_.size()),
+                 "no process with uid " << uid);
+  return *processes_[uid];
 }
 
 bool DsmSystem::is_alive(Uid uid) const {
-  auto it = processes_.find(uid);
-  return it != processes_.end() && it->second->alive();
+  return uid >= 0 && uid < static_cast<Uid>(processes_.size()) &&
+         processes_[uid]->alive();
 }
 
 Uid DsmSystem::uid_of_pid(Pid pid) const {
@@ -141,10 +142,11 @@ Uid DsmSystem::uid_of_pid(Pid pid) const {
 Uid DsmSystem::spawn_process(sim::HostId host) {
   ANOW_CHECK(host >= 0 && host < cluster_.num_hosts());
   const Uid uid = next_uid_++;
+  engine_->note_uid(uid);
   auto proc = std::make_unique<DsmProcess>(*this, uid, host);
   proc->announce_join_ = true;
   DsmProcess* p = proc.get();
-  processes_[uid] = std::move(proc);
+  processes_.push_back(std::move(proc));
   p->fiber_ = &cluster_.sim().spawn("slave-" + std::to_string(uid),
                                     [p] { p->slave_main(); });
   return uid;
@@ -180,7 +182,7 @@ void DsmSystem::expel(Uid uid) {
   t.src = kMasterUid;
   t.body = TerminateMsg{};
   send(kMasterUid, uid, std::move(t));
-  delivered_.erase(uid);
+  engine_->forget_uid(uid);
 }
 
 void DsmSystem::move_process(Uid uid, sim::HostId new_host) {
@@ -191,25 +193,16 @@ void DsmSystem::move_process(Uid uid, sim::HostId new_host) {
 }
 
 // ---------------------------------------------------------------------------
-// Owner map
+// Owner map (forwarded to the master-side engine)
 // ---------------------------------------------------------------------------
 
 void DsmSystem::set_owner(PageId page, Uid owner) {
   ANOW_CHECK(page >= 0 && page < num_pages());
-  owner_[page] = owner;
-}
-
-std::vector<PageId> DsmSystem::pages_owned_by(Uid uid) const {
-  std::vector<PageId> out;
-  for (PageId p = 0; p < num_pages(); ++p) {
-    if (owner_[p] == uid) out.push_back(p);
-  }
-  return out;
+  engine_->set_owner(page, owner);
 }
 
 void DsmSystem::queue_owner_update(PageId page, Uid owner) {
-  queued_owner_updates_.emplace_back(page, owner);
-  owner_[page] = owner;
+  engine_->queue_owner_update(page, owner);
 }
 
 // ---------------------------------------------------------------------------
@@ -233,13 +226,10 @@ void DsmSystem::run_parallel(std::int32_t task_id,
     team_view.emplace_back(team_[pid], pid);
   }
 
-  const bool commit = gc_commit_pending_;
-  OwnerDelta delta = gc_delta_;
-  delta.insert(delta.end(), queued_owner_updates_.begin(),
-               queued_owner_updates_.end());
-  gc_commit_pending_ = false;
-  gc_delta_.clear();
-  queued_owner_updates_.clear();
+  // A pending GC commit rides on the fork; queued ownership transfers from
+  // the leave protocol are broadcast alongside it.
+  const auto commit = engine_->take_pending_commit(
+      /*include_queued_updates=*/true);
 
   for (Uid uid : team_) {
     if (uid == kMasterUid) continue;
@@ -247,9 +237,9 @@ void DsmSystem::run_parallel(std::int32_t task_id,
     fork.task_id = task_id;
     fork.args = args;
     fork.team = team_view;
-    fork.intervals = collect_undelivered(uid);
-    fork.gc_commit = commit;
-    fork.owner_delta = delta;
+    fork.intervals = engine_->collect_undelivered(uid);
+    fork.gc_commit = commit.gc_commit;
+    fork.owner_delta = commit.delta;
     Message m;
     m.src = kMasterUid;
     m.body = std::move(fork);
@@ -261,66 +251,19 @@ void DsmSystem::run_parallel(std::int32_t task_id,
   master.apply_team(team_view);
   // The master's undelivered intervals and owner updates are applied
   // directly (it would otherwise message itself).  The delta is applied
-  // unconditionally: a GC commit only covered gc_delta_, while queued
-  // ownership transfers (leave protocol) arrive here as well.
-  master.integrate_intervals(collect_undelivered(kMasterUid));
-  for (const auto& [page, owner] : delta) {
-    master.pages_[page].owner_hint = owner;
-  }
+  // unconditionally as hints: a GC commit already ran on the master's node
+  // state in gc_at_fork, while queued ownership transfers (leave protocol)
+  // arrive here as well.
+  master.engine().integrate(engine_->collect_undelivered(kMasterUid));
+  master.apply_owner_hints(commit.delta);
   master.accessed_since_fork_ = 0;
-  master.epoch_++;  // new construct
+  master.engine().begin_construct();
   run_task_body(task_id, master, args);
   master.barrier(kJoinBarrierId);
 }
 
 // ---------------------------------------------------------------------------
-// Consistency manager: intervals
-// ---------------------------------------------------------------------------
-
-void DsmSystem::log_interval(Interval interval) {
-  if (interval.iseq == 0) return;  // empty interval
-  ANOW_CHECK(!interval.notices.empty());
-  for (const auto& wn : interval.notices) {
-    LastWrite& lw = last_writer_[wn.page];
-    if (wn.protocol == Protocol::kSingleWriter && lw.uid != kNoUid &&
-        lw.uid != interval.creator && lw.lamport == interval.lamport) {
-      ANOW_CHECK_MSG(false, "two single-writer writers for page "
-                                << wn.page << " in one epoch (uids " << lw.uid
-                                << ", " << interval.creator << ")");
-    }
-    if (interval.lamport > lw.lamport ||
-        (interval.lamport == lw.lamport && interval.creator > lw.uid)) {
-      lw.uid = interval.creator;
-      lw.lamport = interval.lamport;
-    }
-  }
-  delivered_[interval.creator][interval.creator] = interval.iseq;
-  interval_log_[interval.creator].push_back(std::move(interval));
-}
-
-std::vector<Interval> DsmSystem::collect_undelivered(Uid target) {
-  std::vector<Interval> out;
-  auto& seen = delivered_[target];
-  for (const auto& [creator, log] : interval_log_) {
-    if (creator == target) continue;
-    std::int32_t& high = seen[creator];
-    for (const auto& iv : log) {
-      if (iv.iseq > high) {
-        out.push_back(iv);
-      }
-    }
-    if (!log.empty()) high = std::max(high, log.back().iseq);
-  }
-  std::sort(out.begin(), out.end(), [](const Interval& a, const Interval& b) {
-    if (a.lamport != b.lamport) return a.lamport < b.lamport;
-    if (a.creator != b.creator) return a.creator < b.creator;
-    return a.iseq < b.iseq;
-  });
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Consistency manager: barriers
+// Barrier orchestration
 // ---------------------------------------------------------------------------
 
 void DsmSystem::on_barrier_arrive(const BarrierArrive& msg) {
@@ -343,23 +286,12 @@ void DsmSystem::on_barrier_arrive(const BarrierArrive& msg) {
   }
 }
 
-bool DsmSystem::gc_needed() const {
-  return gc_requested_ ||
-         (config_.auto_gc &&
-          max_consistency_bytes_ > config_.gc_threshold_bytes);
-}
-
 void DsmSystem::barrier_complete() {
   stats().counter("dsm.barriers")++;
-  // All intervals of one barrier epoch are concurrent: same lamport stamp.
-  ++lamport_clock_;
-  for (auto& iv : pending_intervals_) {
-    iv.lamport = lamport_clock_;
-    log_interval(std::move(iv));
-  }
+  engine_->log_epoch(std::move(pending_intervals_));
   pending_intervals_.clear();
 
-  if (gc_needed()) {
+  if (engine_->gc_should_run(max_consistency_bytes_)) {
     gc_resume_ = GcResume::kBarrierRelease;
     begin_gc_at_barrier();
     return;
@@ -368,10 +300,8 @@ void DsmSystem::barrier_complete() {
 }
 
 void DsmSystem::release_barrier() {
-  const bool commit = gc_commit_pending_;
-  OwnerDelta delta = gc_delta_;
-  gc_commit_pending_ = false;
-  gc_delta_.clear();
+  const auto commit = engine_->take_pending_commit(
+      /*include_queued_updates=*/false);
 
   const sim::Time service =
       cluster_.cost().barrier_service *
@@ -379,9 +309,9 @@ void DsmSystem::release_barrier() {
   for (Uid uid : team_) {
     BarrierRelease rel;
     rel.barrier_id = barrier_id_;
-    rel.intervals = collect_undelivered(uid);
-    rel.gc_commit = commit;
-    rel.owner_delta = delta;
+    rel.intervals = engine_->collect_undelivered(uid);
+    rel.gc_commit = commit.gc_commit;
+    rel.owner_delta = commit.delta;
     Message m;
     m.src = kMasterUid;
     m.body = std::move(rel);
@@ -395,30 +325,18 @@ void DsmSystem::release_barrier() {
 }
 
 // ---------------------------------------------------------------------------
-// Consistency manager: garbage collection
+// GC choreography (protocol data lives in the engine)
 // ---------------------------------------------------------------------------
-
-OwnerDelta DsmSystem::compute_owner_delta() {
-  OwnerDelta delta;
-  for (PageId p = 0; p < num_pages(); ++p) {
-    const LastWrite& lw = last_writer_[p];
-    if (lw.uid != kNoUid && lw.uid != owner_[p]) {
-      delta.emplace_back(p, lw.uid);
-    }
-  }
-  return delta;
-}
 
 void DsmSystem::begin_gc_at_barrier() {
   stats().counter("dsm.gc_runs")++;
-  gc_requested_ = false;
   gc_in_progress_ = true;
-  gc_delta_ = compute_owner_delta();
+  gc_delta_ = engine_->gc_begin();
   gc_acks_outstanding_ = static_cast<int>(team_.size());
   for (Uid uid : team_) {
     GcPrepare gp;
     gp.owners = gc_delta_;
-    gp.intervals = collect_undelivered(uid);
+    gp.intervals = engine_->collect_undelivered(uid);
     Message m;
     m.src = kMasterUid;
     m.body = std::move(gp);
@@ -426,24 +344,14 @@ void DsmSystem::begin_gc_at_barrier() {
   }
 }
 
-void DsmSystem::master_gc_commit(const OwnerDelta& delta) {
-  for (const auto& [page, owner] : delta) {
-    owner_[page] = owner;
-  }
-  for (auto& lw : last_writer_) lw = {};
-  interval_log_.clear();
-  delivered_.clear();
-}
-
 void DsmSystem::on_gc_ack(const GcAck& /*msg*/) {
   ANOW_CHECK(gc_in_progress_);
   ANOW_CHECK(gc_acks_outstanding_ > 0);
   if (--gc_acks_outstanding_ > 0) return;
   gc_in_progress_ = false;
-  gc_commit_pending_ = true;
-  // The commit itself (owner map + log reset) happens at the master now;
-  // the processes commit when the release/fork delivers gc_commit=true.
-  master_gc_commit(gc_delta_);
+  // The master-side commit (owner map + log reset) happens now; the
+  // processes commit when the release/fork delivers gc_commit=true.
+  engine_->gc_finish(gc_delta_);
   switch (gc_resume_) {
     case GcResume::kBarrierRelease:
       release_barrier();
@@ -465,13 +373,12 @@ void DsmSystem::gc_at_fork() {
   ANOW_CHECK(!gc_in_progress_);
 
   stats().counter("dsm.gc_runs")++;
-  gc_requested_ = false;
-  OwnerDelta delta = compute_owner_delta();
+  OwnerDelta delta = engine_->gc_begin();
 
   // Deliver pending intervals + validate at the master first (fiber
   // context), then at the slaves (parked in Tmk_wait).
-  master.gc_prepare_serve_seq_ = master.serve_seq_;
-  master.integrate_intervals(collect_undelivered(kMasterUid));
+  master.engine().note_gc_prepare();
+  master.engine().integrate(engine_->collect_undelivered(kMasterUid));
   master.gc_validate(delta);
 
   gc_in_progress_ = true;
@@ -483,40 +390,47 @@ void DsmSystem::gc_at_fork() {
       if (uid == kMasterUid) continue;
       GcPrepare gp;
       gp.owners = delta;
-      gp.intervals = collect_undelivered(uid);
+      gp.intervals = engine_->collect_undelivered(uid);
       Message m;
       m.src = kMasterUid;
       m.body = std::move(gp);
       send(kMasterUid, uid, std::move(m));
     }
     cluster_.sim().wait(gc_fork_wp_, "gc acks");
-    // on_gc_ack performed master_gc_commit and set gc_commit_pending_.
+    // on_gc_ack performed the master-side gc_finish (the pending commit now
+    // rides on the next ForkMsg).
   } else {
     gc_in_progress_ = false;
-    gc_commit_pending_ = true;
-    master_gc_commit(delta);
+    engine_->gc_finish(delta);
     gc_resume_ = GcResume::kNone;
   }
-  // The master's local commit happens immediately; slaves commit on the
-  // next ForkMsg (gc_commit flag), which run_parallel assembles from
-  // gc_commit_pending_/gc_delta_... but master_gc_commit cleared the log,
-  // so gc_delta_ must still carry the owner changes for the fork message.
-  master.gc_commit(delta);
-  gc_delta_ = delta;
+  // The master's local (node-side) commit happens immediately; slaves
+  // commit on the next ForkMsg (gc_commit flag) assembled from the engine's
+  // pending commit.
+  master.engine().gc_commit_node(delta);
 }
 
 // ---------------------------------------------------------------------------
-// Consistency manager: locks
+// Locks (orchestration; interval logging goes through the engine)
 // ---------------------------------------------------------------------------
 
+DsmSystem::LockState& DsmSystem::lock_state(std::int32_t lock_id) {
+  ANOW_CHECK_MSG(lock_id >= 0 && lock_id < (1 << 20),
+                 "lock id out of range: " << lock_id);
+  if (lock_id >= static_cast<std::int32_t>(locks_.size())) {
+    locks_.resize(static_cast<std::size_t>(lock_id) + 1);
+  }
+  return locks_[static_cast<std::size_t>(lock_id)];
+}
+
 void DsmSystem::on_lock_acquire(const LockAcquireReq& msg) {
-  LockState& ls = locks_[msg.lock_id];
+  LockState& ls = lock_state(msg.lock_id);
   if (ls.holder == kNoUid) {
     ls.holder = msg.requester;
     stats().counter("dsm.lock_grants")++;
     LockGrant grant;
     grant.lock_id = msg.lock_id;
-    grant.intervals = collect_undelivered(msg.requester);
+    grant.intervals = engine_->collect_undelivered(msg.requester);
     Message m;
     m.src = kMasterUid;
     m.body = std::move(grant);
@@ -530,13 +444,10 @@ void DsmSystem::on_lock_acquire(const LockAcquireReq& msg) {
 }
 
 void DsmSystem::on_lock_release(const LockReleaseMsg& msg) {
-  LockState& ls = locks_[msg.lock_id];
+  LockState& ls = lock_state(msg.lock_id);
   ANOW_CHECK_MSG(ls.holder == msg.releaser,
                  "lock " << msg.lock_id << " released by non-holder");
-  ++lamport_clock_;
-  Interval iv = msg.interval;
-  iv.lamport = lamport_clock_;
-  log_interval(std::move(iv));
+  engine_->log_release(msg.interval);
   if (ls.queue.empty()) {
     ls.holder = kNoUid;
     return;
@@ -547,7 +458,7 @@ void DsmSystem::on_lock_release(const LockReleaseMsg& msg) {
   stats().counter("dsm.lock_grants")++;
   LockGrant grant;
   grant.lock_id = msg.lock_id;
-  grant.intervals = collect_undelivered(next);
+  grant.intervals = engine_->collect_undelivered(next);
   Message m;
   m.src = kMasterUid;
   m.body = std::move(grant);
@@ -563,7 +474,7 @@ void DsmSystem::on_join_ready(const JoinReady& msg) {
 
 void DsmSystem::send_page_map(Uid joiner) {
   PageMapMsg map;
-  map.owner_by_page = owner_;
+  map.owner_by_page = engine_->owner_by_page();
   Message m;
   m.src = kMasterUid;
   m.body = std::move(map);
@@ -578,7 +489,7 @@ void DsmSystem::restore_master_region(const std::vector<std::uint8_t>& region,
   DsmProcess& master = process(kMasterUid);
   std::copy(region.begin(), region.end(), master.region_.begin());
   heap_brk_ = heap_brk;
-  for (auto& o : owner_) o = kMasterUid;
+  engine_->reset_owners_to_master();
 }
 
 // ---------------------------------------------------------------------------
@@ -591,7 +502,7 @@ std::int64_t DsmSystem::master_collect_all_pages() {
                  "master_collect_all_pages outside the master fiber");
   std::int64_t fetched = 0;
   for (PageId p = 0; p < num_pages(); ++p) {
-    if (!master.pages_[p].is_valid()) {
+    if (!master.engine().page(p).is_valid()) {
       master.fault_in(p);
       ++fetched;
     }
@@ -606,13 +517,13 @@ std::int64_t DsmSystem::master_collect_all_pages() {
 util::StatsRegistry& DsmSystem::stats() { return cluster_.stats(); }
 
 sim::HostId DsmSystem::host_of(Uid uid) const {
-  return processes_.at(uid)->host();
+  return processes_[uid]->host();
 }
 
 void DsmSystem::send(Uid from, Uid to, Message msg) {
-  auto it = processes_.find(to);
-  ANOW_CHECK_MSG(it != processes_.end(), "send to unknown uid " << to);
-  DsmProcess* target = it->second.get();
+  ANOW_CHECK_MSG(to >= 0 && to < static_cast<Uid>(processes_.size()),
+                 "send to unknown uid " << to);
+  DsmProcess* target = processes_[to].get();
   // wire_bytes() must be taken before the capture moves msg (argument
   // evaluation order would otherwise be unspecified).
   const std::int64_t wire = msg.wire_bytes();

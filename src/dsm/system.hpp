@@ -1,16 +1,17 @@
 // DsmSystem — the TreadMarks-style runtime: process/team management,
-// fork-join primitives, the consistency manager (interval log, barriers,
-// locks), the shared heap allocator, and garbage collection.
+// fork-join primitives, barrier/lock orchestration, and the shared heap
+// allocator.
 //
-// The consistency-manager state lives here but is only mutated from master
-// handlers / the master fiber, mirroring TreadMarks' master-centric barrier
-// and our master-managed locks (DESIGN.md §5).
+// The consistency manager itself (interval log, delivery matrix, owner map,
+// GC policy) lives in the master-side ConsistencyEngine (dsm/protocol/);
+// this class drives it only from master handlers / the master fiber,
+// mirroring TreadMarks' master-centric barrier and our master-managed locks
+// (DESIGN.md §5).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "dsm/config.hpp"
 #include "dsm/msg.hpp"
 #include "dsm/process.hpp"
+#include "dsm/protocol/engine.hpp"
 #include "dsm/types.hpp"
 #include "sim/cluster.hpp"
 
@@ -64,7 +66,7 @@ class DsmSystem {
   void set_fork_hook(std::function<void()> hook) { fork_hook_ = std::move(hook); }
 
   /// Forces a garbage collection at the next fork or barrier.
-  void request_gc() { gc_requested_ = true; }
+  void request_gc() { engine_->request_gc(); }
 
   /// Runs a full GC cycle right now (master fiber, slaves parked in
   /// Tmk_wait): prepare/validate/ack; the commit rides on the next ForkMsg.
@@ -95,11 +97,16 @@ class DsmSystem {
   /// layer's job.
   void move_process(Uid uid, sim::HostId new_host);
 
-  /// Owner map access for the adaptive layer (leave protocol, joins).
-  const std::vector<Uid>& owner_by_page() const { return owner_; }
+  /// Owner map access for the adaptive layer (leave protocol, joins);
+  /// forwards to the master-side engine's authoritative map.
+  const std::vector<Uid>& owner_by_page() const {
+    return engine_->owner_by_page();
+  }
   void set_owner(PageId page, Uid owner);
   /// Pages currently owned by `uid` (by the master's authoritative map).
-  std::vector<PageId> pages_owned_by(Uid uid) const;
+  std::vector<PageId> pages_owned_by(Uid uid) const {
+    return engine_->pages_owned_by(uid);
+  }
   /// Records an ownership change to broadcast with the next fork.
   void queue_owner_update(PageId page, Uid owner);
 
@@ -117,6 +124,7 @@ class DsmSystem {
   /// Per-page protocol; must be set before start().
   void set_protocol_range(GAddr addr, std::size_t len, Protocol protocol);
   Protocol protocol_of(PageId page) const { return protocol_[page]; }
+  const std::vector<Protocol>& protocol_table() const { return protocol_; }
 
   PageId num_pages() const { return static_cast<PageId>(protocol_.size()); }
 
@@ -141,17 +149,12 @@ class DsmSystem {
   void send(Uid from, Uid to, Message msg);
   sim::HostId host_of(Uid uid) const;
 
-  // --- consistency manager (master-side state) -----------------------------------
+  // --- consistency-manager orchestration (master handlers) --------------------
   void on_barrier_arrive(const BarrierArrive& msg);
   void on_lock_acquire(const LockAcquireReq& msg);
   void on_lock_release(const LockReleaseMsg& msg);
   void on_gc_ack(const GcAck& msg);
   void on_join_ready(const JoinReady& msg);
-
-  /// Logs an interval (if non-empty) under a fresh lamport stamp.
-  void log_interval(Interval interval);
-  /// Intervals the target has not seen yet; marks them delivered.
-  std::vector<Interval> collect_undelivered(Uid target);
 
   void barrier_complete();
   void release_barrier();
@@ -159,9 +162,6 @@ class DsmSystem {
   /// GC at a barrier: sends GcPrepare to everyone; the release is sent once
   /// all acks are in (state machine driven by on_gc_ack).
   void begin_gc_at_barrier();
-  OwnerDelta compute_owner_delta();
-  void master_gc_commit(const OwnerDelta& delta);
-  bool gc_needed() const;
 
   sim::Cluster& cluster_;
   DsmConfig config_;
@@ -169,7 +169,9 @@ class DsmSystem {
   std::vector<std::string> task_names_;
   std::vector<Task> tasks_;
 
-  std::map<Uid, std::unique_ptr<DsmProcess>> processes_;
+  /// All processes ever created, indexed by uid (uids are dense and never
+  /// reused; terminated processes stay, marked !alive).
+  std::vector<std::unique_ptr<DsmProcess>> processes_;
   std::vector<Uid> team_;  // index = pid
   Uid next_uid_ = 0;
   bool started_ = false;
@@ -180,19 +182,9 @@ class DsmSystem {
   // Page metadata (globally agreed).
   std::vector<Protocol> protocol_;
 
-  // Master: authoritative owner map + last writer tracking.
-  std::vector<Uid> owner_;
-  struct LastWrite {
-    Uid uid = kNoUid;
-    std::int64_t lamport = -1;
-  };
-  std::vector<LastWrite> last_writer_;
-  OwnerDelta queued_owner_updates_;
-
-  // Master: interval log and delivery matrix.
-  std::map<Uid, std::vector<Interval>> interval_log_;
-  std::map<Uid, std::map<Uid, std::int32_t>> delivered_;
-  std::int64_t lamport_clock_ = 0;
+  /// Master-side consistency engine: interval log, delivery matrix, owner
+  /// map, last-writer tracking, GC policy (DESIGN.md §5).
+  std::unique_ptr<protocol::ConsistencyEngine> engine_;
 
   // Master: barrier state.
   std::int32_t barrier_id_ = -1;
@@ -200,22 +192,21 @@ class DsmSystem {
   std::vector<Interval> pending_intervals_;  // this epoch, lamport unset
   std::int64_t max_consistency_bytes_ = 0;
 
-  // Master: GC state.
-  bool gc_requested_ = false;
+  // Master: GC choreography (the protocol data lives in the engine).
   bool gc_in_progress_ = false;
   int gc_acks_outstanding_ = 0;
-  OwnerDelta gc_delta_;
-  bool gc_commit_pending_ = false;  // commit rides on next fork/release
+  OwnerDelta gc_delta_;  // in-flight delta, staged for GcPrepare messages
   enum class GcResume { kNone, kBarrierRelease, kForkHook } gc_resume_ =
       GcResume::kNone;
   sim::WaitPoint gc_fork_wp_;  // master fiber waits here in gc_at_fork()
 
-  // Master: locks.
+  // Master: locks, flat by lock id (application lock ids are small ints).
   struct LockState {
     Uid holder = kNoUid;
     std::deque<Uid> queue;
   };
-  std::map<std::int32_t, LockState> locks_;
+  LockState& lock_state(std::int32_t lock_id);
+  std::vector<LockState> locks_;
 
   // Joiners ready for adoption.
   std::vector<Uid> ready_joiners_;

@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -96,6 +97,94 @@ std::string Table::to_string() const {
   std::ostringstream os;
   print(os);
   return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonWriter::JsonWriter() = default;
+
+void JsonWriter::comma() {
+  ANOW_CHECK_MSG(!has_members_.empty(), "field outside any object");
+  if (has_members_.back()) out_ += ",";
+  has_members_.back() = true;
+}
+
+void JsonWriter::open_key(const std::string& key) {
+  comma();
+  out_ += "\"" + json_escape(key) + "\":";
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+  if (has_members_.empty()) {
+    ANOW_CHECK_MSG(key.empty() && out_.empty(),
+                   "root object must be unnamed and unique");
+  } else {
+    open_key(key);
+  }
+  out_ += "{";
+  has_members_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  ANOW_CHECK_MSG(!has_members_.empty(), "end_object without begin_object");
+  has_members_.pop_back();
+  out_ += "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key,
+                              const std::string& value) {
+  open_key(key);
+  out_ += "\"" + json_escape(value) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+  open_key(key);
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  out_ += os.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::int64_t value) {
+  open_key(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  ANOW_CHECK_MSG(has_members_.empty(), "unclosed JSON object");
+  return out_;
+}
+
+void JsonWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  ANOW_CHECK_MSG(out.good(), "cannot open " << path);
+  out << str() << "\n";
+  ANOW_CHECK_MSG(out.good(), "write failed: " << path);
 }
 
 std::string format_mb(std::int64_t bytes, int decimals) {

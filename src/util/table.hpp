@@ -47,6 +47,40 @@ class Table {
   bool pending_separator_ = false;
 };
 
+/// Minimal JSON emitter for machine-readable bench artifacts
+/// (BENCH_*.json): nested objects and scalar fields, emitted in insertion
+/// order.  Enough for flat perf records; not a general serializer.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  /// Opens a nested object; at the top level `key` must be empty exactly
+  /// once (the root), elsewhere it names the member.
+  JsonWriter& begin_object(const std::string& key = "");
+  JsonWriter& end_object();
+
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, std::int64_t value);
+  JsonWriter& field(const std::string& key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+
+  /// The serialized document; all objects must be closed.
+  std::string str() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  void comma();
+  void open_key(const std::string& key);
+
+  std::string out_;
+  std::vector<bool> has_members_;  // per open object
+};
+
 /// Formats a byte count as "123.45" megabytes (the unit Table 1 uses).
 std::string format_mb(std::int64_t bytes, int decimals = 2);
 

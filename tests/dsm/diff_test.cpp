@@ -172,6 +172,68 @@ TEST_P(DiffPropertyTest, RandomDisjointWritersMergeCommutatively) {
   }
 }
 
+TEST_P(DiffPropertyTest, StructuredRunPatternsRoundTrip) {
+  // Adversarial run structures for the scanner: dense alternating words
+  // (maximum run count), long runs with single-word gaps, and runs touching
+  // both page boundaries.
+  util::Rng rng(GetParam() * 6364136223846793005ull);
+  for (int iter = 0; iter < 40; ++iter) {
+    Page twin;
+    for (auto& byte : twin) byte = static_cast<std::uint8_t>(rng.next_u64());
+    Page cur = twin;
+    const int pattern = static_cast<int>(rng.next_below(3));
+    std::size_t expected_runs = 0;
+    if (pattern == 0) {
+      // Every other word changes: kWordsPerPage / 2 runs.
+      for (std::size_t w = 0; w < kWordsPerPage; w += 2) {
+        cur[w * kWordSize] ^= 0x5A;
+      }
+      expected_runs = kWordsPerPage / 2;
+    } else if (pattern == 1) {
+      // One long run with a single-word gap in the middle.
+      for (std::size_t w = 0; w < kWordsPerPage; ++w) {
+        if (w == kWordsPerPage / 2) continue;
+        cur[w * kWordSize + 1] ^= 0xC3;
+      }
+      expected_runs = 2;
+    } else {
+      // First and last word only.
+      cur[0] ^= 1;
+      cur[kPageSize - 1] ^= 1;
+      expected_runs = 2;
+    }
+    DiffBytes d = make_diff(twin.data(), cur.data());
+    EXPECT_TRUE(diff_is_valid(d));
+    EXPECT_EQ(diff_run_count(d), expected_runs);
+    Page target = twin;
+    apply_diff(target.data(), d);
+    EXPECT_EQ(std::memcmp(target.data(), cur.data(), kPageSize), 0);
+  }
+}
+
+TEST_P(DiffPropertyTest, DenseRandomChangesRoundTrip) {
+  // High change densities (up to the full page) stress the reserve path and
+  // the run coalescing; the empty diff must also stay valid.
+  util::Rng rng(GetParam() * 0x9e3779b97f4a7c15ull);
+  EXPECT_TRUE(diff_is_valid(DiffBytes{}));
+  for (double density : {0.05, 0.5, 0.95, 1.0}) {
+    Page twin, cur;
+    for (auto& byte : twin) byte = static_cast<std::uint8_t>(rng.next_u64());
+    cur = twin;
+    for (std::size_t w = 0; w < kWordsPerPage; ++w) {
+      if (rng.next_bool(density)) {
+        cur[w * kWordSize + rng.next_below(kWordSize)] ^=
+            static_cast<std::uint8_t>(1 + rng.next_below(255));
+      }
+    }
+    DiffBytes d = make_diff(twin.data(), cur.data());
+    EXPECT_TRUE(diff_is_valid(d));
+    Page target = twin;
+    apply_diff(target.data(), d);
+    EXPECT_EQ(std::memcmp(target.data(), cur.data(), kPageSize), 0);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DiffPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
