@@ -11,6 +11,7 @@
 #include <string>
 
 #include "apps/workload.hpp"
+#include "dsm/config.hpp"
 #include "harness/runner.hpp"
 #include "harness/schedule.hpp"
 #include "util/options.hpp"
@@ -21,6 +22,14 @@ namespace anow::bench {
 inline apps::Size size_from_options(const util::Options& opts) {
   if (opts.get_bool("full", false)) return apps::Size::kPaper;
   return apps::parse_size(opts.get_string("size", "bench"));
+}
+
+/// --engine {lrc,home}: which consistency engine the workloads run under
+/// (defaults to ANOW_ENGINE, else lrc).
+inline dsm::EngineKind engine_from_options(const util::Options& opts) {
+  return dsm::parse_engine_kind(opts.get_choice(
+      "engine", {"lrc", "home"},
+      dsm::engine_kind_name(dsm::engine_kind_from_env())));
 }
 
 inline void print_header(const std::string& title, const std::string& what) {

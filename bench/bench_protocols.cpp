@@ -1,0 +1,119 @@
+// Protocol ablation: the Table 1 workloads (gauss, jacobi, fft3d, nbf)
+// under both consistency engines — TreadMarks-style lazy release consistency
+// (diff archives, on-demand diff fetch) vs home-based LRC (eager flush to a
+// per-page home, full-page fetch on fault).
+//
+// This is the repo's first apples-to-apples engine comparison; every future
+// engine (sharded owners, adaptive home migration) plugs into the same
+// harness.  Results go to stdout and to BENCH_protocols.json: per-engine
+// virtual runtime, message count, total bytes, page/diff fetch counts, home
+// flushes, and the consistency-traffic metric (wire bytes of diff-fetch
+// rounds, home flushes, and page refetches that resolve pending notices —
+// the traffic that exists purely to move modifications, as opposed to
+// initial data distribution).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace anow;
+  util::Options opts(argc, argv);
+  opts.allow_only({"size", "full", "nodes", "apps"});
+  const apps::Size size = bench::size_from_options(opts);
+  const int nodes = static_cast<int>(opts.get_int("nodes", 8));
+
+  std::vector<std::string> apps = bench::table1_apps();
+  if (opts.has("apps")) {
+    // Comma-separated subset, e.g. --apps jacobi,gauss (CI smoke runs one).
+    apps.clear();
+    std::string list = opts.get_string("apps", "");
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+      const std::size_t comma = list.find(',', pos);
+      apps.push_back(list.substr(
+          pos, comma == std::string::npos ? comma : comma - pos));
+      pos = comma == std::string::npos ? comma : comma + 1;
+    }
+  }
+
+  bench::print_header(
+      "Protocol comparison — LRC vs home-based LRC, no adapt events",
+      std::string("Problem size preset: ") + apps::size_name(size) +
+          ", " + std::to_string(nodes) +
+          " nodes.  Consistency traffic = wire bytes of diff-fetch rounds, "
+          "home flushes, and invalidation-resolving page refetches.");
+
+  const dsm::EngineKind engines[] = {dsm::EngineKind::kLrc,
+                                     dsm::EngineKind::kHomeLrc};
+
+  util::Table t({"App (size)", "Engine", "Time(s)", "Messages", "MB",
+                 "Consistency KB", "Pages(4k)", "Diff fetches",
+                 "Home flushes", "GC runs"});
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("bench", "protocols");
+  json.field("schema_version", 1);
+  json.field("size", apps::size_name(size));
+  json.field("nodes", nodes);
+  json.begin_object("workloads");
+
+  for (const auto& app : apps) {
+    t.separator();
+    json.begin_object(app);
+    double checksum[2] = {0.0, 0.0};
+    int ei = 0;
+    for (const dsm::EngineKind engine : engines) {
+      harness::RunConfig cfg;
+      cfg.app = app;
+      cfg.size = size;
+      cfg.nprocs = nodes;
+      cfg.engine = engine;
+      cfg.adaptive = false;
+      const auto run = harness::run_workload(cfg);
+      checksum[ei++] = run.checksum;
+
+      const std::int64_t consistency_bytes =
+          run.stats.counter("dsm.consistency_traffic_bytes");
+      const std::int64_t home_flushes =
+          run.stats.counter("dsm.home_flushes");
+      const std::int64_t gc_runs = run.stats.counter("dsm.gc_runs");
+
+      auto& row = t.row();
+      row.add(run.app + " (" + run.size_desc + ")");
+      row.add(dsm::engine_kind_name(engine));
+      row.add(run.seconds, 2);
+      row.add(run.messages);
+      row.add(util::format_mb(run.bytes));
+      row.add(static_cast<double>(consistency_bytes) / 1024.0, 1);
+      row.add(run.page_fetches);
+      row.add(run.diff_fetches);
+      row.add(home_flushes);
+      row.add(gc_runs);
+
+      json.begin_object(dsm::engine_kind_name(engine));
+      json.field("seconds", run.seconds);
+      json.field("messages", run.messages);
+      json.field("bytes", run.bytes);
+      json.field("consistency_traffic_bytes", consistency_bytes);
+      json.field("page_fetches", run.page_fetches);
+      json.field("diff_fetches", run.diff_fetches);
+      json.field("home_flushes", home_flushes);
+      json.field("gc_runs", gc_runs);
+      json.field("checksum", run.checksum);
+      json.end_object();
+    }
+    if (checksum[0] != checksum[1]) {
+      std::cerr << "WARNING: checksum differs between engines for " << app
+                << " (" << checksum[0] << " vs " << checksum[1] << ")\n";
+    }
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  t.print(std::cout);
+  json.write_file("BENCH_protocols.json");
+  std::cout << "\nWrote BENCH_protocols.json\n";
+  return 0;
+}

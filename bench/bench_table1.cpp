@@ -13,14 +13,16 @@
 int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
-  opts.allow_only({"size", "full", "nodes"});
+  opts.allow_only({"size", "full", "nodes", "engine"});
   const apps::Size size = bench::size_from_options(opts);
+  const dsm::EngineKind engine = bench::engine_from_options(opts);
 
   bench::print_header(
       "Table 1 — execution times and network traffic, no adapt events",
       std::string("Problem size preset: ") + apps::size_name(size) +
           " (use --full for the paper's sizes; paper numbers are for the "
-          "paper sizes only)");
+          "paper sizes only); consistency engine: " +
+          dsm::engine_kind_name(engine));
 
   // Paper values for the --full configuration, for side-by-side comparison.
   struct PaperRow {
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
       cfg.app = app;
       cfg.size = size;
       cfg.nprocs = nodes;
+      cfg.engine = engine;
 
       cfg.adaptive = false;
       auto std_run = harness::run_workload(cfg);
@@ -101,6 +104,7 @@ int main(int argc, char** argv) {
     cfg.app = app;
     cfg.size = size;
     cfg.nprocs = node_counts.front();
+    cfg.engine = engine;
     auto run = harness::run_workload(cfg);
     t2.row().add(run.app).add(cfg.nprocs).add(run.adapt_point_interval_s, 3);
   }

@@ -1,7 +1,7 @@
 // Quickstart: run an OpenMP-style parallel program on a simulated NOW and
 // watch it transparently absorb a joining workstation and survive a leave.
 //
-//   ./examples/quickstart
+//   ./examples/quickstart [--engine {lrc,home}]
 //
 // The program is a small Jacobi relaxation.  The key thing to notice is
 // that the application code never mentions joins or leaves: the iteration
@@ -14,6 +14,7 @@
 #include "dsm/system.hpp"
 #include "ompx/runtime.hpp"
 #include "sim/cluster.hpp"
+#include "util/options.hpp"
 
 using namespace anow;
 
@@ -30,11 +31,18 @@ constexpr int kIters = 120;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Options opts(argc, argv);
+  opts.allow_only({"engine"});
   // A NOW with 4 workstations; one more becomes available later.
   sim::Cluster cluster({}, 5);
   dsm::DsmConfig config;
   config.heap_bytes = 8 << 20;
+  config.engine = dsm::parse_engine_kind(opts.get_choice(
+      "engine", {"lrc", "home"},
+      dsm::engine_kind_name(dsm::engine_kind_from_env())));
+  std::cout << "consistency engine: " << dsm::engine_kind_name(config.engine)
+            << "\n";
   dsm::DsmSystem dsm(cluster, config);
   ompx::Runtime omp(dsm);
   core::AdaptiveRuntime adapt(dsm);

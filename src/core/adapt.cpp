@@ -174,6 +174,11 @@ void AdaptiveRuntime::on_fork() {
 
   std::vector<AdaptRecord> point_records;
 
+  // One owner-map scan covers every leaver at this point (leavers own
+  // disjoint page sets, so earlier re-owns cannot stale later lists).
+  std::vector<std::vector<dsm::PageId>> owned_by_all;
+  if (any_leave) owned_by_all = system_.pages_owned_by_all();
+
   for (auto& [id, leave] : pending_leaves_) {
     if (leave.done) continue;
     const Uid uid = team_process_on(leave.host);
@@ -184,7 +189,9 @@ void AdaptiveRuntime::on_fork() {
       // resolve on a later pass).
       continue;
     }
-    handle_leave_of(uid);
+    handle_leave_of(uid, static_cast<std::size_t>(uid) < owned_by_all.size()
+                             ? owned_by_all[static_cast<std::size_t>(uid)]
+                             : std::vector<dsm::PageId>{});
     leave.done = true;
     AdaptRecord rec;
     rec.kind = AdaptKind::kLeave;
@@ -240,12 +247,12 @@ void AdaptiveRuntime::on_fork() {
   }
 }
 
-void AdaptiveRuntime::handle_leave_of(Uid uid) {
+void AdaptiveRuntime::handle_leave_of(Uid uid,
+                                      const std::vector<dsm::PageId>& owned) {
   // Paper §4.2: after the GC it suffices for the master to fetch all pages
   // exclusively owned by the leaving process and invalid on the master, and
   // to tell everyone it now owns them.
   auto& master = system_.process(kMasterUid);
-  const auto owned = system_.pages_owned_by(uid);
   std::int64_t fetched = 0;
   for (dsm::PageId p : owned) {
     master.read_range(dsm::page_base(p), dsm::kPageSize);  // no-op if valid

@@ -69,7 +69,9 @@ class AdaptiveRuntime {
   /// The adaptation point: runs in the master fiber before every fork.
   void on_fork();
   /// Normal leave: master re-owns the leaver's pages and expels it (§4.2).
-  void handle_leave_of(dsm::Uid uid);
+  /// `owned` = the leaver's page list from one shared pages_owned_by_all
+  /// scan over all of this adaptation point's leavers.
+  void handle_leave_of(dsm::Uid uid, const std::vector<dsm::PageId>& owned);
   /// Urgent leave: grace expired mid-construct — migrate and multiplex.
   void migrate(PendingLeave& leave);
   void stats_record_migration(PendingLeave& leave, sim::Time duration);

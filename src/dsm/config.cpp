@@ -1,0 +1,34 @@
+#include "dsm/config.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace anow::dsm {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kLrc:
+      return "lrc";
+    case EngineKind::kHomeLrc:
+      return "home";
+  }
+  return "?";
+}
+
+EngineKind parse_engine_kind(const std::string& name) {
+  if (name == "lrc") return EngineKind::kLrc;
+  if (name == "home" || name == "home_lrc") return EngineKind::kHomeLrc;
+  ANOW_CHECK_MSG(false, "unknown engine '" << name << "' (want lrc|home)");
+}
+
+EngineKind engine_kind_from_env() {
+  static const EngineKind kind = [] {
+    const char* env = std::getenv("ANOW_ENGINE");
+    return env != nullptr && *env != '\0' ? parse_engine_kind(env)
+                                          : EngineKind::kLrc;
+  }();
+  return kind;
+}
+
+}  // namespace anow::dsm

@@ -2,11 +2,31 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dsm/types.hpp"
 
 namespace anow::dsm {
+
+/// Which consistency engine runs the protocol (DESIGN.md §5/§6).
+enum class EngineKind : std::uint8_t {
+  /// TreadMarks-style lazy release consistency: writers archive diffs,
+  /// faulting readers pull one diff per concurrent writer.
+  kLrc,
+  /// Home-based LRC: diffs are eagerly flushed to a per-page home at
+  /// release points; writers keep no archives and faulting readers fetch
+  /// one full page from the home.
+  kHomeLrc,
+};
+
+const char* engine_kind_name(EngineKind kind);
+/// Parses "lrc" / "home" (also accepts "home_lrc"); throws on anything else.
+EngineKind parse_engine_kind(const std::string& name);
+/// Default engine: ANOW_ENGINE environment variable ("lrc" / "home"),
+/// falling back to kLrc.  Lets CI run the whole test suite under either
+/// engine without touching every DsmConfig construction site.
+EngineKind engine_kind_from_env();
 
 /// How pids are reassigned when processes leave (paper §5.4 lists "the
 /// process id reassignment algorithm" among the cost factors; Figure 3 shows
@@ -26,6 +46,9 @@ struct DsmConfig {
   /// Size of the global shared region; fixed for the lifetime of the system
   /// (TreadMarks pre-maps the shared heap).
   std::int64_t heap_bytes = 16ll << 20;
+
+  /// Consistency protocol variant (defaults to ANOW_ENGINE, else LRC).
+  EngineKind engine = engine_kind_from_env();
 
   /// Protocol for pages not covered by a protocol_override.
   Protocol default_protocol = Protocol::kMultiWriter;

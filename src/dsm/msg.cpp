@@ -34,6 +34,14 @@ struct WireSize {
     }
     return total;
   }
+  std::int64_t operator()(const HomeFlush& m) const {
+    std::int64_t total = 16;
+    for (const auto& pg : m.pages) {
+      total += 8 + static_cast<std::int64_t>(pg.diff.size());
+    }
+    return total;
+  }
+  std::int64_t operator()(const HomeFlushAck&) const { return 16; }
   std::int64_t operator()(const BarrierArrive& m) const {
     return 16 + m.interval.wire_bytes();
   }
@@ -70,6 +78,13 @@ struct WireSize {
 
 std::int64_t Message::wire_bytes() const {
   return std::visit(WireSize{}, body);
+}
+
+bool Message::is_consistency_traffic() const {
+  return std::holds_alternative<DiffRequest>(body) ||
+         std::holds_alternative<DiffReply>(body) ||
+         std::holds_alternative<HomeFlush>(body) ||
+         std::holds_alternative<HomeFlushAck>(body);
 }
 
 }  // namespace anow::dsm

@@ -58,6 +58,31 @@ struct DiffReply {
   std::uint64_t cookie = 0;
 };
 
+/// One page's encoded diff of one finished interval, eagerly pushed to the
+/// page's home at a release point (home-based LRC).  An empty diff still
+/// carries the (writer, iseq) so the home's applied map covers the interval
+/// even when no word changed.
+struct HomeFlushPage {
+  PageId page = -1;
+  std::int32_t iseq = 0;
+  DiffBytes diff;
+};
+
+/// Batched eager flush: every dirty page of one release interval that shares
+/// a home travels in one message (one round per home per release).  The
+/// writer blocks on the ack before announcing the interval to the master, so
+/// a write notice can never exist anywhere before its data is at the home.
+struct HomeFlush {
+  Uid writer = kNoUid;
+  std::vector<HomeFlushPage> pages;
+  std::uint64_t cookie = 0;
+};
+
+struct HomeFlushAck {
+  std::int64_t applied_bytes = 0;
+  std::uint64_t cookie = 0;
+};
+
 struct BarrierArrive {
   Uid uid = kNoUid;
   std::int32_t barrier_id = 0;
@@ -135,12 +160,19 @@ struct PageMapMsg {
 
 struct Message {
   Uid src = kNoUid;
-  std::variant<PageRequest, PageReply, DiffRequest, DiffReply, BarrierArrive,
-               BarrierRelease, GcPrepare, GcAck, LockAcquireReq, LockGrant,
-               LockReleaseMsg, ForkMsg, TerminateMsg, JoinReady, PageMapMsg>
+  std::variant<PageRequest, PageReply, DiffRequest, DiffReply, HomeFlush,
+               HomeFlushAck, BarrierArrive, BarrierRelease, GcPrepare, GcAck,
+               LockAcquireReq, LockGrant, LockReleaseMsg, ForkMsg,
+               TerminateMsg, JoinReady, PageMapMsg>
       body;
 
   std::int64_t wire_bytes() const;
+  /// Message kinds that exist purely to move modifications (diff fetch
+  /// rounds, home flushes).  Together with full-page refetches that
+  /// resolve pending notices (counted at the fetch site, where the intent
+  /// is known), this forms the engine-comparison consistency-traffic
+  /// metric.
+  bool is_consistency_traffic() const;
 };
 
 }  // namespace anow::dsm

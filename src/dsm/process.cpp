@@ -129,18 +129,28 @@ void DsmProcess::fetch_page_copy(PageId page, bool must_cover_pending) {
   const Uid src = engine_->pick_page_source(page);
   ANOW_CHECK_MSG(src != uid_,
                  "page " << page << " owner hint points at self but no copy");
+  // A fetch that resolves pending notices exists purely to move
+  // modifications (LRC single-writer refetch, home-based refetch) — the
+  // same role as a diff-fetch round — and counts as consistency traffic;
+  // a first-touch fetch is initial data distribution and does not.
+  const bool resolves_invalidation = !engine_->page(page).pending.empty();
   const std::uint64_t cookie = new_cookie();
   Message req;
   req.src = uid_;
   req.body = PageRequest{uid_, page, 0, cookie};
+  const std::int64_t req_wire = req.wire_bytes();
   Message reply = rpc(src, std::move(req), cookie);
+  if (resolves_invalidation) {
+    system_.stats().counter("dsm.consistency_traffic_bytes") +=
+        req_wire + reply.wire_bytes();
+  }
   auto& pr = std::get<PageReply>(reply.body);
   ANOW_CHECK(pr.page == page);
   ANOW_CHECK(pr.data.size() == kPageSize);
-  std::memcpy(region_.data() + page_base(page), pr.data.data(), kPageSize);
+  engine_->install_copy(page, pr.data.data(), pr.applied,
+                        must_cover_pending);
   ANOW_PTRACE(page, "fetched full copy from " << reply.src << " val="
                         << *cptr<std::int64_t>(page_base(page)));
-  engine_->install_copy(page, pr.applied, must_cover_pending);
 }
 
 void DsmProcess::fault_in(PageId page) {
@@ -149,7 +159,8 @@ void DsmProcess::fault_in(PageId page) {
   compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
 
   if (!engine_->page(page).have_copy) {
-    fetch_page_copy(page, /*must_cover_pending=*/false);
+    // A home fetch covers every pending notice by construction.
+    fetch_page_copy(page, engine_->full_copy_covers_pending());
   }
   if (!engine_->page(page).pending.empty()) {
     apply_pending_diffs(page);
@@ -188,6 +199,13 @@ std::vector<DiffReply> DsmProcess::fetch_diffs(
 }
 
 void DsmProcess::apply_pending_diffs(PageId page) {
+  // Home-based engines: one full-page fetch from the home covers every
+  // pending notice, whatever the page's write-sharing protocol.
+  if (engine_->full_copy_covers_pending()) {
+    fetch_page_copy(page, /*must_cover_pending=*/true);
+    return;
+  }
+
   // Our own un-diffed interval must be captured before remote diffs are
   // merged into the local copy (they would otherwise leak into our diff).
   if (engine_->flush_lazy_twin(page)) {
@@ -213,6 +231,13 @@ void DsmProcess::apply_pending_diffs(PageId page) {
 }
 
 void DsmProcess::apply_owner_hints(const OwnerDelta& delta) {
+  // Home engine: a newly-assigned home missing a concurrent writer's words
+  // re-validates from the old home *before* the hints flip (its own hint
+  // still names the old home, which keeps a complete copy).
+  for (PageId p : engine_->pages_to_validate_before_delta(delta)) {
+    system_.stats().counter("dsm.home_validation_faults")++;
+    fault_in(p);
+  }
   for (const auto& [page, owner] : delta) {
     engine_->page(page).owner_hint = owner;
   }
@@ -222,10 +247,52 @@ void DsmProcess::apply_owner_hints(const OwnerDelta& delta) {
 // Synchronization
 // ---------------------------------------------------------------------------
 
+void DsmProcess::flush_homes() {
+  const auto plans = engine_->plan_home_flush();
+  if (plans.empty()) return;
+  // Diff creation (one page scan per flushed diff) happens on this node.
+  std::int64_t pages = 0;
+  for (const auto& plan : plans) {
+    pages += static_cast<std::int64_t>(plan.pages.size());
+  }
+  compute(static_cast<double>(pages) *
+          sim::to_seconds(system_.cluster().cost().diff_create_time(
+              kPageSize)));
+  flush_cpu();
+  system_.stats().counter("dsm.home_flushes") +=
+      static_cast<std::int64_t>(plans.size());
+  // One batched message per home, issued in parallel; the acks gate the
+  // release announcement (no write notice may precede its data's arrival
+  // at the home).
+  std::vector<std::uint64_t> cookies;
+  cookies.reserve(plans.size());
+  for (const auto& plan : plans) {
+    const std::uint64_t cookie = new_cookie();
+    register_reply(cookie);  // register before send
+    Message msg;
+    msg.src = uid_;
+    HomeFlush flush;
+    flush.writer = uid_;
+    flush.pages = plan.pages;
+    flush.cookie = cookie;
+    msg.body = std::move(flush);
+    system_.send(uid_, plan.home, std::move(msg));
+    cookies.push_back(cookie);
+  }
+  for (const std::uint64_t cookie : cookies) {
+    PendingReply* pr = find_reply(cookie);
+    if (!pr->ready) {
+      system_.cluster().sim().wait(pr->wp, "home flush ack");
+    }
+    erase_reply(cookie);
+  }
+}
+
 void DsmProcess::barrier(std::int32_t barrier_id) {
   flush_cpu();
   system_.stats().counter("dsm.barrier_waits")++;
   Interval iv = engine_->finish_interval();
+  flush_homes();
   Message arrive;
   arrive.src = uid_;
   arrive.body = BarrierArrive{uid_, barrier_id, std::move(iv),
@@ -274,6 +341,7 @@ void DsmProcess::lock_acquire(std::int32_t lock_id) {
 void DsmProcess::lock_release(std::int32_t lock_id) {
   flush_cpu();
   Interval iv = engine_->finish_interval();
+  flush_homes();
   Message rel;
   rel.src = uid_;
   rel.body = LockReleaseMsg{uid_, lock_id, std::move(iv)};
@@ -307,13 +375,14 @@ void DsmProcess::gc_validate(const OwnerDelta& owners) {
   const std::vector<PageId> need = engine_->gc_pages_to_validate(owners);
   // Batchable: multi-writer pages with a copy, whose pending notices are
   // pure diff traffic — validated with one message round per creator
-  // instead of one per page.  The rest (no copy yet, or single-writer
-  // full-copy fetches) go through the normal fault path.
+  // instead of one per page.  The rest (no copy yet, single-writer
+  // full-copy fetches, or any page of a home-based engine, which has no
+  // diffs to batch) go through the normal fault path.
   std::vector<PageId> batchable;
   std::vector<PageId> rest;
   for (PageId p : need) {
     const auto& pm = engine_->page(p);
-    if (pm.have_copy &&
+    if (pm.have_copy && !engine_->full_copy_covers_pending() &&
         engine_->protocol_of(p) == Protocol::kMultiWriter) {
       batchable.push_back(p);
     } else {
@@ -361,9 +430,13 @@ void DsmProcess::handle(Message msg) {
           handle_page_request(body, msg.src);
         } else if constexpr (std::is_same_v<T, DiffRequest>) {
           handle_diff_request(body, msg.src);
+        } else if constexpr (std::is_same_v<T, HomeFlush>) {
+          handle_home_flush(body);
         } else if constexpr (std::is_same_v<T, PageReply>) {
           deliver_reply(body.cookie, std::move(msg));
         } else if constexpr (std::is_same_v<T, DiffReply>) {
+          deliver_reply(body.cookie, std::move(msg));
+        } else if constexpr (std::is_same_v<T, HomeFlushAck>) {
           deliver_reply(body.cookie, std::move(msg));
         } else if constexpr (std::is_same_v<T, BarrierArrive>) {
           ANOW_CHECK(is_master());
@@ -436,6 +509,23 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
       system_.cluster().cost().page_service,
       [this, requester, m = std::move(m)]() mutable {
         system_.send(uid_, requester, std::move(m));
+      });
+}
+
+void DsmProcess::handle_home_flush(const HomeFlush& msg) {
+  ANOW_CHECK_MSG(alive_, "home flush reached terminated process " << uid_);
+  const std::int64_t applied = engine_->apply_home_flush(msg.writer,
+                                                         msg.pages);
+  // Diff application on the home before the ack leaves.
+  const sim::Time service = system_.cluster().cost().diff_service_fixed +
+                            system_.cluster().cost().diff_apply_time(applied);
+  Message m;
+  m.src = uid_;
+  m.body = HomeFlushAck{applied, msg.cookie};
+  const Uid writer = msg.writer;
+  system_.cluster().sim().after(
+      service, [this, writer, m = std::move(m)]() mutable {
+        system_.send(uid_, writer, std::move(m));
       });
 }
 

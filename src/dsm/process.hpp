@@ -107,6 +107,7 @@ class DsmProcess {
   void handle(Message msg);
   void handle_page_request(const PageRequest& req, Uid src);
   void handle_diff_request(const DiffRequest& req, Uid src);
+  void handle_home_flush(const HomeFlush& msg);
   void deliver_reply(std::uint64_t cookie, Message msg);
   /// Sends a request and parks until the matching reply (by cookie) arrives.
   Message rpc(Uid dst, Message msg, std::uint64_t cookie);
@@ -125,6 +126,13 @@ class DsmProcess {
   /// (TreadMarks overlaps these fetches).
   std::vector<DiffReply> fetch_diffs(
       const std::vector<protocol::DiffFetchPlan>& plans);
+  /// Home-based engines: pushes the finished interval's diffs to their
+  /// homes (one batched message per home, issued in parallel) and blocks on
+  /// the acks.  Must run after finish_interval and before the interval is
+  /// announced to the master.  No-op for archive-based engines.
+  void flush_homes();
+  /// Validates pages the engine requires (new homes), then applies the
+  /// delta as owner hints.
   void apply_owner_hints(const OwnerDelta& delta);
 
   // --- GC ------------------------------------------------------------------------

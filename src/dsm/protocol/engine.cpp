@@ -1,5 +1,8 @@
 #include "dsm/protocol/engine.hpp"
 
+#include <algorithm>
+
+#include "dsm/protocol/home_lrc_engine.hpp"
 #include "dsm/protocol/lrc_engine.hpp"
 #include "util/check.hpp"
 
@@ -47,10 +50,49 @@ std::int64_t ConsistencyEngine::resident_pages() const {
   return n;
 }
 
+bool ConsistencyEngine::note_exclusive_write(PageId p) {
+  PageMeta& pm = page(p);
+  if (!pm.exclusive) return false;
+  pm.exclusive_rw = true;
+  pm.exclusive_epoch = epoch_;
+  return true;
+}
+
+std::int64_t ConsistencyEngine::apply_home_flush(
+    Uid /*writer*/, const std::vector<HomeFlushPage>& /*pages*/) {
+  ANOW_CHECK_MSG(false, "engine " << name() << " does not accept home "
+                                  << "flushes");
+}
+
 std::vector<PageId> ConsistencyEngine::pages_owned_by(Uid uid) const {
+  // Count first so the output allocates exactly once.
+  std::size_t n = 0;
+  for (const Uid o : owner_) {
+    if (o == uid) ++n;
+  }
   std::vector<PageId> out;
+  out.reserve(n);
   for (PageId p = 0; p < static_cast<PageId>(owner_.size()); ++p) {
     if (owner_[static_cast<std::size_t>(p)] == uid) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::vector<PageId>> ConsistencyEngine::pages_owned_by_all()
+    const {
+  // Single scan: size the per-uid buckets, then fill them, instead of one
+  // O(num_pages) pass per uid.
+  Uid max_uid = kNoUid;
+  for (const Uid o : owner_) max_uid = std::max(max_uid, o);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(max_uid + 1), 0);
+  for (const Uid o : owner_) {
+    if (o >= 0) ++counts[static_cast<std::size_t>(o)];
+  }
+  std::vector<std::vector<PageId>> out(counts.size());
+  for (std::size_t u = 0; u < counts.size(); ++u) out[u].reserve(counts[u]);
+  for (PageId p = 0; p < static_cast<PageId>(owner_.size()); ++p) {
+    const Uid o = owner_[static_cast<std::size_t>(p)];
+    if (o >= 0) out[static_cast<std::size_t>(o)].push_back(p);
   }
   return out;
 }
@@ -80,7 +122,13 @@ PendingOwnerCommit ConsistencyEngine::take_pending_commit(
 }
 
 std::unique_ptr<ConsistencyEngine> make_engine(const DsmConfig& config) {
-  return std::make_unique<LrcEngine>(config);
+  switch (config.engine) {
+    case EngineKind::kLrc:
+      return std::make_unique<LrcEngine>(config);
+    case EngineKind::kHomeLrc:
+      return std::make_unique<HomeLrcEngine>(config);
+  }
+  ANOW_CHECK_MSG(false, "unknown engine kind");
 }
 
 }  // namespace anow::dsm::protocol

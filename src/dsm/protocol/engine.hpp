@@ -76,6 +76,13 @@ struct DiffFetchPlan {
   std::vector<DiffPageRequest> pages;
 };
 
+/// One batched eager flush a home-based engine wants issued at a release
+/// point: every diff of the finished interval whose pages share a home.
+struct HomeFlushPlan {
+  Uid home = kNoUid;
+  std::vector<HomeFlushPage> pages;
+};
+
 /// Owner-map changes to broadcast with the next fork or barrier release.
 struct PendingOwnerCommit {
   bool gc_commit = false;
@@ -118,10 +125,11 @@ class ConsistencyEngine {
   /// Re-checks exclusivity after the (possibly parked) write trap: if the
   /// page is still exclusive, write-enables it under the current epoch and
   /// returns true.  Returns false when a concurrent serve revoked it.
-  virtual bool note_exclusive_write(PageId p) = 0;
+  bool note_exclusive_write(PageId p);
   /// Converts a lazy twin (finished interval whose diff was never made)
   /// into an archived diff.  Returns true when a diff was materialized, so
-  /// the caller can charge the creation cost.
+  /// the caller can charge the creation cost.  Home-based engines have no
+  /// lazy twins (diffs are flushed at release) and always return false.
   virtual bool flush_lazy_twin(PageId p) = 0;
   /// Declares a write in the current interval: twin (multi-writer) + dirty.
   virtual void declare_write(PageId p) = 0;
@@ -129,12 +137,18 @@ class ConsistencyEngine {
   // --- read fault path ---------------------------------------------------
   /// Where to fetch a full copy of the page from.
   virtual Uid pick_page_source(PageId p) const = 0;
-  /// Installs a fetched full-page copy (the caller already memcpy'd the
-  /// payload into the region): records the applied map and prunes pending
-  /// notices the copy covers.  With `must_cover_pending`, every pending
-  /// notice must be covered (single-writer fetch from the last writer).
-  virtual void install_copy(PageId p, const AppliedMap& applied,
+  /// Installs a fetched full-page copy: writes the kPageSize payload into
+  /// the region (merging local uncommitted writes where the engine keeps
+  /// them), records the applied map, and prunes pending notices the copy
+  /// covers.  With `must_cover_pending`, every pending notice must be
+  /// covered (single-writer fetch from the last writer / home fetch).
+  virtual void install_copy(PageId p, const std::uint8_t* data,
+                            const AppliedMap& applied,
                             bool must_cover_pending) = 0;
+  /// True when any full-page fetch from pick_page_source covers every
+  /// pending notice (home-based: the home is always complete), so the
+  /// fault path re-fetches the page instead of fetching diffs.
+  virtual bool full_copy_covers_pending() const { return false; }
   /// Groups the pending notices of `pages` into one fetch plan per creator.
   virtual std::vector<DiffFetchPlan> plan_diff_fetches(const PageId* pages,
                                                        std::size_t count) = 0;
@@ -143,13 +157,26 @@ class ConsistencyEngine {
   virtual std::int64_t apply_fetched_diffs(
       PageId p, const std::vector<DiffReply>& replies) = 0;
 
+  // --- release flush (home-based engines) --------------------------------
+  /// Diffs of the just-finished interval to push eagerly, one plan per
+  /// home.  The process sends them and blocks on the acks *before*
+  /// announcing the interval, so no write notice can exist before its data
+  /// is at the home.  Archive-based engines flush nothing.
+  virtual std::vector<HomeFlushPlan> plan_home_flush() { return {}; }
+  /// Home side of the flush (event context): applies the diffs to the
+  /// local copy, bumps the applied map, prunes covered pending notices.
+  /// Returns encoded bytes applied (for cost accounting).
+  virtual std::int64_t apply_home_flush(
+      Uid writer, const std::vector<HomeFlushPage>& pages);
+
   // --- serve side (event context, never blocks) --------------------------
   /// Prepares serving a full-page copy: ends exclusivity (conservative twin
-  /// if the owner may be mid-write).  Returns false when this node holds no
-  /// copy and the request must be forwarded.
+  /// if the owner may be mid-write).  Returns false when this node cannot
+  /// serve (no copy, or a stale copy a home-based reader must not see) and
+  /// the request must be forwarded.
   virtual bool prepare_serve(PageId p) = 0;
   /// Marks the page served (exclusivity re-grant bookkeeping).
-  virtual void record_serve(PageId p) = 0;
+  void record_serve(PageId p) { page(p).last_served = ++serve_seq_; }
   /// Collects archived diffs for a batched request, materializing lazy
   /// twins on demand.  Returns the number of diffs materialized (the caller
   /// charges creation cost per materialization).
@@ -165,7 +192,7 @@ class ConsistencyEngine {
 
   // --- GC, node side -----------------------------------------------------
   /// Snapshot the serve sequence at GC prepare (exclusivity soundness).
-  virtual void note_gc_prepare() = 0;
+  void note_gc_prepare() { gc_prepare_serve_seq_ = serve_seq_; }
   /// Pages this node will own after the delta and must make fully valid.
   virtual std::vector<PageId> gc_pages_to_validate(
       const OwnerDelta& owners) = 0;
@@ -173,12 +200,24 @@ class ConsistencyEngine {
   /// and re-grants exclusivity where provably sound.
   virtual void gc_commit_node(const OwnerDelta& delta) = 0;
 
+  /// Pages the process must make fully valid (fiber context, blocking
+  /// fetches allowed) *before* `delta` may be applied as owner hints.
+  /// Home-based engines return newly-assigned homes whose copy is still
+  /// missing a concurrent writer's words; others return nothing.
+  virtual std::vector<PageId> pages_to_validate_before_delta(
+      const OwnerDelta& delta) {
+    (void)delta;
+    return {};
+  }
+
   // --- accounting --------------------------------------------------------
   /// Twins + own diff archive + pending notices (drives the GC threshold).
   std::int64_t consistency_bytes() const {
     return archive_bytes_ + twin_bytes_ +
            pending_count_ * static_cast<std::int64_t>(sizeof(PendingNotice));
   }
+  /// Bytes held in this node's diff archive (home-based engines keep none).
+  std::int64_t archived_diff_bytes() const { return archive_bytes_; }
   std::int64_t resident_pages() const;
 
   // ========================= master side =================================
@@ -206,6 +245,10 @@ class ConsistencyEngine {
     owner_[static_cast<std::size_t>(p)] = owner;
   }
   std::vector<PageId> pages_owned_by(Uid uid) const;
+  /// Page lists of *all* uids in one scan of the owner map (index = uid;
+  /// sized to the highest owner present).  Use this instead of repeated
+  /// pages_owned_by calls when iterating several processes.
+  std::vector<std::vector<PageId>> pages_owned_by_all() const;
   /// Records an ownership change to broadcast with the next fork.
   void queue_owner_update(PageId p, Uid owner);
   /// Checkpoint restore: every page returns to the master.
@@ -215,7 +258,11 @@ class ConsistencyEngine {
   void request_gc() { gc_requested_ = true; }
   /// Whether a GC should run at this barrier, given the largest
   /// consistency-metadata footprint any process reported.
-  virtual bool gc_should_run(std::int64_t max_consistency_bytes) const = 0;
+  virtual bool gc_should_run(std::int64_t max_consistency_bytes) const {
+    return gc_requested_ ||
+           (config_->auto_gc &&
+            max_consistency_bytes > config_->gc_threshold_bytes);
+  }
   /// Starts a GC: computes the owner delta (last writer wins) and clears
   /// the request flag.
   virtual OwnerDelta gc_begin() = 0;
@@ -243,6 +290,8 @@ class ConsistencyEngine {
   std::vector<PageMeta> pages_;
   std::vector<PageId> dirty_pages_;
   std::int32_t next_iseq_ = 1;
+  std::uint64_t serve_seq_ = 1;
+  std::uint64_t gc_prepare_serve_seq_ = 0;
   /// Bumped at every release point and construct start.
   std::int64_t epoch_ = 0;
   std::int64_t archive_bytes_ = 0;
@@ -257,7 +306,7 @@ class ConsistencyEngine {
   OwnerDelta pending_delta_;
 };
 
-/// Builds the engine selected by the configuration (today: always LRC).
+/// Builds the engine selected by DsmConfig::engine (LRC or home-based LRC).
 std::unique_ptr<ConsistencyEngine> make_engine(const DsmConfig& config);
 
 }  // namespace anow::dsm::protocol

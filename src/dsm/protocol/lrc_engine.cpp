@@ -73,14 +73,6 @@ const DiffBytes& LrcEngine::archived_diff(PageId p, std::int32_t iseq) const {
   return it->bytes;
 }
 
-bool LrcEngine::note_exclusive_write(PageId p) {
-  PageMeta& pm = page(p);
-  if (!pm.exclusive) return false;
-  pm.exclusive_rw = true;
-  pm.exclusive_epoch = epoch_;
-  return true;
-}
-
 bool LrcEngine::flush_lazy_twin(PageId p) {
   PageMeta& pm = page(p);
   if (pm.twin == nullptr || pm.dirty) return false;
@@ -121,9 +113,15 @@ Uid LrcEngine::pick_page_source(PageId p) const {
   return pm.owner_hint;
 }
 
-void LrcEngine::install_copy(PageId p, const AppliedMap& applied,
+void LrcEngine::install_copy(PageId p, const std::uint8_t* data,
+                             const AppliedMap& applied,
                              bool must_cover_pending) {
   PageMeta& pm = page(p);
+  // LRC never refetches a page it still holds writes in: a dirty page stays
+  // valid until its notices arrive, and those are merged as diffs.
+  ANOW_CHECK_MSG(!pm.dirty && pm.twin == nullptr,
+                 "full-copy install over local writes on page " << p);
+  std::memcpy(region_ + page_base(p), data, kPageSize);
   pm.have_copy = true;
   pm.applied = applied;
   if (must_cover_pending) {
@@ -249,10 +247,6 @@ bool LrcEngine::prepare_serve(PageId p) {
   return pm.have_copy;
 }
 
-void LrcEngine::record_serve(PageId p) {
-  page(p).last_served = ++serve_seq_;
-}
-
 int LrcEngine::collect_diffs(const std::vector<DiffPageRequest>& pages,
                              std::vector<DiffPageReply>& out) {
   int materialized = 0;
@@ -331,13 +325,6 @@ void LrcEngine::integrate(const std::vector<Interval>& intervals) {
 // ---------------------------------------------------------------------------
 // Node side: garbage collection
 // ---------------------------------------------------------------------------
-
-void LrcEngine::note_gc_prepare() {
-  // A page served after the GC prepare may belong to a requester that
-  // already committed (and thus kept the copy), so the commit must not
-  // re-grant exclusivity for it.
-  gc_prepare_serve_seq_ = serve_seq_;
-}
 
 std::vector<PageId> LrcEngine::gc_pages_to_validate(const OwnerDelta& owners) {
   // Effective post-GC owner = delta entry if present, else the current hint
@@ -424,18 +411,12 @@ void LrcEngine::gc_commit_node(const OwnerDelta& delta) {
 // Master side: interval log + delivery matrix
 // ---------------------------------------------------------------------------
 
-void LrcEngine::note_uid(Uid uid) {
-  delivered_.ensure(uid);
-  if (static_cast<std::size_t>(uid) >= interval_log_.size()) {
-    interval_log_.resize(static_cast<std::size_t>(uid) + 1);
-  }
-}
+void LrcEngine::note_uid(Uid uid) { directory_.note_uid(uid); }
 
-void LrcEngine::forget_uid(Uid uid) { delivered_.forget(uid); }
+void LrcEngine::forget_uid(Uid uid) { directory_.forget_uid(uid); }
 
 void LrcEngine::log_interval(Interval interval) {
   if (interval.iseq == 0) return;  // empty interval
-  ANOW_CHECK(!interval.notices.empty());
   for (const auto& wn : interval.notices) {
     LastWrite& lw = last_writer_[static_cast<std::size_t>(wn.page)];
     if (wn.protocol == Protocol::kSingleWriter && lw.uid != kNoUid &&
@@ -450,57 +431,30 @@ void LrcEngine::log_interval(Interval interval) {
       lw.lamport = interval.lamport;
     }
   }
-  delivered_.raise(interval.creator, interval.creator, interval.iseq);
-  interval_log_[static_cast<std::size_t>(interval.creator)].push_back(
-      std::move(interval));
+  directory_.log(std::move(interval));
 }
 
 void LrcEngine::log_epoch(std::vector<Interval> intervals) {
   // All intervals of one barrier epoch are concurrent: same lamport stamp.
-  ++lamport_clock_;
+  const std::int64_t stamp = directory_.next_stamp();
   for (auto& iv : intervals) {
-    iv.lamport = lamport_clock_;
+    iv.lamport = stamp;
     log_interval(std::move(iv));
   }
 }
 
 void LrcEngine::log_release(Interval interval) {
-  ++lamport_clock_;
-  interval.lamport = lamport_clock_;
+  interval.lamport = directory_.next_stamp();
   log_interval(std::move(interval));
 }
 
 std::vector<Interval> LrcEngine::collect_undelivered(Uid target) {
-  delivered_.ensure(target);
-  std::vector<Interval> out;
-  for (Uid creator = 0; creator < static_cast<Uid>(interval_log_.size());
-       ++creator) {
-    if (creator == target) continue;
-    const auto& log = interval_log_[static_cast<std::size_t>(creator)];
-    if (log.empty()) continue;
-    const std::int32_t high = delivered_.get(target, creator);
-    for (const auto& iv : log) {
-      if (iv.iseq > high) out.push_back(iv);
-    }
-    delivered_.raise(target, creator, log.back().iseq);
-  }
-  std::sort(out.begin(), out.end(), [](const Interval& a, const Interval& b) {
-    if (a.lamport != b.lamport) return a.lamport < b.lamport;
-    if (a.creator != b.creator) return a.creator < b.creator;
-    return a.iseq < b.iseq;
-  });
-  return out;
+  return directory_.collect_undelivered(target);
 }
 
 // ---------------------------------------------------------------------------
 // Master side: garbage collection
 // ---------------------------------------------------------------------------
-
-bool LrcEngine::gc_should_run(std::int64_t max_consistency_bytes) const {
-  return gc_requested_ ||
-         (config_->auto_gc &&
-          max_consistency_bytes > config_->gc_threshold_bytes);
-}
 
 OwnerDelta LrcEngine::gc_begin() {
   gc_requested_ = false;
@@ -519,8 +473,7 @@ void LrcEngine::gc_finish(const OwnerDelta& delta) {
     owner_[static_cast<std::size_t>(p)] = owner;
   }
   for (auto& lw : last_writer_) lw = {};
-  for (auto& log : interval_log_) log.clear();
-  delivered_.clear();
+  directory_.clear();
   // The processes commit when the next fork/release delivers
   // gc_commit=true; until then the delta stays pending.
   pending_commit_ = true;

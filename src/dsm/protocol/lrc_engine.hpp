@@ -7,8 +7,8 @@
 // interval-log garbage collection (DESIGN.md §5).
 #pragma once
 
-#include "dsm/protocol/delivery_matrix.hpp"
 #include "dsm/protocol/engine.hpp"
+#include "dsm/protocol/interval_directory.hpp"
 
 namespace anow::dsm::protocol {
 
@@ -19,12 +19,12 @@ class LrcEngine final : public ConsistencyEngine {
   const char* name() const override { return "lrc"; }
 
   // --- node side -----------------------------------------------------------
-  bool note_exclusive_write(PageId p) override;
   bool flush_lazy_twin(PageId p) override;
   void declare_write(PageId p) override;
 
   Uid pick_page_source(PageId p) const override;
-  void install_copy(PageId p, const AppliedMap& applied,
+  void install_copy(PageId p, const std::uint8_t* data,
+                    const AppliedMap& applied,
                     bool must_cover_pending) override;
   std::vector<DiffFetchPlan> plan_diff_fetches(const PageId* pages,
                                                std::size_t count) override;
@@ -32,14 +32,12 @@ class LrcEngine final : public ConsistencyEngine {
       PageId p, const std::vector<DiffReply>& replies) override;
 
   bool prepare_serve(PageId p) override;
-  void record_serve(PageId p) override;
   int collect_diffs(const std::vector<DiffPageRequest>& pages,
                     std::vector<DiffPageReply>& out) override;
 
   Interval finish_interval() override;
   void integrate(const std::vector<Interval>& intervals) override;
 
-  void note_gc_prepare() override;
   std::vector<PageId> gc_pages_to_validate(const OwnerDelta& owners) override;
   void gc_commit_node(const OwnerDelta& delta) override;
 
@@ -50,7 +48,6 @@ class LrcEngine final : public ConsistencyEngine {
   void log_release(Interval interval) override;
   std::vector<Interval> collect_undelivered(Uid target) override;
 
-  bool gc_should_run(std::int64_t max_consistency_bytes) const override;
   OwnerDelta gc_begin() override;
   void gc_finish(const OwnerDelta& delta) override;
 
@@ -74,22 +71,18 @@ class LrcEngine final : public ConsistencyEngine {
   /// Converts the page's lazy twin into an archived diff.
   void materialize_diff(PageId p);
   const DiffBytes& archived_diff(PageId p, std::int32_t iseq) const;
-  /// Logs an interval (if non-empty) under its already-assigned stamp.
+  /// Updates the last-writer map and logs an interval under its stamp.
   void log_interval(Interval interval);
 
   // Node side.
   std::vector<std::vector<ArchivedDiff>> own_diffs_;
-  std::uint64_t serve_seq_ = 1;
-  std::uint64_t gc_prepare_serve_seq_ = 0;
   std::int64_t* ctr_diffs_created_ = nullptr;
   std::int64_t* ctr_intervals_ = nullptr;
   std::int64_t* ctr_diff_fetches_ = nullptr;
 
   // Master side.
-  std::vector<std::vector<Interval>> interval_log_;  // index = creator uid
-  DeliveryMatrix delivered_;
+  IntervalDirectory directory_;
   std::vector<LastWrite> last_writer_;
-  std::int64_t lamport_clock_ = 0;
 };
 
 }  // namespace anow::dsm::protocol

@@ -527,6 +527,11 @@ void DsmSystem::send(Uid from, Uid to, Message msg) {
   // wire_bytes() must be taken before the capture moves msg (argument
   // evaluation order would otherwise be unspecified).
   const std::int64_t wire = msg.wire_bytes();
+  if (msg.is_consistency_traffic()) {
+    // Diff fetch rounds (LRC) and home flushes (home-based LRC): the
+    // engine-comparison metric reported by bench_protocols.
+    stats().counter("dsm.consistency_traffic_bytes") += wire;
+  }
   cluster_.net().send(host_of(from), host_of(to), wire,
                       [target, msg = std::move(msg)]() mutable {
                         target->handle(std::move(msg));

@@ -107,6 +107,12 @@ class DsmSystem {
   std::vector<PageId> pages_owned_by(Uid uid) const {
     return engine_->pages_owned_by(uid);
   }
+  /// All uids' page lists in one owner-map scan (index = uid); use when
+  /// several processes are inspected at once (multi-leave adaptation
+  /// points) instead of one pages_owned_by scan per uid.
+  std::vector<std::vector<PageId>> pages_owned_by_all() const {
+    return engine_->pages_owned_by_all();
+  }
   /// Records an ownership change to broadcast with the next fork.
   void queue_owner_update(PageId page, Uid owner);
 

@@ -25,6 +25,8 @@ struct RunConfig {
   /// false = the non-adaptive base TreadMarks (no hook installed at all).
   bool adaptive = true;
   std::vector<core::AdaptEvent> events;
+  /// Consistency engine the run uses (--engine / ANOW_ENGINE).
+  dsm::EngineKind engine = dsm::engine_kind_from_env();
   dsm::PidStrategy pid_strategy = dsm::PidStrategy::kShift;
   bool gc_before_adapt = true;
   sim::CostModel cost{};

@@ -33,6 +33,22 @@ std::string Options::get_string(const std::string& key,
   return it == values_.end() ? default_value : it->second;
 }
 
+std::string Options::get_choice(const std::string& key,
+                                const std::vector<std::string>& allowed,
+                                const std::string& default_value) const {
+  const std::string value = get_string(key, default_value);
+  if (std::find(allowed.begin(), allowed.end(), value) != allowed.end()) {
+    return value;
+  }
+  std::string choices;
+  for (const auto& a : allowed) {
+    if (!choices.empty()) choices += ",";
+    choices += a;
+  }
+  ANOW_CHECK_MSG(false, "option --" << key << " expects one of {" << choices
+                                    << "}, got '" << value << "'");
+}
+
 std::int64_t Options::get_int(const std::string& key,
                               std::int64_t default_value) const {
   auto it = values_.find(key);

@@ -20,6 +20,11 @@ class Options {
 
   std::string get_string(const std::string& key,
                          const std::string& default_value) const;
+  /// get_string restricted to an allowed set (e.g. --engine {lrc,home});
+  /// throws with the valid choices listed when the value is not one of them.
+  std::string get_choice(const std::string& key,
+                         const std::vector<std::string>& allowed,
+                         const std::string& default_value) const;
   std::int64_t get_int(const std::string& key,
                        std::int64_t default_value) const;
   double get_double(const std::string& key, double default_value) const;

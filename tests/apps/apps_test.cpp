@@ -136,13 +136,22 @@ INSTANTIATE_TEST_SUITE_P(Apps, AppAdaptCase,
                          ::testing::Values("jacobi", "gauss", "fft3d", "nbf"));
 
 TEST(AppProtocols, OnlyJacobiProducesDiffs) {
+  const bool home =
+      dsm::engine_kind_from_env() == dsm::EngineKind::kHomeLrc;
   for (const auto& app : workload_names()) {
     harness::RunConfig cfg;
     cfg.app = app;
     cfg.size = Size::kTest;
     cfg.nprocs = 4;
     auto result = harness::run_workload(cfg);
-    if (app == "jacobi") {
+    if (home) {
+      // Home-based LRC never fetches diffs: modifications travel as eager
+      // flushes to the home instead (jacobi's false sharing produces them).
+      EXPECT_EQ(result.diff_fetches, 0) << app;
+      if (app == "jacobi") {
+        EXPECT_GT(result.stats.counter("dsm.home_flushes"), 0) << app;
+      }
+    } else if (app == "jacobi") {
       EXPECT_GT(result.diff_fetches, 0) << app;
     } else {
       EXPECT_EQ(result.diff_fetches, 0) << app;

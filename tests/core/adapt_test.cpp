@@ -125,7 +125,10 @@ TEST(Adapt, NormalLeaveShrinksTeamAndPreservesResult) {
   AdaptiveRuntime adapt(sys);
   IncApp app(sys, 40);
   sys.start(4);
-  adapt.post_leave(2 * kSec, 3);  // "end" process
+  // Mid-run, with slack before the final fork: engines differ by a few
+  // percent in virtual runtime and the leave must land before the last
+  // adaptation point under all of them.
+  adapt.post_leave(1 * kSec, 3);  // "end" process
   sys.run([&](DsmProcess& m) { app.master_main(m); });
   EXPECT_TRUE(app.ok_);
   EXPECT_EQ(sys.world_size(), 3);
@@ -248,7 +251,13 @@ TEST(Adapt, NoEventsMeansNoOverheadPath) {
   sys.run([&](DsmProcess& m) { app.master_main(m); });
   EXPECT_TRUE(app.ok_);
   EXPECT_EQ(adapt.records().size(), 0u);
-  EXPECT_EQ(sys.stats().counter_value("dsm.gc_runs"), 0);
+  if (dsm::engine_kind_from_env() == dsm::EngineKind::kLrc) {
+    EXPECT_EQ(sys.stats().counter_value("dsm.gc_runs"), 0);
+  } else {
+    // Home-based LRC commits first-touch home assignments through one
+    // two-phase round at the first write epoch; no further rounds run.
+    EXPECT_LE(sys.stats().counter_value("dsm.gc_runs"), 1);
+  }
 }
 
 TEST(Adapt, ShrinkToOneProcessAndBack) {

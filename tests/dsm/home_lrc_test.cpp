@@ -1,0 +1,233 @@
+// Home-based LRC specifics: first-touch home assignment (sole writer and
+// concurrent-writer round-robin), the local flush short-circuit at the
+// home, concurrent multi-writer flushes into one home, the zero-archive
+// acceptance property, and home behavior across a process leave under both
+// pid-reassignment strategies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "core/adapt.hpp"
+#include "dsm/system.hpp"
+#include "sim/cluster.hpp"
+#include "util/check.hpp"
+
+namespace anow::dsm {
+namespace {
+
+DsmConfig home_config() {
+  DsmConfig cfg;
+  cfg.heap_bytes = 1 << 20;  // 256 pages
+  cfg.engine = EngineKind::kHomeLrc;
+  return cfg;
+}
+
+struct ArrayArgs {
+  GAddr addr;
+  std::int64_t count;
+};
+
+template <typename T>
+std::vector<std::uint8_t> pack(const T& value) {
+  std::vector<std::uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+template <typename T>
+T unpack(const std::vector<std::uint8_t>& bytes) {
+  T value;
+  ANOW_CHECK(bytes.size() == sizeof(T));
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+void expect_no_archived_diffs(DsmSystem& sys) {
+  for (Uid uid : sys.team()) {
+    EXPECT_EQ(sys.process(uid).engine().archived_diff_bytes(), 0)
+        << "uid " << uid;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(HomeLrc, FirstTouchMakesWriterHomeAndShortCircuitsFlushes) {
+  // Page-aligned disjoint slices: every written page has a sole first
+  // writer, so first-touch moves it home to that writer and every later
+  // release flushes nothing (the local short-circuit).
+  constexpr int kProcs = 4;
+  sim::Cluster cluster({}, kProcs);
+  DsmSystem sys(cluster, home_config());
+
+  constexpr std::int64_t kWordsPerProc = 4 * 512;  // 4 pages of int64 each
+  constexpr std::int64_t kN = kProcs * kWordsPerProc;
+  auto task = sys.register_task(
+      "fill", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        auto args = unpack<ArrayArgs>(a);
+        const std::int64_t lo = p.pid() * kWordsPerProc;
+        p.write_range(args.addr + lo * 8, kWordsPerProc * 8);
+        auto* data = p.ptr<std::int64_t>(args.addr);
+        for (std::int64_t i = lo; i < lo + kWordsPerProc; ++i) data[i] += i;
+      });
+
+  sys.start(kProcs);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(kN * 8);
+    sys.run_parallel(task, pack(ArrayArgs{addr, kN}));
+    expect_no_archived_diffs(sys);
+
+    // First touch: slave k's slice is homed at slave k now (the master's
+    // slice never left home).
+    for (int pid = 0; pid < kProcs; ++pid) {
+      const Uid owner_uid = sys.uid_of_pid(pid);
+      for (std::int64_t pg = 0; pg < 4; ++pg) {
+        const PageId page =
+            page_of(addr + static_cast<GAddr>(pid) * kWordsPerProc * 8) + pg;
+        EXPECT_EQ(sys.owner_by_page()[page], owner_uid) << "page " << page;
+      }
+    }
+
+    // Steady state: every writer is its pages' home, so further rounds add
+    // no flush messages at all.
+    const std::int64_t flushes_after_assignment =
+        sys.stats().counter_value("dsm.home_flushes");
+    for (int round = 0; round < 3; ++round) {
+      sys.run_parallel(task, pack(ArrayArgs{addr, kN}));
+      expect_no_archived_diffs(sys);
+    }
+    EXPECT_EQ(sys.stats().counter_value("dsm.home_flushes"),
+              flushes_after_assignment);
+
+    master.read_range(addr, kN * 8);
+    const auto* data = master.cptr<std::int64_t>(addr);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(data[i], 4 * i) << "at index " << i;
+    }
+  });
+  EXPECT_EQ(sys.stats().counter_value("dsm.diff_fetches"), 0);
+}
+
+TEST(HomeLrc, ConcurrentMultiWriterFlushesMergeAtOneHome) {
+  // Every process writes interleaved words of the SAME pages: concurrent
+  // first writers are broken round-robin, and from then on all non-home
+  // writers flush their word diffs into that one home every round.
+  constexpr int kProcs = 4;
+  sim::Cluster cluster({}, kProcs);
+  DsmSystem sys(cluster, home_config());
+
+  constexpr std::int64_t kN = 2048;  // 4 pages of int64
+  auto task = sys.register_task(
+      "interleave", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        auto args = unpack<ArrayArgs>(a);
+        p.write_range(args.addr, args.count * 8);
+        auto* data = p.ptr<std::int64_t>(args.addr);
+        for (std::int64_t i = p.pid(); i < args.count; i += p.nprocs()) {
+          data[i] += 1000 + i;
+        }
+      });
+
+  sys.start(kProcs);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(kN * 8);
+    constexpr int kRounds = 4;
+    for (int round = 0; round < kRounds; ++round) {
+      sys.run_parallel(task, pack(ArrayArgs{addr, kN}));
+      expect_no_archived_diffs(sys);
+    }
+
+    // The round-robin fallback spread the four contended pages over more
+    // than one home.
+    std::set<Uid> homes;
+    for (PageId pg = page_of(addr); pg < page_of(addr) + 4; ++pg) {
+      homes.insert(sys.owner_by_page()[pg]);
+    }
+    EXPECT_GT(homes.size(), 1u);
+
+    master.read_range(addr, kN * 8);
+    const auto* data = master.cptr<std::int64_t>(addr);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(data[i], kRounds * (1000 + i)) << "at index " << i;
+    }
+  });
+  // Non-home writers flushed into the homes every round; nobody ever
+  // fetched a diff.
+  EXPECT_GT(sys.stats().counter_value("dsm.home_flushes"), 0);
+  EXPECT_GT(sys.stats().counter_value("dsm.home_flush_diffs_applied"), 0);
+  EXPECT_EQ(sys.stats().counter_value("dsm.diff_fetches"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Home behavior across a process leave, under both pid strategies.
+// ---------------------------------------------------------------------------
+
+class HomeLeaveTest : public ::testing::TestWithParam<PidStrategy> {};
+
+TEST_P(HomeLeaveTest, LeaverHomesTransferAndDataSurvives) {
+  constexpr int kProcs = 4;
+  sim::Cluster cluster({}, kProcs);
+  DsmConfig cfg = home_config();
+  cfg.pid_strategy = GetParam();
+  DsmSystem sys(cluster, cfg);
+  core::AdaptiveRuntime adapt(sys);
+
+  constexpr std::int64_t kN = 16384;
+  auto task = sys.register_task(
+      "inc", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        auto args = unpack<ArrayArgs>(a);
+        const std::int64_t base = args.count / p.nprocs();
+        const std::int64_t lo = p.pid() * base;
+        const std::int64_t hi =
+            p.pid() == p.nprocs() - 1 ? args.count : lo + base;
+        p.write_range(args.addr + lo * 8, (hi - lo) * 8);
+        auto* data = p.ptr<std::int64_t>(args.addr);
+        for (std::int64_t i = lo; i < hi; ++i) data[i] += 1;
+        p.compute(0.05 * static_cast<double>(hi - lo) /
+                  static_cast<double>(args.count));
+      });
+
+  // Middle leave: host 2's process owns interior homes when it goes.
+  adapt.post_leave(sim::from_seconds(0.1), 2);
+
+  sys.start(kProcs);
+  const Uid leaver = sys.uid_of_pid(2);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(kN * 8);
+    master.write_range(addr, kN * 8);
+    std::memset(master.ptr<std::int64_t>(addr), 0, kN * 8);
+    constexpr int kRounds = 20;
+    for (int r = 0; r < kRounds; ++r) {
+      sys.run_parallel(task, pack(ArrayArgs{addr, kN}));
+      expect_no_archived_diffs(sys);
+    }
+    master.read_range(addr, kN * 8);
+    const auto* data = master.cptr<std::int64_t>(addr);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(data[i], kRounds) << "at index " << i;
+    }
+  });
+
+  EXPECT_EQ(sys.world_size(), kProcs - 1);
+  EXPECT_EQ(sys.stats().counter_value("adapt.leaves"), 1);
+  // Every page the leaver was home of moved off it before the expel (§4.2:
+  // the master re-owns them), so no hint can dangle at a dead process.
+  EXPECT_TRUE(sys.pages_owned_by(leaver).empty());
+  const auto owners = sys.owner_by_page();
+  for (Uid owner : owners) {
+    EXPECT_NE(owner, leaver);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PidStrategies, HomeLeaveTest,
+                         ::testing::Values(PidStrategy::kShift,
+                                           PidStrategy::kSwapLast),
+                         [](const ::testing::TestParamInfo<PidStrategy>& i) {
+                           return i.param == PidStrategy::kShift
+                                      ? "shift"
+                                      : "swap_last";
+                         });
+
+}  // namespace
+}  // namespace anow::dsm

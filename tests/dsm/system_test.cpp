@@ -4,7 +4,8 @@
 // These run real programs through the full protocol (per-process region
 // copies, real diff creation/application over the simulated network) and
 // check numerical results, which is the strongest validation the protocol
-// can get.
+// can get.  Every scenario runs under both consistency engines (LRC and
+// home-based LRC) so the protocols are held to the same correctness bar.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -18,11 +19,21 @@
 namespace anow::dsm {
 namespace {
 
-DsmConfig small_config(Protocol proto = Protocol::kMultiWriter) {
+DsmConfig small_config(Protocol proto = Protocol::kMultiWriter,
+                       EngineKind engine = engine_kind_from_env()) {
   DsmConfig cfg;
   cfg.heap_bytes = 1 << 20;  // 256 pages
   cfg.default_protocol = proto;
+  cfg.engine = engine;
   return cfg;
+}
+
+/// (nprocs, engine) for the parameterized end-to-end suite.
+using SystemParam = std::tuple<int, EngineKind>;
+
+std::string param_name(const ::testing::TestParamInfo<SystemParam>& info) {
+  return std::string(engine_kind_name(std::get<1>(info.param))) + "_n" +
+         std::to_string(std::get<0>(info.param));
 }
 
 /// Packs a trivially-copyable struct as fork args.
@@ -58,12 +69,19 @@ Range block_partition(std::int64_t n, int pid, int nprocs) {
 
 // ---------------------------------------------------------------------------
 
-class DsmSystemTest : public ::testing::TestWithParam<int> {};
+class DsmSystemTest : public ::testing::TestWithParam<SystemParam> {
+ protected:
+  int nprocs() const { return std::get<0>(GetParam()); }
+  EngineKind engine() const { return std::get<1>(GetParam()); }
+  DsmConfig config(Protocol proto = Protocol::kMultiWriter) const {
+    return small_config(proto, engine());
+  }
+};
 
 TEST_P(DsmSystemTest, EachProcessWritesItsSlice) {
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config(Protocol::kMultiWriter));
+  DsmSystem sys(cluster, config(Protocol::kMultiWriter));
 
   const std::int64_t n = 10000;
   auto task = sys.register_task("fill", [](DsmProcess& p,
@@ -91,9 +109,9 @@ TEST_P(DsmSystemTest, EachProcessWritesItsSlice) {
 }
 
 TEST_P(DsmSystemTest, SlavesReadMasterInitializedData) {
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config());
+  DsmSystem sys(cluster, config());
 
   const std::int64_t n = 4096;
   // Each process sums its slice into its own result cell.
@@ -128,9 +146,9 @@ TEST_P(DsmSystemTest, SlavesReadMasterInitializedData) {
 TEST_P(DsmSystemTest, MultiWriterFalseSharingMerges) {
   // All processes write interleaved words of the SAME pages — the pure
   // multi-writer stress: every page has nprocs concurrent writers.
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config(Protocol::kMultiWriter));
+  DsmSystem sys(cluster, config(Protocol::kMultiWriter));
 
   const std::int64_t n = 2048;  // 4 pages of int64
   auto task = sys.register_task("interleave", [](DsmProcess& p,
@@ -159,9 +177,9 @@ TEST_P(DsmSystemTest, MultiWriterFalseSharingMerges) {
 TEST_P(DsmSystemTest, BarrierInsideTaskPropagatesNeighborWrites) {
   // Phase 1: each process writes its slice.  Barrier.  Phase 2: each
   // process checks its *neighbor's* slice.
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config());
+  DsmSystem sys(cluster, config());
 
   const std::int64_t n = 8192;
   auto task = sys.register_task(
@@ -189,9 +207,9 @@ TEST_P(DsmSystemTest, BarrierInsideTaskPropagatesNeighborWrites) {
 }
 
 TEST_P(DsmSystemTest, LockProtectedCounter) {
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config());
+  DsmSystem sys(cluster, config());
 
   constexpr int kIters = 5;
   auto task = sys.register_task(
@@ -218,9 +236,9 @@ TEST_P(DsmSystemTest, LockProtectedCounter) {
 }
 
 TEST_P(DsmSystemTest, RepeatedForksAccumulate) {
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config());
+  DsmSystem sys(cluster, config());
 
   const std::int64_t n = 4096;
   auto task = sys.register_task(
@@ -249,9 +267,9 @@ TEST_P(DsmSystemTest, RepeatedForksAccumulate) {
 }
 
 TEST_P(DsmSystemTest, GcPreservesData) {
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config());
+  DsmSystem sys(cluster, config());
 
   const std::int64_t n = 8192;
   auto task = sys.register_task(
@@ -279,9 +297,9 @@ TEST_P(DsmSystemTest, GcPreservesData) {
 }
 
 TEST_P(DsmSystemTest, GcAtForkPreservesData) {
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config());
+  DsmSystem sys(cluster, config());
 
   const std::int64_t n = 8192;
   auto task = sys.register_task(
@@ -308,9 +326,9 @@ TEST_P(DsmSystemTest, GcAtForkPreservesData) {
 }
 
 TEST_P(DsmSystemTest, SingleWriterProducesNoDiffs) {
-  const int nprocs = GetParam();
+  const int nprocs = this->nprocs();
   sim::Cluster cluster({}, nprocs);
-  DsmSystem sys(cluster, small_config(Protocol::kSingleWriter));
+  DsmSystem sys(cluster, config(Protocol::kSingleWriter));
 
   // Page-aligned slices so single-writer is legal.
   const std::int64_t pages_per_proc = 4;
@@ -346,8 +364,12 @@ TEST_P(DsmSystemTest, SingleWriterProducesNoDiffs) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(NProcs, DsmSystemTest,
-                         ::testing::Values(1, 2, 3, 4, 8));
+INSTANTIATE_TEST_SUITE_P(
+    Engines, DsmSystemTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(EngineKind::kLrc,
+                                         EngineKind::kHomeLrc)),
+    param_name);
 
 // ---------------------------------------------------------------------------
 // Non-parameterized behaviours.
