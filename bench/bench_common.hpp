@@ -32,6 +32,14 @@ inline dsm::EngineKind engine_from_options(const util::Options& opts) {
       dsm::engine_kind_name(dsm::engine_kind_from_env())));
 }
 
+/// --piggyback {off,release,aggressive}: envelope coalescing policy
+/// (defaults to ANOW_PIGGYBACK, else release).
+inline dsm::PiggybackMode piggyback_from_options(const util::Options& opts) {
+  return dsm::parse_piggyback_mode(opts.get_choice(
+      "piggyback", {"off", "release", "aggressive"},
+      dsm::piggyback_mode_name(dsm::piggyback_mode_from_env())));
+}
+
 inline void print_header(const std::string& title, const std::string& what) {
   std::cout << "\n=== " << title << " ===\n" << what << "\n\n";
 }

@@ -1,27 +1,44 @@
 // Protocol ablation: the Table 1 workloads (gauss, jacobi, fft3d, nbf)
 // under both consistency engines — TreadMarks-style lazy release consistency
 // (diff archives, on-demand diff fetch) vs home-based LRC (eager flush to a
-// per-page home, full-page fetch on fault).
+// per-page home, full-page fetch on fault) — and, per engine, under the
+// envelope piggyback modes (off = flat one-segment-per-envelope baseline,
+// release = coalescing at release points, aggressive = + batched fault-side
+// fetches; DESIGN.md §7).
 //
-// This is the repo's first apples-to-apples engine comparison; every future
-// engine (sharded owners, adaptive home migration) plugs into the same
-// harness.  Results go to stdout and to BENCH_protocols.json: per-engine
-// virtual runtime, message count, total bytes, page/diff fetch counts, home
-// flushes, and the consistency-traffic metric (wire bytes of diff-fetch
-// rounds, home flushes, and page refetches that resolve pending notices —
-// the traffic that exists purely to move modifications, as opposed to
-// initial data distribution).
+// Results go to stdout and to BENCH_protocols.json: per-(engine, piggyback)
+// virtual runtime, message/envelope count, envelope fill (segments per
+// envelope), total bytes, the consistency-traffic metric, the
+// per-segment-kind message histogram, and the batched-vs-unbatched delta
+// (messages saved by `release` over `off`).
+//
+// --check-batching turns the acceptance property into an exit code: for
+// every workload and engine, batching must never increase the total message
+// count and must leave the workload checksum unchanged (CI smoke).
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "dsm/msg.hpp"
+
+namespace {
+
+struct ModeResult {
+  anow::harness::RunResult run;
+  std::int64_t segments = 0;
+  std::int64_t consistency_bytes = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
-  opts.allow_only({"size", "full", "nodes", "apps"});
+  opts.allow_only({"size", "full", "nodes", "apps", "check-batching"});
   const apps::Size size = bench::size_from_options(opts);
   const int nodes = static_cast<int>(opts.get_int("nodes", 8));
+  const bool check_batching = opts.get_bool("check-batching", false);
 
   std::vector<std::string> apps = bench::table1_apps();
   if (opts.has("apps")) {
@@ -38,75 +55,143 @@ int main(int argc, char** argv) {
   }
 
   bench::print_header(
-      "Protocol comparison — LRC vs home-based LRC, no adapt events",
-      std::string("Problem size preset: ") + apps::size_name(size) +
-          ", " + std::to_string(nodes) +
-          " nodes.  Consistency traffic = wire bytes of diff-fetch rounds, "
-          "home flushes, and invalidation-resolving page refetches.");
+      "Protocol comparison — LRC vs home-based LRC × piggyback modes",
+      std::string("Problem size preset: ") + apps::size_name(size) + ", " +
+          std::to_string(nodes) +
+          " nodes.  Fill = segments per envelope; saved = messages below "
+          "the piggyback-off baseline of the same engine.");
 
   const dsm::EngineKind engines[] = {dsm::EngineKind::kLrc,
                                      dsm::EngineKind::kHomeLrc};
+  const dsm::PiggybackMode modes[] = {dsm::PiggybackMode::kOff,
+                                      dsm::PiggybackMode::kRelease,
+                                      dsm::PiggybackMode::kAggressive};
 
-  util::Table t({"App (size)", "Engine", "Time(s)", "Messages", "MB",
-                 "Consistency KB", "Pages(4k)", "Diff fetches",
-                 "Home flushes", "GC runs"});
+  util::Table t({"App (size)", "Engine", "Piggyback", "Time(s)", "Messages",
+                 "Saved", "Fill", "MB", "Consistency KB", "Home flushes",
+                 "Piggybacked"});
 
   util::JsonWriter json;
   json.begin_object();
   json.field("bench", "protocols");
-  json.field("schema_version", 1);
+  json.field("schema_version", 2);
   json.field("size", apps::size_name(size));
   json.field("nodes", nodes);
   json.begin_object("workloads");
 
+  bool ok = true;
   for (const auto& app : apps) {
     t.separator();
     json.begin_object(app);
-    double checksum[2] = {0.0, 0.0};
+    double engine_checksum[2] = {0.0, 0.0};
     int ei = 0;
     for (const dsm::EngineKind engine : engines) {
-      harness::RunConfig cfg;
-      cfg.app = app;
-      cfg.size = size;
-      cfg.nprocs = nodes;
-      cfg.engine = engine;
-      cfg.adaptive = false;
-      const auto run = harness::run_workload(cfg);
-      checksum[ei++] = run.checksum;
-
-      const std::int64_t consistency_bytes =
-          run.stats.counter("dsm.consistency_traffic_bytes");
-      const std::int64_t home_flushes =
-          run.stats.counter("dsm.home_flushes");
-      const std::int64_t gc_runs = run.stats.counter("dsm.gc_runs");
-
-      auto& row = t.row();
-      row.add(run.app + " (" + run.size_desc + ")");
-      row.add(dsm::engine_kind_name(engine));
-      row.add(run.seconds, 2);
-      row.add(run.messages);
-      row.add(util::format_mb(run.bytes));
-      row.add(static_cast<double>(consistency_bytes) / 1024.0, 1);
-      row.add(run.page_fetches);
-      row.add(run.diff_fetches);
-      row.add(home_flushes);
-      row.add(gc_runs);
-
       json.begin_object(dsm::engine_kind_name(engine));
-      json.field("seconds", run.seconds);
-      json.field("messages", run.messages);
-      json.field("bytes", run.bytes);
-      json.field("consistency_traffic_bytes", consistency_bytes);
-      json.field("page_fetches", run.page_fetches);
-      json.field("diff_fetches", run.diff_fetches);
-      json.field("home_flushes", home_flushes);
-      json.field("gc_runs", gc_runs);
-      json.field("checksum", run.checksum);
+      ModeResult base;     // the kOff run of this engine
+      ModeResult release;  // the kRelease run (headline batching delta)
+      for (const dsm::PiggybackMode mode : modes) {
+        harness::RunConfig cfg;
+        cfg.app = app;
+        cfg.size = size;
+        cfg.nprocs = nodes;
+        cfg.engine = engine;
+        cfg.piggyback = mode;
+        cfg.adaptive = false;
+        ModeResult r;
+        r.run = harness::run_workload(cfg);
+        r.segments = r.run.stats.counter("dsm.segments");
+        r.consistency_bytes =
+            r.run.stats.counter("dsm.consistency_traffic_bytes");
+        if (mode == dsm::PiggybackMode::kOff) base = r;
+        if (mode == dsm::PiggybackMode::kRelease) release = r;
+
+        const std::int64_t saved = base.run.messages - r.run.messages;
+        const double fill =
+            r.run.messages > 0 ? static_cast<double>(r.segments) /
+                                     static_cast<double>(r.run.messages)
+                               : 0.0;
+        auto& row = t.row();
+        row.add(r.run.app + " (" + r.run.size_desc + ")");
+        row.add(dsm::engine_kind_name(engine));
+        row.add(dsm::piggyback_mode_name(mode));
+        row.add(r.run.seconds, 2);
+        row.add(r.run.messages);
+        row.add(saved);
+        row.add(fill, 3);
+        row.add(util::format_mb(r.run.bytes));
+        row.add(static_cast<double>(r.consistency_bytes) / 1024.0, 1);
+        row.add(r.run.stats.counter("dsm.home_flushes"));
+        row.add(r.run.stats.counter("dsm.home_flushes_piggybacked"));
+
+        json.begin_object(dsm::piggyback_mode_name(mode));
+        json.field("seconds", r.run.seconds);
+        json.field("messages", r.run.messages);
+        json.field("segments", r.segments);
+        json.field("fill", fill);
+        json.field("bytes", r.run.bytes);
+        json.field("consistency_traffic_bytes", r.consistency_bytes);
+        json.field("page_fetches", r.run.page_fetches);
+        json.field("diff_fetches", r.run.diff_fetches);
+        json.field("home_flushes",
+                   r.run.stats.counter("dsm.home_flushes"));
+        json.field("home_flushes_piggybacked",
+                   r.run.stats.counter("dsm.home_flushes_piggybacked"));
+        json.field("gc_runs", r.run.stats.counter("dsm.gc_runs"));
+        json.field("checksum", r.run.checksum);
+        json.begin_object("segment_msgs");
+        for (int k = 0; k < dsm::kNumSegmentKinds; ++k) {
+          const char* name =
+              dsm::segment_kind_name(static_cast<dsm::SegmentKind>(k));
+          const std::int64_t msgs =
+              r.run.stats.counter(std::string("dsm.seg.") + name + ".msgs");
+          if (msgs != 0) json.field(name, msgs);
+        }
+        json.end_object();
+        json.end_object();
+
+        if (mode != dsm::PiggybackMode::kOff) {
+          if (r.run.messages > base.run.messages) {
+            std::cerr << "FAIL: " << app << "/"
+                      << dsm::engine_kind_name(engine) << " piggyback "
+                      << dsm::piggyback_mode_name(mode) << " sent "
+                      << r.run.messages << " messages vs " << base.run.messages
+                      << " with piggyback off\n";
+            ok = false;
+          }
+          if (r.run.checksum != base.run.checksum) {
+            std::cerr << "FAIL: " << app << "/"
+                      << dsm::engine_kind_name(engine)
+                      << " checksum changed under piggyback "
+                      << dsm::piggyback_mode_name(mode) << " ("
+                      << r.run.checksum << " vs " << base.run.checksum
+                      << ")\n";
+            ok = false;
+          }
+        }
+      }
+      // The batched-vs-unbatched headline delta (release over off).
+      json.begin_object("batching_delta");
+      json.field("messages_off", base.run.messages);
+      json.field("messages_release", release.run.messages);
+      json.field("messages_saved", base.run.messages - release.run.messages);
+      json.field("saved_pct",
+                 base.run.messages > 0
+                     ? 100.0 *
+                           static_cast<double>(base.run.messages -
+                                               release.run.messages) /
+                           static_cast<double>(base.run.messages)
+                     : 0.0);
       json.end_object();
+      json.end_object();
+      engine_checksum[ei++] = base.run.checksum;
     }
-    if (checksum[0] != checksum[1]) {
-      std::cerr << "WARNING: checksum differs between engines for " << app
-                << " (" << checksum[0] << " vs " << checksum[1] << ")\n";
+    // Both engines must agree numerically on every workload (the original
+    // apples-to-apples engine-correctness signal).
+    if (engine_checksum[0] != engine_checksum[1]) {
+      std::cerr << "FAIL: checksum differs between engines for " << app
+                << " (" << engine_checksum[0] << " vs " << engine_checksum[1]
+                << ")\n";
+      ok = false;
     }
     json.end_object();
   }
@@ -115,5 +200,12 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   json.write_file("BENCH_protocols.json");
   std::cout << "\nWrote BENCH_protocols.json\n";
+  if (check_batching) {
+    std::cout << (ok ? "check-batching: OK — batching never increased the "
+                       "message count and checksums are unchanged\n"
+                     : "check-batching: FAILED\n");
+    return ok ? 0 : 1;
+  }
+  if (!ok) std::cerr << "WARNING: batching property violated (see above)\n";
   return 0;
 }

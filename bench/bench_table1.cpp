@@ -13,16 +13,18 @@
 int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
-  opts.allow_only({"size", "full", "nodes", "engine"});
+  opts.allow_only({"size", "full", "nodes", "engine", "piggyback"});
   const apps::Size size = bench::size_from_options(opts);
   const dsm::EngineKind engine = bench::engine_from_options(opts);
+  const dsm::PiggybackMode piggyback = bench::piggyback_from_options(opts);
 
   bench::print_header(
       "Table 1 — execution times and network traffic, no adapt events",
       std::string("Problem size preset: ") + apps::size_name(size) +
           " (use --full for the paper's sizes; paper numbers are for the "
           "paper sizes only); consistency engine: " +
-          dsm::engine_kind_name(engine));
+          dsm::engine_kind_name(engine) + ", piggyback: " +
+          dsm::piggyback_mode_name(piggyback));
 
   // Paper values for the --full configuration, for side-by-side comparison.
   struct PaperRow {
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
       cfg.size = size;
       cfg.nprocs = nodes;
       cfg.engine = engine;
+      cfg.piggyback = piggyback;
 
       cfg.adaptive = false;
       auto std_run = harness::run_workload(cfg);
@@ -105,6 +108,7 @@ int main(int argc, char** argv) {
     cfg.size = size;
     cfg.nprocs = node_counts.front();
     cfg.engine = engine;
+    cfg.piggyback = piggyback;
     auto run = harness::run_workload(cfg);
     t2.row().add(run.app).add(cfg.nprocs).add(run.adapt_point_interval_s, 3);
   }

@@ -1,0 +1,122 @@
+// Channel: the per-process outbound staging API of the DSM transport.
+//
+// All protocol traffic leaves a process through its Channel.  Callers either
+// `send()` a segment (it departs now) or `stage()` one for a destination and
+// let a later send/flush to that destination carry it.  The coalescing
+// policy lives here and only here: under PiggybackMode::kOff, stage() is
+// send() — every segment departs as its own single-segment envelope, which
+// reproduces the pre-envelope flat send path byte for byte.  Under the
+// buffered modes, staged segments accumulate per destination and the next
+// send()/flush() to that destination merges them, *in staging order, ahead
+// of the sent segment*, into one envelope (DESIGN.md §7).
+//
+// The ordering rule is what makes staging safe to sprinkle across the
+// release paths: a segment staged for `to` can never be overtaken by a
+// later segment to `to` from the same sender, because every departure path
+// drains the stage first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "dsm/config.hpp"
+#include "dsm/msg.hpp"
+#include "dsm/types.hpp"
+
+namespace anow::dsm {
+
+class Channel {
+ public:
+  /// Hands a ready envelope to the transport (DsmSystem::send_envelope).
+  using Sink = std::function<void(Uid to, Envelope env)>;
+
+  Channel(Uid self, PiggybackMode mode, Sink sink)
+      : self_(self), mode_(mode), sink_(std::move(sink)) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Whether stage() actually buffers (any mode but kOff).  Call sites that
+  /// would otherwise wait for an ack the envelope ordering makes redundant
+  /// check this instead of re-deriving policy from DsmConfig.
+  bool buffered() const { return mode_ != PiggybackMode::kOff; }
+  PiggybackMode mode() const { return mode_; }
+
+  /// Queues `seg` for the next envelope to `to`.  kOff: departs immediately.
+  void stage(Uid to, Segment seg) {
+    if (!buffered()) {
+      emit(to, &seg, 1);
+      return;
+    }
+    buffer(to).push_back(std::move(seg));
+  }
+
+  /// Sends one envelope to `to`: everything staged for it, then `seg`.
+  void send(Uid to, Segment seg) {
+    if (!buffered()) {
+      emit(to, &seg, 1);
+      return;
+    }
+    buffer(to).push_back(std::move(seg));
+    flush(to);
+  }
+
+  /// Sends everything staged for `to` (no-op when nothing is).
+  void flush(Uid to) {
+    auto* staged = find_buffer(to);
+    if (staged == nullptr || staged->empty()) return;
+    std::vector<Segment> out;
+    out.swap(*staged);
+    emit(to, out.data(), out.size());
+  }
+
+  void flush_all() {
+    for (auto& [to, staged] : buffers_) {
+      if (staged.empty()) continue;
+      std::vector<Segment> out;
+      out.swap(staged);
+      emit(to, out.data(), out.size());
+    }
+  }
+
+  bool has_staged(Uid to) const {
+    for (const auto& [uid, staged] : buffers_) {
+      if (uid == to) return !staged.empty();
+    }
+    return false;
+  }
+
+ private:
+  void emit(Uid to, Segment* segs, std::size_t count) {
+    Envelope env;
+    env.src = self_;
+    env.segments.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      env.segments.push_back(std::move(segs[i]));
+    }
+    sink_(to, std::move(env));
+  }
+
+  std::vector<Segment>* find_buffer(Uid to) {
+    for (auto& [uid, staged] : buffers_) {
+      if (uid == to) return &staged;
+    }
+    return nullptr;
+  }
+
+  std::vector<Segment>& buffer(Uid to) {
+    if (auto* found = find_buffer(to)) return *found;
+    buffers_.emplace_back(to, std::vector<Segment>{});
+    return buffers_.back().second;
+  }
+
+  Uid self_;
+  PiggybackMode mode_;
+  Sink sink_;
+  // Flat per-destination buffers: a process stages for a handful of peers.
+  std::vector<std::pair<Uid, std::vector<Segment>>> buffers_;
+};
+
+}  // namespace anow::dsm

@@ -22,6 +22,35 @@ EngineKind parse_engine_kind(const std::string& name) {
   ANOW_CHECK_MSG(false, "unknown engine '" << name << "' (want lrc|home)");
 }
 
+const char* piggyback_mode_name(PiggybackMode mode) {
+  switch (mode) {
+    case PiggybackMode::kOff:
+      return "off";
+    case PiggybackMode::kRelease:
+      return "release";
+    case PiggybackMode::kAggressive:
+      return "aggressive";
+  }
+  return "?";
+}
+
+PiggybackMode parse_piggyback_mode(const std::string& name) {
+  if (name == "off") return PiggybackMode::kOff;
+  if (name == "release") return PiggybackMode::kRelease;
+  if (name == "aggressive") return PiggybackMode::kAggressive;
+  ANOW_CHECK_MSG(false, "unknown piggyback mode '"
+                            << name << "' (want off|release|aggressive)");
+}
+
+PiggybackMode piggyback_mode_from_env() {
+  static const PiggybackMode mode = [] {
+    const char* env = std::getenv("ANOW_PIGGYBACK");
+    return env != nullptr && *env != '\0' ? parse_piggyback_mode(env)
+                                          : PiggybackMode::kRelease;
+  }();
+  return mode;
+}
+
 EngineKind engine_kind_from_env() {
   static const EngineKind kind = [] {
     const char* env = std::getenv("ANOW_ENGINE");

@@ -28,6 +28,30 @@ EngineKind parse_engine_kind(const std::string& name);
 /// engine without touching every DsmConfig construction site.
 EngineKind engine_kind_from_env();
 
+/// How aggressively the transport coalesces segments into shared envelopes
+/// (DESIGN.md §7).  One mechanism — Channel staging — with three policies:
+enum class PiggybackMode : std::uint8_t {
+  /// Every segment travels as its own envelope; message counts and traffic
+  /// bytes are identical to the pre-envelope flat send path.
+  kOff,
+  /// Coalesce at release points: home flushes bound for the master ride the
+  /// release announcement (BarrierArrive / LockRelease) in one envelope,
+  /// and join-barrier releases ride the master's next instruction fan-out
+  /// (fork / GC prepare / terminate) instead of a separate broadcast.
+  kRelease,
+  /// kRelease plus fault-side batching: a multi-page read fault groups its
+  /// full-page fetch requests per source into one envelope.
+  kAggressive,
+};
+
+const char* piggyback_mode_name(PiggybackMode mode);
+/// Parses "off" / "release" / "aggressive"; throws on anything else.
+PiggybackMode parse_piggyback_mode(const std::string& name);
+/// Default mode: ANOW_PIGGYBACK environment variable, falling back to
+/// kRelease.  Lets CI run the whole test suite under any mode without
+/// touching every DsmConfig construction site.
+PiggybackMode piggyback_mode_from_env();
+
 /// How pids are reassigned when processes leave (paper §5.4 lists "the
 /// process id reassignment algorithm" among the cost factors; Figure 3 shows
 /// why it matters).
@@ -49,6 +73,9 @@ struct DsmConfig {
 
   /// Consistency protocol variant (defaults to ANOW_ENGINE, else LRC).
   EngineKind engine = engine_kind_from_env();
+
+  /// Envelope coalescing policy (defaults to ANOW_PIGGYBACK, else release).
+  PiggybackMode piggyback = piggyback_mode_from_env();
 
   /// Protocol for pages not covered by a protocol_override.
   Protocol default_protocol = Protocol::kMultiWriter;

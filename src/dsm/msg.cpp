@@ -10,21 +10,25 @@ std::int64_t intervals_bytes(const std::vector<Interval>& intervals) {
   return total;
 }
 
+/// Encoded payload size per segment kind.  These are the pre-envelope flat
+/// Message sizes minus the 8 bytes now charged once per envelope
+/// (kEnvelopeHeaderBytes), so `--piggyback off` reproduces the old
+/// accounting exactly.
 struct WireSize {
-  std::int64_t operator()(const PageRequest&) const { return 16; }
+  std::int64_t operator()(const PageRequest&) const { return 8; }
   std::int64_t operator()(const PageReply& m) const {
-    return 16 + static_cast<std::int64_t>(m.data.size()) +
+    return 8 + static_cast<std::int64_t>(m.data.size()) +
            static_cast<std::int64_t>(m.applied.size()) * 8;
   }
   std::int64_t operator()(const DiffRequest& m) const {
-    std::int64_t total = 16;
+    std::int64_t total = 8;
     for (const auto& pg : m.pages) {
       total += 8 + static_cast<std::int64_t>(pg.iseqs.size()) * 4;
     }
     return total;
   }
   std::int64_t operator()(const DiffReply& m) const {
-    std::int64_t total = 16;
+    std::int64_t total = 8;
     for (const auto& pg : m.pages) {
       total += 8;
       for (const auto& [iseq, bytes] : pg.diffs) {
@@ -35,56 +39,83 @@ struct WireSize {
     return total;
   }
   std::int64_t operator()(const HomeFlush& m) const {
-    std::int64_t total = 16;
+    std::int64_t total = 8;
     for (const auto& pg : m.pages) {
       total += 8 + static_cast<std::int64_t>(pg.diff.size());
     }
     return total;
   }
-  std::int64_t operator()(const HomeFlushAck&) const { return 16; }
+  std::int64_t operator()(const HomeFlushAck&) const { return 8; }
   std::int64_t operator()(const BarrierArrive& m) const {
-    return 16 + m.interval.wire_bytes();
+    return 8 + m.interval.wire_bytes();
   }
   std::int64_t operator()(const BarrierRelease& m) const {
-    return 8 + intervals_bytes(m.intervals) +
+    return intervals_bytes(m.intervals) +
            static_cast<std::int64_t>(m.owner_delta.size()) * 6;
   }
   std::int64_t operator()(const GcPrepare& m) const {
-    return 8 + static_cast<std::int64_t>(m.owners.size()) * 6 +
+    return static_cast<std::int64_t>(m.owners.size()) * 6 +
            intervals_bytes(m.intervals);
   }
-  std::int64_t operator()(const GcAck&) const { return 8; }
-  std::int64_t operator()(const LockAcquireReq&) const { return 12; }
+  std::int64_t operator()(const GcAck&) const { return 0; }
+  std::int64_t operator()(const LockAcquireReq&) const { return 4; }
   std::int64_t operator()(const LockGrant& m) const {
-    return 8 + intervals_bytes(m.intervals);
+    return intervals_bytes(m.intervals);
   }
   std::int64_t operator()(const LockReleaseMsg& m) const {
-    return 12 + m.interval.wire_bytes();
+    return 4 + m.interval.wire_bytes();
   }
   std::int64_t operator()(const ForkMsg& m) const {
-    return 16 + static_cast<std::int64_t>(m.args.size()) +
+    return 8 + static_cast<std::int64_t>(m.args.size()) +
            static_cast<std::int64_t>(m.team.size()) * 6 +
            intervals_bytes(m.intervals) +
            static_cast<std::int64_t>(m.owner_delta.size()) * 6;
   }
-  std::int64_t operator()(const TerminateMsg&) const { return 8; }
-  std::int64_t operator()(const JoinReady&) const { return 8; }
+  std::int64_t operator()(const TerminateMsg&) const { return 0; }
+  std::int64_t operator()(const JoinReady&) const { return 0; }
   std::int64_t operator()(const PageMapMsg& m) const {
-    return 8 + static_cast<std::int64_t>(m.owner_by_page.size()) * 2;
+    return static_cast<std::int64_t>(m.owner_by_page.size()) * 2;
   }
 };
 
+constexpr const char* kSegmentKindNames[kNumSegmentKinds] = {
+    "page_request",   "page_reply",     "diff_request", "diff_reply",
+    "home_flush",     "home_flush_ack", "barrier_arrive",
+    "barrier_release", "gc_prepare",    "gc_ack",       "lock_acquire",
+    "lock_grant",     "lock_release",   "fork",         "terminate",
+    "join_ready",     "page_map",
+};
+
+static_assert(std::variant_size_v<Segment> == kNumSegmentKinds,
+              "SegmentKind must mirror the Segment variant alternatives");
+
 }  // namespace
 
-std::int64_t Message::wire_bytes() const {
-  return std::visit(WireSize{}, body);
+const char* segment_kind_name(SegmentKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kNumSegmentKinds ? kSegmentKindNames[i] : "?";
 }
 
-bool Message::is_consistency_traffic() const {
-  return std::holds_alternative<DiffRequest>(body) ||
-         std::holds_alternative<DiffReply>(body) ||
-         std::holds_alternative<HomeFlush>(body) ||
-         std::holds_alternative<HomeFlushAck>(body);
+std::int64_t segment_wire_bytes(const Segment& seg) {
+  return std::visit(WireSize{}, seg);
+}
+
+bool segment_is_consistency_traffic(const Segment& seg) {
+  switch (segment_kind(seg)) {
+    case SegmentKind::kDiffRequest:
+    case SegmentKind::kDiffReply:
+    case SegmentKind::kHomeFlush:
+    case SegmentKind::kHomeFlushAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t Envelope::wire_bytes() const {
+  std::int64_t total = kEnvelopeHeaderBytes;
+  for (const auto& seg : segments) total += segment_wire_bytes(seg);
+  return total;
 }
 
 }  // namespace anow::dsm

@@ -1,8 +1,17 @@
-// DSM protocol messages.
+// DSM wire protocol: typed segments and the envelope that carries them.
 //
-// Messages carry rich C++ payloads (the simulation shares one address
+// Segments carry rich C++ payloads (the simulation shares one address
 // space); their *wire size* for network cost accounting is computed by
-// wire_bytes() from the logical on-the-wire encoding TreadMarks would use.
+// segment_wire_bytes() from the logical on-the-wire encoding TreadMarks
+// would use.  An Envelope is the unit the network moves: an ordered list of
+// segments from one sender, charged one envelope header plus the sum of its
+// segments' payload bytes.  A single-segment envelope therefore costs
+// exactly what the old one-struct-per-send Message did; every additional
+// segment piggybacked on the same envelope saves one header and one
+// per-message network overhead (DESIGN.md §7).
+//
+// Staging and coalescing rules live in dsm/channel.hpp; nothing here knows
+// when segments merge, only what each one weighs.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +81,9 @@ struct HomeFlushPage {
 /// a home travels in one message (one round per home per release).  The
 /// writer blocks on the ack before announcing the interval to the master, so
 /// a write notice can never exist anywhere before its data is at the home.
+/// cookie == 0 marks a flush piggybacked on the release announcement itself
+/// (same envelope, ordered before it): no ack is wanted because the home
+/// applies the segment before it can even see the announcement.
 struct HomeFlush {
   Uid writer = kNoUid;
   std::vector<HomeFlushPage> pages;
@@ -158,21 +170,68 @@ struct PageMapMsg {
   std::vector<Uid> owner_by_page;
 };
 
-struct Message {
+/// One typed unit of the wire protocol.  Alternative order must match
+/// SegmentKind (segment_kind() is the variant index).
+using Segment =
+    std::variant<PageRequest, PageReply, DiffRequest, DiffReply, HomeFlush,
+                 HomeFlushAck, BarrierArrive, BarrierRelease, GcPrepare,
+                 GcAck, LockAcquireReq, LockGrant, LockReleaseMsg, ForkMsg,
+                 TerminateMsg, JoinReady, PageMapMsg>;
+
+enum class SegmentKind : std::uint8_t {
+  kPageRequest,
+  kPageReply,
+  kDiffRequest,
+  kDiffReply,
+  kHomeFlush,
+  kHomeFlushAck,
+  kBarrierArrive,
+  kBarrierRelease,
+  kGcPrepare,
+  kGcAck,
+  kLockAcquireReq,
+  kLockGrant,
+  kLockRelease,
+  kFork,
+  kTerminate,
+  kJoinReady,
+  kPageMap,
+};
+constexpr int kNumSegmentKinds = 17;
+
+inline SegmentKind segment_kind(const Segment& seg) {
+  return static_cast<SegmentKind>(seg.index());
+}
+/// Short stable name ("page_request", "barrier_arrive", ...) used for the
+/// per-segment-kind traffic histogram (stats counters, bench JSON).
+const char* segment_kind_name(SegmentKind kind);
+
+/// Logical encoded payload size of one segment, excluding the envelope
+/// header (the header is charged once per envelope, not per segment).
+std::int64_t segment_wire_bytes(const Segment& seg);
+
+/// Segment kinds that exist purely to move modifications (diff fetch
+/// rounds, home flushes).  Together with full-page refetches that resolve
+/// pending notices (counted at the fetch site, where the intent is known),
+/// this forms the engine-comparison consistency-traffic metric.
+bool segment_is_consistency_traffic(const Segment& seg);
+
+/// Per-envelope framing charge (type/count/length fields).  Chosen so that
+/// a single-segment envelope weighs exactly what the pre-envelope flat
+/// Message did, which keeps `--piggyback off` byte-for-byte identical to
+/// the old send path.
+constexpr std::int64_t kEnvelopeHeaderBytes = 8;
+
+/// The unit the network moves: an ordered list of segments from one sender.
+/// Delivery processes segments strictly in order, which is what lets a
+/// HomeFlush ride in front of the BarrierArrive announcing its interval
+/// without an ack round (the home applies the data before it can see the
+/// announcement).
+struct Envelope {
   Uid src = kNoUid;
-  std::variant<PageRequest, PageReply, DiffRequest, DiffReply, HomeFlush,
-               HomeFlushAck, BarrierArrive, BarrierRelease, GcPrepare, GcAck,
-               LockAcquireReq, LockGrant, LockReleaseMsg, ForkMsg,
-               TerminateMsg, JoinReady, PageMapMsg>
-      body;
+  std::vector<Segment> segments;
 
   std::int64_t wire_bytes() const;
-  /// Message kinds that exist purely to move modifications (diff fetch
-  /// rounds, home flushes).  Together with full-page refetches that
-  /// resolve pending notices (counted at the fetch site, where the intent
-  /// is known), this forms the engine-comparison consistency-traffic
-  /// metric.
-  bool is_consistency_traffic() const;
 };
 
 }  // namespace anow::dsm

@@ -25,7 +25,13 @@ namespace {
 }  // namespace
 
 DsmProcess::DsmProcess(DsmSystem& system, Uid uid, sim::HostId host)
-    : system_(system), uid_(uid), host_(host) {
+    : system_(system),
+      uid_(uid),
+      host_(host),
+      channel_(uid, system.config().piggyback,
+               [this](Uid to, Envelope env) {
+                 system_.send_envelope(to, std::move(env));
+               }) {
   const auto& cfg = system_.config();
   region_.assign(static_cast<std::size_t>(cfg.heap_bytes), 0);
   engine_ = protocol::make_engine(cfg);
@@ -57,6 +63,10 @@ void DsmProcess::read_range(GAddr addr, std::size_t len) {
   const PageId last = page_end(addr, len);
   ANOW_CHECK_MSG(last <= system_.num_pages(),
                  "read_range beyond shared heap: addr=" << addr);
+  if (channel_.mode() == PiggybackMode::kAggressive && last - first > 1) {
+    fault_in_range(first, last);
+    return;
+  }
   for (PageId p = first; p < last; ++p) {
     if (!engine_->page(p).is_valid()) {
       system_.stats().counter("dsm.faults.read")++;
@@ -135,21 +145,22 @@ void DsmProcess::fetch_page_copy(PageId page, bool must_cover_pending) {
   // a first-touch fetch is initial data distribution and does not.
   const bool resolves_invalidation = !engine_->page(page).pending.empty();
   const std::uint64_t cookie = new_cookie();
-  Message req;
-  req.src = uid_;
-  req.body = PageRequest{uid_, page, 0, cookie};
-  const std::int64_t req_wire = req.wire_bytes();
-  Message reply = rpc(src, std::move(req), cookie);
+  Segment req = PageRequest{uid_, page, 0, cookie};
+  const std::int64_t req_wire =
+      kEnvelopeHeaderBytes + segment_wire_bytes(req);
+  Segment reply = rpc(src, std::move(req), cookie);
   if (resolves_invalidation) {
     system_.stats().counter("dsm.consistency_traffic_bytes") +=
-        req_wire + reply.wire_bytes();
+        req_wire + kEnvelopeHeaderBytes + segment_wire_bytes(reply);
   }
-  auto& pr = std::get<PageReply>(reply.body);
+  auto& pr = std::get<PageReply>(reply);
   ANOW_CHECK(pr.page == page);
   ANOW_CHECK(pr.data.size() == kPageSize);
   engine_->install_copy(page, pr.data.data(), pr.applied,
                         must_cover_pending);
-  ANOW_PTRACE(page, "fetched full copy from " << reply.src << " val="
+  // `src` is the first hop; a forwarded request is served elsewhere
+  // (replies carry no sender, so the trace names the hop, not the server).
+  ANOW_PTRACE(page, "fetched full copy via " << src << " val="
                         << *cptr<std::int64_t>(page_base(page)));
 }
 
@@ -170,6 +181,131 @@ void DsmProcess::fault_in(PageId page) {
   ANOW_CHECK(engine_->page(page).is_valid());
 }
 
+void DsmProcess::fault_in_range(PageId first, PageId last) {
+  // Collect the range's invalid pages up front so their full-page fetches
+  // can share envelopes (one request envelope per source, replies
+  // overlapped) and their diff fetches can share rounds (one request per
+  // creator across all pages, as the GC validation path already does).
+  std::vector<PageId> need;
+  for (PageId p = first; p < last; ++p) {
+    if (engine_->page(p).is_valid()) continue;
+    system_.stats().counter("dsm.faults.read")++;
+    ++accessed_since_fork_;
+    compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
+    need.push_back(p);
+  }
+  if (need.empty()) return;
+
+  struct Want {
+    Uid src;
+    PageId page;
+    std::uint64_t cookie;
+    bool resolves;  // the fetch resolves pending notices
+  };
+  std::vector<Want> wants;
+  for (PageId p : need) {
+    if (engine_->page(p).have_copy) continue;
+    wants.push_back({engine_->pick_page_source(p), p, 0,
+                     !engine_->page(p).pending.empty()});
+  }
+  if (!wants.empty()) {
+    std::sort(wants.begin(), wants.end(), [](const Want& a, const Want& b) {
+      if (a.src != b.src) return a.src < b.src;
+      return a.page < b.page;
+    });
+    flush_cpu();
+    auto& consistency =
+        system_.stats().counter("dsm.consistency_traffic_bytes");
+    for (std::size_t i = 0; i < wants.size(); ++i) {
+      Want& w = wants[i];
+      ANOW_CHECK_MSG(w.src != uid_, "page " << w.page
+                                            << " owner hint points at self "
+                                               "but no copy");
+      w.cookie = new_cookie();
+      register_reply(w.cookie);  // register before send
+      PageRequest req{uid_, w.page, 0, w.cookie};
+      if (w.resolves) {
+        // Accounting rule of §7: segments sharing an envelope count
+        // payload only; a source wanted for exactly one page sends a solo
+        // envelope and charges the header, as the unbatched path does —
+        // unless something is already staged for it (e.g. a join-barrier
+        // release held in the master's channel), which the request joins.
+        const bool solo = (i == 0 || wants[i - 1].src != w.src) &&
+                          (i + 1 == wants.size() ||
+                           wants[i + 1].src != w.src) &&
+                          !channel_.has_staged(w.src);
+        consistency += segment_wire_bytes(Segment{req}) +
+                       (solo ? kEnvelopeHeaderBytes : 0);
+      }
+      channel_.stage(w.src, req);
+    }
+    for (std::size_t i = 0; i < wants.size(); ++i) {
+      if (i + 1 == wants.size() || wants[i + 1].src != wants[i].src) {
+        channel_.flush(wants[i].src);
+      }
+    }
+    for (const auto& w : wants) {
+      PendingReply* pr = find_reply(w.cookie);
+      if (!pr->ready) {
+        system_.cluster().sim().wait(pr->wp, "page reply");
+      }
+      Segment seg = std::move(pr->seg);
+      erase_reply(w.cookie);
+      auto& reply = std::get<PageReply>(seg);
+      ANOW_CHECK(reply.page == w.page);
+      ANOW_CHECK(reply.data.size() == kPageSize);
+      // Replies never coalesce: every page reply is a solo envelope.
+      if (w.resolves) {
+        consistency += kEnvelopeHeaderBytes + segment_wire_bytes(seg);
+      }
+      engine_->install_copy(w.page, reply.data.data(), reply.applied,
+                            engine_->full_copy_covers_pending());
+      ANOW_PTRACE(w.page, "fetched full copy (batched) val="
+                              << *cptr<std::int64_t>(page_base(w.page)));
+    }
+  }
+
+  // Notices the installed copies did not cover: multi-writer pages share
+  // batched diff rounds; the rest (single-writer / home refetches) resolve
+  // page by page.
+  std::vector<PageId> multi_writer;
+  for (PageId p : need) {
+    if (engine_->page(p).pending.empty()) continue;
+    if (!engine_->full_copy_covers_pending() &&
+        engine_->protocol_of(p) == Protocol::kMultiWriter) {
+      multi_writer.push_back(p);
+    } else {
+      apply_pending_diffs(p);
+    }
+  }
+  resolve_multi_writer_pending(multi_writer);
+  for (PageId p : need) {
+    ANOW_CHECK(engine_->page(p).is_valid());
+  }
+}
+
+std::int64_t DsmProcess::resolve_multi_writer_pending(
+    const std::vector<PageId>& pages) {
+  if (pages.empty()) return 0;
+  // Our own un-diffed intervals must be captured before remote diffs are
+  // merged (they would otherwise leak into our diffs).
+  for (PageId p : pages) {
+    if (engine_->flush_lazy_twin(p)) {
+      compute(sim::to_seconds(
+          system_.cluster().cost().diff_create_time(kPageSize)));
+    }
+  }
+  const auto plans = engine_->plan_diff_fetches(pages.data(), pages.size());
+  const auto replies = fetch_diffs(plans);
+  std::int64_t applied_bytes = 0;
+  for (PageId p : pages) {
+    applied_bytes += engine_->apply_fetched_diffs(p, replies);
+  }
+  compute(sim::to_seconds(
+      system_.cluster().cost().diff_apply_time(applied_bytes)));
+  return static_cast<std::int64_t>(plans.size());
+}
+
 std::vector<DiffReply> DsmProcess::fetch_diffs(
     const std::vector<protocol::DiffFetchPlan>& plans) {
   flush_cpu();
@@ -178,10 +314,7 @@ std::vector<DiffReply> DsmProcess::fetch_diffs(
   for (const auto& plan : plans) {
     const std::uint64_t cookie = new_cookie();
     register_reply(cookie);  // register before send
-    Message req;
-    req.src = uid_;
-    req.body = DiffRequest{uid_, plan.pages, cookie};
-    system_.send(uid_, plan.creator, std::move(req));
+    channel_.send(plan.creator, DiffRequest{uid_, plan.pages, cookie});
     cookies.push_back(cookie);
   }
   // Collect replies (any arrival order; wait consumes ready flags).
@@ -192,7 +325,7 @@ std::vector<DiffReply> DsmProcess::fetch_diffs(
     if (!pr->ready) {
       system_.cluster().sim().wait(pr->wp, "diff reply");
     }
-    replies.push_back(std::move(std::get<DiffReply>(pr->msg.body)));
+    replies.push_back(std::move(std::get<DiffReply>(pr->seg)));
     erase_reply(cookie);
   }
   return replies;
@@ -248,7 +381,7 @@ void DsmProcess::apply_owner_hints(const OwnerDelta& delta) {
 // ---------------------------------------------------------------------------
 
 void DsmProcess::flush_homes() {
-  const auto plans = engine_->plan_home_flush();
+  auto plans = engine_->plan_home_flush();
   if (plans.empty()) return;
   // Diff creation (one page scan per flushed diff) happens on this node.
   std::int64_t pages = 0;
@@ -261,23 +394,47 @@ void DsmProcess::flush_homes() {
   flush_cpu();
   system_.stats().counter("dsm.home_flushes") +=
       static_cast<std::int64_t>(plans.size());
-  // One batched message per home, issued in parallel; the acks gate the
+  // One batched flush per home, issued in parallel; the acks gate the
   // release announcement (no write notice may precede its data's arrival
-  // at the home).
+  // at the home).  The master-homed batch is the exception under a
+  // buffered piggyback mode: staged here, it departs in the same envelope
+  // as — ordered before — the BarrierArrive / LockRelease the caller sends
+  // next, so the home applies the data before it can even see the
+  // announcement.  The ack-before-announce invariant then holds by
+  // envelope ordering, with no ack round (cookie 0 = no ack wanted).
   std::vector<std::uint64_t> cookies;
   cookies.reserve(plans.size());
-  for (const auto& plan : plans) {
-    const std::uint64_t cookie = new_cookie();
-    register_reply(cookie);  // register before send
-    Message msg;
-    msg.src = uid_;
+  sim::Time staged_service = 0;
+  for (auto& plan : plans) {
     HomeFlush flush;
     flush.writer = uid_;
-    flush.pages = plan.pages;
+    flush.pages = std::move(plan.pages);
+    if (plan.home == kMasterUid && channel_.buffered()) {
+      flush.cookie = 0;
+      // The home's apply time does not vanish with the ack: the writer
+      // pre-pays it as latency before the announcement departs (below),
+      // which is where the unbuffered path's ack wait charged it.  Paying
+      // on the writer side keeps receive processing immediate — deferring
+      // at the home would let later envelopes from this sender overtake
+      // the announcement and break the transport's ordering guarantee.
+      std::int64_t flush_bytes = 0;
+      for (const auto& fp : flush.pages) {
+        flush_bytes += static_cast<std::int64_t>(fp.diff.size());
+      }
+      staged_service += system_.cluster().cost().diff_service_fixed +
+                        system_.cluster().cost().diff_apply_time(flush_bytes);
+      channel_.stage(kMasterUid, std::move(flush));
+      system_.stats().counter("dsm.home_flushes_piggybacked")++;
+      continue;
+    }
+    const std::uint64_t cookie = new_cookie();
+    register_reply(cookie);  // register before send
     flush.cookie = cookie;
-    msg.body = std::move(flush);
-    system_.send(uid_, plan.home, std::move(msg));
+    channel_.send(plan.home, std::move(flush));
     cookies.push_back(cookie);
+  }
+  if (staged_service > 0) {
+    system_.cluster().sim().sleep_for(staged_service);
   }
   for (const std::uint64_t cookie : cookies) {
     PendingReply* pr = find_reply(cookie);
@@ -293,25 +450,21 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
   system_.stats().counter("dsm.barrier_waits")++;
   Interval iv = engine_->finish_interval();
   flush_homes();
-  Message arrive;
-  arrive.src = uid_;
-  arrive.body = BarrierArrive{uid_, barrier_id, std::move(iv),
-                              consistency_bytes()};
-  system_.send(uid_, kMasterUid, std::move(arrive));
+  // channel_.send drains the flush staged for the master (if any): the
+  // arrival and its home data share one envelope, data first.
+  channel_.send(kMasterUid, BarrierArrive{uid_, barrier_id, std::move(iv),
+                                          consistency_bytes()});
 
   while (true) {
-    Message m = next_instruction("barrier");
-    if (auto* gp = std::get_if<GcPrepare>(&m.body)) {
+    Segment m = next_instruction("barrier");
+    if (auto* gp = std::get_if<GcPrepare>(&m)) {
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
-      Message ack;
-      ack.src = uid_;
-      ack.body = GcAck{uid_};
-      system_.send(uid_, kMasterUid, std::move(ack));
+      channel_.send(kMasterUid, GcAck{uid_});
       continue;
     }
-    auto* rel = std::get_if<BarrierRelease>(&m.body);
+    auto* rel = std::get_if<BarrierRelease>(&m);
     ANOW_CHECK_MSG(rel != nullptr, "unexpected instruction inside barrier");
     ANOW_CHECK(rel->barrier_id == barrier_id);
     engine_->integrate(rel->intervals);
@@ -327,10 +480,7 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
 void DsmProcess::lock_acquire(std::int32_t lock_id) {
   flush_cpu();
   system_.stats().counter("dsm.lock_acquires")++;
-  Message req;
-  req.src = uid_;
-  req.body = LockAcquireReq{uid_, lock_id};
-  system_.send(uid_, kMasterUid, std::move(req));
+  channel_.send(kMasterUid, LockAcquireReq{uid_, lock_id});
   system_.cluster().sim().wait(lock_wp_, "lock grant");
   ANOW_CHECK(lock_granted_);
   lock_granted_ = false;
@@ -342,10 +492,9 @@ void DsmProcess::lock_release(std::int32_t lock_id) {
   flush_cpu();
   Interval iv = engine_->finish_interval();
   flush_homes();
-  Message rel;
-  rel.src = uid_;
-  rel.body = LockReleaseMsg{uid_, lock_id, std::move(iv)};
-  system_.send(uid_, kMasterUid, std::move(rel));
+  // As at the barrier, a master-homed flush staged by flush_homes rides in
+  // front of the release notification in one envelope.
+  channel_.send(kMasterUid, LockReleaseMsg{uid_, lock_id, std::move(iv)});
   // Releases are asynchronous in TreadMarks: no reply awaited.
 }
 
@@ -394,23 +543,12 @@ void DsmProcess::gc_validate(const OwnerDelta& owners) {
       system_.stats().counter("dsm.gc_validation_faults")++;
       ++accessed_since_fork_;
       compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
-      if (engine_->flush_lazy_twin(p)) {
-        compute(sim::to_seconds(
-            system_.cluster().cost().diff_create_time(kPageSize)));
-      }
     }
-    const auto plans =
-        engine_->plan_diff_fetches(batchable.data(), batchable.size());
     system_.stats().counter("dsm.gc_batched_fetch_rounds") +=
-        static_cast<std::int64_t>(plans.size());
-    const auto replies = fetch_diffs(plans);
-    std::int64_t applied_bytes = 0;
+        resolve_multi_writer_pending(batchable);
     for (PageId p : batchable) {
-      applied_bytes += engine_->apply_fetched_diffs(p, replies);
       ANOW_CHECK(engine_->page(p).is_valid());
     }
-    compute(sim::to_seconds(
-        system_.cluster().cost().diff_apply_time(applied_bytes)));
   }
   for (PageId p : rest) {
     system_.stats().counter("dsm.gc_validation_faults")++;
@@ -422,22 +560,35 @@ void DsmProcess::gc_validate(const OwnerDelta& owners) {
 // Message handling (event context — never blocks)
 // ---------------------------------------------------------------------------
 
-void DsmProcess::handle(Message msg) {
+void DsmProcess::handle(Envelope env) {
+  // Segments are dispatched strictly in envelope order — a piggybacked
+  // HomeFlush is applied before the BarrierArrive it rides with is
+  // processed, which is what replaces its ack round (DESIGN.md §7).
+  // Processing is never deferred mid-envelope: a receive-side delay would
+  // let a later envelope from the same sender be handled first, and the
+  // transport's ordering guarantee would silently break (the apply cost of
+  // a piggybacked flush is charged on the writer side, in flush_homes).
+  for (auto& seg : env.segments) {
+    handle_segment(std::move(seg), env.src);
+  }
+}
+
+void DsmProcess::handle_segment(Segment seg, Uid src) {
   std::visit(
       [&](auto& body) {
         using T = std::decay_t<decltype(body)>;
         if constexpr (std::is_same_v<T, PageRequest>) {
-          handle_page_request(body, msg.src);
+          handle_page_request(body, src);
         } else if constexpr (std::is_same_v<T, DiffRequest>) {
-          handle_diff_request(body, msg.src);
+          handle_diff_request(body, src);
         } else if constexpr (std::is_same_v<T, HomeFlush>) {
           handle_home_flush(body);
         } else if constexpr (std::is_same_v<T, PageReply>) {
-          deliver_reply(body.cookie, std::move(msg));
+          deliver_reply(body.cookie, std::move(seg));
         } else if constexpr (std::is_same_v<T, DiffReply>) {
-          deliver_reply(body.cookie, std::move(msg));
+          deliver_reply(body.cookie, std::move(seg));
         } else if constexpr (std::is_same_v<T, HomeFlushAck>) {
-          deliver_reply(body.cookie, std::move(msg));
+          deliver_reply(body.cookie, std::move(seg));
         } else if constexpr (std::is_same_v<T, BarrierArrive>) {
           ANOW_CHECK(is_master());
           system_.on_barrier_arrive(body);
@@ -466,10 +617,10 @@ void DsmProcess::handle(Message msg) {
         } else {
           // Fork / Terminate / BarrierRelease / GcPrepare: woken in the
           // fiber's instruction loop.
-          push_instruction(std::move(msg));
+          push_instruction(std::move(seg));
         }
       },
-      msg.body);
+      seg);
 }
 
 void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
@@ -482,12 +633,9 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
     const Uid next = engine_->pick_page_source(req.page);
     ANOW_CHECK(next != uid_);
     system_.stats().counter("dsm.page_forwards")++;
-    Message fwd;
-    fwd.src = uid_;
     PageRequest f = req;
     f.forward_hops++;
-    fwd.body = f;
-    system_.send(uid_, next, std::move(fwd));
+    channel_.send(next, f);
     return;
   }
   ANOW_PTRACE(req.page, "serving page to " << req.requester << " val="
@@ -500,15 +648,12 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
   reply.data.assign(region_.begin() + page_base(req.page),
                     region_.begin() + page_base(req.page) + kPageSize);
   reply.applied = engine_->page(req.page).applied;
-  Message m;
-  m.src = uid_;
-  m.body = std::move(reply);
   const Uid requester = req.requester;
   // Server-side handling cost before the reply leaves.
   system_.cluster().sim().after(
       system_.cluster().cost().page_service,
-      [this, requester, m = std::move(m)]() mutable {
-        system_.send(uid_, requester, std::move(m));
+      [this, requester, reply = std::move(reply)]() mutable {
+        channel_.send(requester, std::move(reply));
       });
 }
 
@@ -516,16 +661,17 @@ void DsmProcess::handle_home_flush(const HomeFlush& msg) {
   ANOW_CHECK_MSG(alive_, "home flush reached terminated process " << uid_);
   const std::int64_t applied = engine_->apply_home_flush(msg.writer,
                                                          msg.pages);
+  // cookie 0: the flush rode the writer's release announcement in this
+  // envelope; ordering already guarantees data-before-notice and the
+  // writer pre-paid the apply service time (flush_homes), so no ack.
+  if (msg.cookie == 0) return;
   // Diff application on the home before the ack leaves.
   const sim::Time service = system_.cluster().cost().diff_service_fixed +
                             system_.cluster().cost().diff_apply_time(applied);
-  Message m;
-  m.src = uid_;
-  m.body = HomeFlushAck{applied, msg.cookie};
   const Uid writer = msg.writer;
   system_.cluster().sim().after(
-      service, [this, writer, m = std::move(m)]() mutable {
-        system_.send(uid_, writer, std::move(m));
+      service, [this, writer, ack = HomeFlushAck{applied, msg.cookie}] {
+        channel_.send(writer, ack);
       });
 }
 
@@ -539,13 +685,10 @@ void DsmProcess::handle_diff_request(const DiffRequest& req, Uid /*src*/) {
   const sim::Time service =
       system_.cluster().cost().diff_service_fixed +
       materialized * system_.cluster().cost().diff_create_time(kPageSize);
-  Message m;
-  m.src = uid_;
-  m.body = std::move(reply);
   const Uid requester = req.requester;
   system_.cluster().sim().after(
-      service, [this, requester, m = std::move(m)]() mutable {
-        system_.send(uid_, requester, std::move(m));
+      service, [this, requester, reply = std::move(reply)]() mutable {
+        channel_.send(requester, std::move(reply));
       });
 }
 
@@ -577,41 +720,41 @@ void DsmProcess::erase_reply(std::uint64_t cookie) {
   ANOW_CHECK_MSG(false, "erase of unknown reply cookie");
 }
 
-void DsmProcess::deliver_reply(std::uint64_t cookie, Message msg) {
+void DsmProcess::deliver_reply(std::uint64_t cookie, Segment seg) {
   PendingReply* pr = find_reply(cookie);
   ANOW_CHECK_MSG(pr != nullptr, "reply with unknown cookie");
-  pr->msg = std::move(msg);
+  pr->seg = std::move(seg);
   pr->ready = true;
   system_.cluster().sim().signal(pr->wp);
 }
 
-Message DsmProcess::rpc(Uid dst, Message msg, std::uint64_t cookie) {
+Segment DsmProcess::rpc(Uid dst, Segment seg, std::uint64_t cookie) {
   flush_cpu();
   PendingReply& pr = register_reply(cookie);
-  system_.send(uid_, dst, std::move(msg));
+  channel_.send(dst, std::move(seg));
   if (!pr.ready) {
     system_.cluster().sim().wait(pr.wp, "rpc reply");
   }
-  Message reply = std::move(pr.msg);
+  Segment reply = std::move(pr.seg);
   erase_reply(cookie);
   return reply;
 }
 
-void DsmProcess::push_instruction(Message msg) {
-  instr_q_.push_back(std::move(msg));
+void DsmProcess::push_instruction(Segment seg) {
+  instr_q_.push_back(std::move(seg));
   if (instr_waiting_) {
     instr_waiting_ = false;
     system_.cluster().sim().signal(instr_wp_);
   }
 }
 
-Message DsmProcess::next_instruction(const char* tag) {
+Segment DsmProcess::next_instruction(const char* tag) {
   flush_cpu();
   while (instr_q_.empty()) {
     instr_waiting_ = true;
     system_.cluster().sim().wait(instr_wp_, tag);
   }
-  Message m = std::move(instr_q_.front());
+  Segment m = std::move(instr_q_.front());
   instr_q_.pop_front();
   return m;
 }
@@ -651,28 +794,22 @@ void DsmProcess::slave_main() {
     const int peers = system_.world_size();
     system_.cluster().sim().sleep_for(
         system_.cluster().cost().connection_setup * peers);
-    Message ready;
-    ready.src = uid_;
-    ready.body = JoinReady{uid_};
-    system_.send(uid_, kMasterUid, std::move(ready));
+    channel_.send(kMasterUid, JoinReady{uid_});
   }
   while (true) {
-    Message m = next_instruction("Tmk_wait");
-    if (auto* fork = std::get_if<ForkMsg>(&m.body)) {
+    Segment m = next_instruction("Tmk_wait");
+    if (auto* fork = std::get_if<ForkMsg>(&m)) {
       run_task(*fork);
       continue;
     }
-    if (auto* gp = std::get_if<GcPrepare>(&m.body)) {
+    if (auto* gp = std::get_if<GcPrepare>(&m)) {
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
-      Message ack;
-      ack.src = uid_;
-      ack.body = GcAck{uid_};
-      system_.send(uid_, kMasterUid, std::move(ack));
+      channel_.send(kMasterUid, GcAck{uid_});
       continue;
     }
-    ANOW_CHECK_MSG(std::holds_alternative<TerminateMsg>(m.body),
+    ANOW_CHECK_MSG(std::holds_alternative<TerminateMsg>(m),
                    "unexpected instruction in Tmk_wait");
     alive_ = false;
     return;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "dsm/channel.hpp"
 #include "dsm/config.hpp"
 #include "dsm/msg.hpp"
 #include "dsm/protocol/engine.hpp"
@@ -104,21 +105,30 @@ class DsmProcess {
   friend class DsmSystem;
 
   // --- message plumbing -------------------------------------------------------
-  void handle(Message msg);
+  /// Delivers one envelope: its segments are dispatched strictly in order,
+  /// which is what piggybacked segments rely on (a HomeFlush staged before
+  /// a BarrierArrive is applied before the arrival is processed).
+  void handle(Envelope env);
+  void handle_segment(Segment seg, Uid src);
   void handle_page_request(const PageRequest& req, Uid src);
   void handle_diff_request(const DiffRequest& req, Uid src);
   void handle_home_flush(const HomeFlush& msg);
-  void deliver_reply(std::uint64_t cookie, Message msg);
-  /// Sends a request and parks until the matching reply (by cookie) arrives.
-  Message rpc(Uid dst, Message msg, std::uint64_t cookie);
+  void deliver_reply(std::uint64_t cookie, Segment seg);
+  /// Sends a request segment and parks until the matching reply (by
+  /// cookie) arrives.
+  Segment rpc(Uid dst, Segment seg, std::uint64_t cookie);
   std::uint64_t new_cookie() { return next_cookie_++; }
 
   /// Instruction-queue plumbing for the wait/barrier loops.
-  void push_instruction(Message msg);
-  Message next_instruction(const char* tag);
+  void push_instruction(Segment seg);
+  Segment next_instruction(const char* tag);
 
   // --- fault machinery ---------------------------------------------------------
   void fault_in(PageId page);
+  /// PiggybackMode::kAggressive read path: faults every invalid page of
+  /// [first, last) in, batching full-page fetch requests per source (one
+  /// envelope each) and diff fetches per creator across all pages.
+  void fault_in_range(PageId first, PageId last);
   /// Fetches a full page copy via RPC and installs it in the engine.
   void fetch_page_copy(PageId page, bool must_cover_pending);
   void apply_pending_diffs(PageId page);
@@ -126,6 +136,11 @@ class DsmProcess {
   /// (TreadMarks overlaps these fetches).
   std::vector<DiffReply> fetch_diffs(
       const std::vector<protocol::DiffFetchPlan>& plans);
+  /// Resolves the pending notices of multi-writer pages (all holding
+  /// copies) with batched per-creator diff rounds: lazy twins captured
+  /// first, one parallel fetch round, diffs applied in causal order.
+  /// Returns the number of fetch rounds (one batched request per creator).
+  std::int64_t resolve_multi_writer_pending(const std::vector<PageId>& pages);
   /// Home-based engines: pushes the finished interval's diffs to their
   /// homes (one batched message per home, issued in parallel) and blocks on
   /// the acks.  Must run after finish_interval and before the interval is
@@ -157,6 +172,8 @@ class DsmProcess {
 
   std::vector<std::uint8_t> region_;
   std::unique_ptr<protocol::ConsistencyEngine> engine_;
+  /// Outbound transport: all sends depart through here (DESIGN.md §7).
+  Channel channel_;
 
   std::int64_t accessed_since_fork_ = 0;
   /// Coalesced small CPU charges awaiting flush_cpu().
@@ -167,7 +184,7 @@ class DsmProcess {
   struct PendingReply {
     std::uint64_t cookie = 0;
     sim::WaitPoint wp;
-    Message msg;
+    Segment seg;
     bool ready = false;
   };
   PendingReply& register_reply(std::uint64_t cookie);
@@ -177,7 +194,7 @@ class DsmProcess {
   std::uint64_t next_cookie_ = 1;
 
   // Instruction queue (fork / terminate / gc-prepare / barrier-release).
-  std::deque<Message> instr_q_;
+  std::deque<Segment> instr_q_;
   sim::WaitPoint instr_wp_;
   bool instr_waiting_ = false;
 

@@ -18,6 +18,14 @@ DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
   protocol_.assign(pages, config_.default_protocol);
   engine_ = protocol::make_engine(config_);
   engine_->attach_master(static_cast<PageId>(pages), cluster_.stats());
+  auto& stats = cluster_.stats();
+  for (int k = 0; k < kNumSegmentKinds; ++k) {
+    const std::string name = segment_kind_name(static_cast<SegmentKind>(k));
+    seg_msgs_[k] = &stats.counter("dsm.seg." + name + ".msgs");
+    seg_bytes_[k] = &stats.counter("dsm.seg." + name + ".bytes");
+  }
+  ctr_segments_ = &stats.counter("dsm.segments");
+  ctr_consistency_bytes_ = &stats.counter("dsm.consistency_traffic_bytes");
 }
 
 DsmSystem::~DsmSystem() = default;
@@ -107,13 +115,12 @@ void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
                                                         master_main)] {
     main(*master);
     // Shut down every live process — team members and joiners that were
-    // spawned but never adopted.
+    // spawned but never adopted.  channel().send drains any join-barrier
+    // release still staged for the target, so a slave parked in its final
+    // barrier gets [release, terminate] in one envelope.
     for (auto& proc : processes_) {
       if (proc->uid() == kMasterUid || !proc->alive()) continue;
-      Message t;
-      t.src = kMasterUid;
-      t.body = TerminateMsg{};
-      send(kMasterUid, proc->uid(), std::move(t));
+      channel(kMasterUid).send(proc->uid(), TerminateMsg{});
     }
     master->alive_ = false;
   });
@@ -178,10 +185,7 @@ void DsmSystem::expel(Uid uid) {
       team_.pop_back();
       break;
   }
-  Message t;
-  t.src = kMasterUid;
-  t.body = TerminateMsg{};
-  send(kMasterUid, uid, std::move(t));
+  channel(kMasterUid).send(uid, TerminateMsg{});
   engine_->forget_uid(uid);
 }
 
@@ -231,6 +235,8 @@ void DsmSystem::run_parallel(std::int32_t task_id,
   const auto commit = engine_->take_pending_commit(
       /*include_queued_updates=*/true);
 
+  // channel().send drains the join-barrier release staged for each slave
+  // (PiggybackMode::kRelease), so release + fork share one envelope.
   for (Uid uid : team_) {
     if (uid == kMasterUid) continue;
     ForkMsg fork;
@@ -240,10 +246,7 @@ void DsmSystem::run_parallel(std::int32_t task_id,
     fork.intervals = engine_->collect_undelivered(uid);
     fork.gc_commit = commit.gc_commit;
     fork.owner_delta = commit.delta;
-    Message m;
-    m.src = kMasterUid;
-    m.body = std::move(fork);
-    send(kMasterUid, uid, std::move(m));
+    channel(kMasterUid).send(uid, std::move(fork));
   }
 
   // The master executes the construct too (it is part of the team), then
@@ -303,6 +306,7 @@ void DsmSystem::release_barrier() {
   const auto commit = engine_->take_pending_commit(
       /*include_queued_updates=*/false);
 
+  const bool join = barrier_id_ == kJoinBarrierId;
   const sim::Time service =
       cluster_.cost().barrier_service *
       static_cast<sim::Time>(barrier_arrived_.size());
@@ -312,12 +316,22 @@ void DsmSystem::release_barrier() {
     rel.intervals = engine_->collect_undelivered(uid);
     rel.gc_commit = commit.gc_commit;
     rel.owner_delta = commit.delta;
-    Message m;
-    m.src = kMasterUid;
-    m.body = std::move(rel);
-    cluster_.sim().after(service, [this, uid, m = std::move(m)]() mutable {
-      send(kMasterUid, uid, std::move(m));
-    });
+    if (join && uid != kMasterUid && channel(kMasterUid).buffered()) {
+      // After a join barrier a slave does nothing but wait for the next
+      // instruction (fork / GC prepare / terminate), so its release rides
+      // that fan-out instead of paying its own envelope.  Every
+      // instruction path departs via channel().send, which drains this
+      // stage first — the slave always pops the release before the
+      // instruction.  The master itself resumes through the immediate
+      // path below (it must return from barrier() to fork again), which
+      // also keeps the barrier service charge on the critical path.
+      channel(kMasterUid).stage(uid, std::move(rel));
+      continue;
+    }
+    cluster_.sim().after(service,
+                         [this, uid, rel = std::move(rel)]() mutable {
+                           channel(kMasterUid).send(uid, std::move(rel));
+                         });
   }
   barrier_arrived_.clear();
   barrier_id_ = -1;
@@ -337,10 +351,7 @@ void DsmSystem::begin_gc_at_barrier() {
     GcPrepare gp;
     gp.owners = gc_delta_;
     gp.intervals = engine_->collect_undelivered(uid);
-    Message m;
-    m.src = kMasterUid;
-    m.body = std::move(gp);
-    send(kMasterUid, uid, std::move(m));
+    channel(kMasterUid).send(uid, std::move(gp));
   }
 }
 
@@ -386,15 +397,17 @@ void DsmSystem::gc_at_fork() {
   gc_resume_ = GcResume::kForkHook;
   gc_acks_outstanding_ = static_cast<int>(team_.size()) - 1;
   if (gc_acks_outstanding_ > 0) {
+    // A slave parked at the join barrier with a staged release gets
+    // [release, prepare] in one envelope: it pops the release (leaving
+    // barrier()), then handles the prepare from Tmk_wait — the same
+    // integrate order as the unstaged path, so validation still sees
+    // every write notice that exists at this point.
     for (Uid uid : team_) {
       if (uid == kMasterUid) continue;
       GcPrepare gp;
       gp.owners = delta;
       gp.intervals = engine_->collect_undelivered(uid);
-      Message m;
-      m.src = kMasterUid;
-      m.body = std::move(gp);
-      send(kMasterUid, uid, std::move(m));
+      channel(kMasterUid).send(uid, std::move(gp));
     }
     cluster_.sim().wait(gc_fork_wp_, "gc acks");
     // on_gc_ack performed the master-side gc_finish (the pending commit now
@@ -431,13 +444,11 @@ void DsmSystem::on_lock_acquire(const LockAcquireReq& msg) {
     LockGrant grant;
     grant.lock_id = msg.lock_id;
     grant.intervals = engine_->collect_undelivered(msg.requester);
-    Message m;
-    m.src = kMasterUid;
-    m.body = std::move(grant);
-    cluster_.sim().after(cluster_.cost().lock_service,
-                         [this, to = msg.requester, m = std::move(m)]() mutable {
-                           send(kMasterUid, to, std::move(m));
-                         });
+    cluster_.sim().after(
+        cluster_.cost().lock_service,
+        [this, to = msg.requester, grant = std::move(grant)]() mutable {
+          channel(kMasterUid).send(to, std::move(grant));
+        });
   } else {
     ls.queue.push_back(msg.requester);
   }
@@ -459,12 +470,9 @@ void DsmSystem::on_lock_release(const LockReleaseMsg& msg) {
   LockGrant grant;
   grant.lock_id = msg.lock_id;
   grant.intervals = engine_->collect_undelivered(next);
-  Message m;
-  m.src = kMasterUid;
-  m.body = std::move(grant);
   cluster_.sim().after(cluster_.cost().lock_service,
-                       [this, next, m = std::move(m)]() mutable {
-                         send(kMasterUid, next, std::move(m));
+                       [this, next, grant = std::move(grant)]() mutable {
+                         channel(kMasterUid).send(next, std::move(grant));
                        });
 }
 
@@ -475,10 +483,7 @@ void DsmSystem::on_join_ready(const JoinReady& msg) {
 void DsmSystem::send_page_map(Uid joiner) {
   PageMapMsg map;
   map.owner_by_page = engine_->owner_by_page();
-  Message m;
-  m.src = kMasterUid;
-  m.body = std::move(map);
-  send(kMasterUid, joiner, std::move(m));
+  channel(kMasterUid).send(joiner, std::move(map));
 }
 
 void DsmSystem::restore_master_region(const std::vector<std::uint8_t>& region,
@@ -520,21 +525,41 @@ sim::HostId DsmSystem::host_of(Uid uid) const {
   return processes_[uid]->host();
 }
 
-void DsmSystem::send(Uid from, Uid to, Message msg) {
+Channel& DsmSystem::channel(Uid from) {
+  ANOW_CHECK_MSG(from >= 0 && from < static_cast<Uid>(processes_.size()),
+                 "channel of unknown uid " << from);
+  return processes_[from]->channel_;
+}
+
+void DsmSystem::send_envelope(Uid to, Envelope env) {
   ANOW_CHECK_MSG(to >= 0 && to < static_cast<Uid>(processes_.size()),
                  "send to unknown uid " << to);
+  ANOW_CHECK(!env.segments.empty());
   DsmProcess* target = processes_[to].get();
-  // wire_bytes() must be taken before the capture moves msg (argument
-  // evaluation order would otherwise be unspecified).
-  const std::int64_t wire = msg.wire_bytes();
-  if (msg.is_consistency_traffic()) {
-    // Diff fetch rounds (LRC) and home flushes (home-based LRC): the
-    // engine-comparison metric reported by bench_protocols.
-    stats().counter("dsm.consistency_traffic_bytes") += wire;
+  // Per-segment-kind traffic histogram + the consistency-traffic metric
+  // (diff fetch rounds and home flushes — the traffic that exists purely
+  // to move modifications; invalidation-resolving page refetches are added
+  // at the fetch site, where the intent is known).  A single-segment
+  // envelope charges the segment the envelope header too, so the metric is
+  // unchanged from the flat send path when nothing coalesces; a
+  // piggybacked segment counts payload only (it pays no header).
+  const bool solo = env.segments.size() == 1;
+  *ctr_segments_ += static_cast<std::int64_t>(env.segments.size());
+  for (const auto& seg : env.segments) {
+    const auto kind = static_cast<std::size_t>(segment_kind(seg));
+    const std::int64_t bytes = segment_wire_bytes(seg);
+    (*seg_msgs_[kind])++;
+    *seg_bytes_[kind] += bytes;
+    if (segment_is_consistency_traffic(seg)) {
+      *ctr_consistency_bytes_ += bytes + (solo ? kEnvelopeHeaderBytes : 0);
+    }
   }
-  cluster_.net().send(host_of(from), host_of(to), wire,
-                      [target, msg = std::move(msg)]() mutable {
-                        target->handle(std::move(msg));
+  // wire_bytes() must be taken before the capture moves env (argument
+  // evaluation order would otherwise be unspecified).
+  const std::int64_t wire = env.wire_bytes();
+  cluster_.net().send(host_of(env.src), host_of(to), wire,
+                      [target, env = std::move(env)]() mutable {
+                        target->handle(std::move(env));
                       });
 }
 

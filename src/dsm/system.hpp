@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "dsm/channel.hpp"
 #include "dsm/config.hpp"
 #include "dsm/msg.hpp"
 #include "dsm/process.hpp"
@@ -148,11 +149,18 @@ class DsmSystem {
   void run_task_body(std::int32_t id, DsmProcess& proc,
                      const std::vector<std::uint8_t>& args);
 
+  /// The outbound Channel of one process (the master's doubles as the
+  /// system's own, since master handlers send as uid 0).  All protocol
+  /// traffic departs through a Channel — there is no raw send.
+  Channel& channel(Uid from);
+
  private:
   friend class DsmProcess;
 
   // --- plumbing ---------------------------------------------------------------
-  void send(Uid from, Uid to, Message msg);
+  /// Channel sink: per-segment-kind traffic accounting, then the network.
+  /// Only Channels call this; everything else stages/sends segments.
+  void send_envelope(Uid to, Envelope env);
   sim::HostId host_of(Uid uid) const;
 
   // --- consistency-manager orchestration (master handlers) --------------------
@@ -191,6 +199,13 @@ class DsmSystem {
   /// Master-side consistency engine: interval log, delivery matrix, owner
   /// map, last-writer tracking, GC policy (DESIGN.md §5).
   std::unique_ptr<protocol::ConsistencyEngine> engine_;
+
+  /// Cached per-segment-kind traffic counters (send_envelope is the
+  /// hottest accounting site; no map lookups there).
+  std::int64_t* seg_msgs_[kNumSegmentKinds] = {};
+  std::int64_t* seg_bytes_[kNumSegmentKinds] = {};
+  std::int64_t* ctr_segments_ = nullptr;
+  std::int64_t* ctr_consistency_bytes_ = nullptr;
 
   // Master: barrier state.
   std::int32_t barrier_id_ = -1;

@@ -27,6 +27,8 @@ struct RunConfig {
   std::vector<core::AdaptEvent> events;
   /// Consistency engine the run uses (--engine / ANOW_ENGINE).
   dsm::EngineKind engine = dsm::engine_kind_from_env();
+  /// Envelope coalescing policy (--piggyback / ANOW_PIGGYBACK).
+  dsm::PiggybackMode piggyback = dsm::piggyback_mode_from_env();
   dsm::PidStrategy pid_strategy = dsm::PidStrategy::kShift;
   bool gc_before_adapt = true;
   sim::CostModel cost{};

@@ -17,11 +17,15 @@ struct Args {
 };
 
 /// Remote fetch cost per page: slave owns the pages, master faults them.
+/// Pinned on the uncoalesced path — these tests calibrate the per-message
+/// primitive cost, which envelope batching (--piggyback aggressive) would
+/// otherwise amortize below the paper's per-fetch range.
 double page_fetch_us(Protocol protocol, bool premap_master) {
   sim::Cluster cluster({}, 2);
   DsmConfig cfg;
   cfg.heap_bytes = 1 << 20;
   cfg.default_protocol = protocol;
+  cfg.piggyback = PiggybackMode::kOff;
   DsmSystem sys(cluster, cfg);
   auto prep = sys.register_task(
       "prep", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {

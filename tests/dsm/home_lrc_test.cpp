@@ -160,6 +160,100 @@ TEST(HomeLrc, ConcurrentMultiWriterFlushesMergeAtOneHome) {
 }
 
 // ---------------------------------------------------------------------------
+// Flush piggybacking (DESIGN.md §7): with a buffered piggyback mode, a
+// master-homed flush rides the release announcement in one envelope instead
+// of paying an ack round.  The ack-before-announce invariant must still
+// hold: the home has the data before any write notice for it can reach a
+// reader.
+// ---------------------------------------------------------------------------
+
+TEST(HomeLrc, FlushRidesBarrierArriveKeepingHomesComplete) {
+  // Concurrent first-touch writers: during the first construct every
+  // written page is still master-homed, so every slave's flush targets the
+  // master and rides its BarrierArrive.  The master must see all writers'
+  // words merged — which requires each flush to be applied before the
+  // barrier completes and notices go out.
+  constexpr int kProcs = 4;
+  sim::Cluster cluster({}, kProcs);
+  DsmConfig cfg = home_config();
+  cfg.piggyback = PiggybackMode::kRelease;
+  DsmSystem sys(cluster, cfg);
+
+  constexpr std::int64_t kN = 2048;  // 4 pages of int64
+  auto task = sys.register_task(
+      "interleave", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        auto args = unpack<ArrayArgs>(a);
+        p.write_range(args.addr, args.count * 8);
+        auto* data = p.ptr<std::int64_t>(args.addr);
+        for (std::int64_t i = p.pid(); i < args.count; i += p.nprocs()) {
+          data[i] += 1000 + i;
+        }
+      });
+
+  sys.start(kProcs);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(kN * 8);
+    sys.run_parallel(task, pack(ArrayArgs{addr, kN}));
+    // All three slave flushes of the first construct targeted the master
+    // and rode the arrival envelope — no ack round for any of them.
+    EXPECT_EQ(sys.stats().counter_value("dsm.home_flushes_piggybacked"),
+              kProcs - 1);
+    EXPECT_EQ(sys.stats().counter_value("dsm.home_flushes"), kProcs - 1);
+    master.read_range(addr, kN * 8);
+    const auto* data = master.cptr<std::int64_t>(addr);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(data[i], 1000 + i) << "at index " << i;
+    }
+    expect_no_archived_diffs(sys);
+  });
+  EXPECT_EQ(sys.stats().counter_value("dsm.diff_fetches"), 0);
+}
+
+TEST(HomeLrc, FlushRidesLockReleaseAheadOfTheNextGrant) {
+  // The sharpest ordering test: lock-only pages keep the master as home
+  // (log_release never assigns), so every non-master holder's flush rides
+  // its LockRelease envelope.  The master processes the flush segment
+  // first, then the release — which hands the lock (with the new write
+  // notice) to the next waiter.  That waiter immediately refetches the
+  // page from the master home; a stale home would lose increments.
+  constexpr int kProcs = 4;
+  constexpr int kRounds = 5;
+  sim::Cluster cluster({}, kProcs);
+  DsmConfig cfg = home_config();
+  cfg.piggyback = PiggybackMode::kRelease;
+  DsmSystem sys(cluster, cfg);
+
+  auto task = sys.register_task(
+      "count", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        auto args = unpack<ArrayArgs>(a);
+        for (int round = 0; round < kRounds; ++round) {
+          p.lock_acquire(7);
+          p.read_range(args.addr, 8);
+          p.write_range(args.addr, 8);
+          p.ptr<std::int64_t>(args.addr)[0] += 1;
+          p.lock_release(7);
+        }
+      });
+
+  sys.start(kProcs);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(kPageSize);
+    sys.run_parallel(task, pack(ArrayArgs{addr, 1}));
+    master.read_range(addr, 8);
+    EXPECT_EQ(master.cptr<std::int64_t>(addr)[0], kProcs * kRounds);
+    expect_no_archived_diffs(sys);
+  });
+  // Every slave flush targeted the master home and was piggybacked; the
+  // counter-page stayed master-homed throughout (lock releases never
+  // reassign homes).
+  EXPECT_GT(sys.stats().counter_value("dsm.home_flushes_piggybacked"), 0);
+  EXPECT_EQ(sys.stats().counter_value("dsm.home_flushes"),
+            sys.stats().counter_value("dsm.home_flushes_piggybacked"));
+  EXPECT_EQ(sys.owner_by_page()[page_of(0)], kMasterUid);
+  EXPECT_EQ(sys.stats().counter_value("dsm.diff_fetches"), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Home behavior across a process leave, under both pid strategies.
 // ---------------------------------------------------------------------------
 
