@@ -40,6 +40,13 @@ inline dsm::PiggybackMode piggyback_from_options(const util::Options& opts) {
       dsm::piggyback_mode_name(dsm::piggyback_mode_from_env())));
 }
 
+/// --dir-shards N: owner-directory shard count (defaults to
+/// ANOW_DIR_SHARDS, else 1 — the unsharded master-held directory).
+inline int dir_shards_from_options(const util::Options& opts) {
+  return static_cast<int>(
+      opts.get_int("dir-shards", dsm::dir_shards_from_env()));
+}
+
 inline void print_header(const std::string& title, const std::string& what) {
   std::cout << "\n=== " << title << " ===\n" << what << "\n\n";
 }

@@ -4,19 +4,28 @@
 // per-page home, full-page fetch on fault) — and, per engine, under the
 // envelope piggyback modes (off = flat one-segment-per-envelope baseline,
 // release = coalescing at release points, aggressive = + batched fault-side
-// fetches; DESIGN.md §7).
+// fetches and coalesced replies; DESIGN.md §7) and the owner-directory
+// shard counts (--dir-shards, DESIGN.md §8: 1 = the master-held directory,
+// N = page ranges spread across the first N processes).
 //
-// Results go to stdout and to BENCH_protocols.json: per-(engine, piggyback)
-// virtual runtime, message/envelope count, envelope fill (segments per
-// envelope), total bytes, the consistency-traffic metric, the
-// per-segment-kind message histogram, and the batched-vs-unbatched delta
-// (messages saved by `release` over `off`).
+// Results go to stdout and to BENCH_protocols.json (schema 3): per
+// (engine, dir-shards, piggyback) virtual runtime, message/envelope count,
+// envelope fill, total bytes, the consistency-traffic metric, the
+// master-inbound vs shard-inbound owner-lookup split, the per-segment-kind
+// message histogram, and the batched-vs-unbatched delta.  A leg that
+// crashes mid-run is recorded as {"failed": true, "error": ...} and the
+// sweep continues — the JSON is always written, so the perf trajectory is
+// never empty after a crashed bench.
 //
-// --check-batching turns the acceptance property into an exit code: for
-// every workload and engine, batching must never increase the total message
-// count and must leave the workload checksum unchanged (CI smoke).
+// --check-batching turns the acceptance properties into an exit code: for
+// every workload, engine, and shard count, batching must never increase the
+// total message count and must leave the workload checksum unchanged; shard
+// counts must agree on checksums with each other and across engines; and
+// sharding must not increase master-inbound owner lookups (CI smoke).
 #include <cstdlib>
+#include <exception>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -25,17 +34,34 @@
 namespace {
 
 struct ModeResult {
+  bool ok = false;
+  std::string error;
   anow::harness::RunResult run;
   std::int64_t segments = 0;
   std::int64_t consistency_bytes = 0;
+  std::int64_t lookups_master = 0;
+  std::int64_t lookups_shard = 0;
 };
+
+std::vector<std::string> split_list(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = list.find(',', pos);
+    out.push_back(
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    pos = comma == std::string::npos ? comma : comma + 1;
+  }
+  return out;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
-  opts.allow_only({"size", "full", "nodes", "apps", "check-batching"});
+  opts.allow_only(
+      {"size", "full", "nodes", "apps", "dir-shards", "check-batching"});
   const apps::Size size = bench::size_from_options(opts);
   const int nodes = static_cast<int>(opts.get_int("nodes", 8));
   const bool check_batching = opts.get_bool("check-batching", false);
@@ -43,23 +69,22 @@ int main(int argc, char** argv) {
   std::vector<std::string> apps = bench::table1_apps();
   if (opts.has("apps")) {
     // Comma-separated subset, e.g. --apps jacobi,gauss (CI smoke runs one).
-    apps.clear();
-    std::string list = opts.get_string("apps", "");
-    std::size_t pos = 0;
-    while (pos != std::string::npos) {
-      const std::size_t comma = list.find(',', pos);
-      apps.push_back(list.substr(
-          pos, comma == std::string::npos ? comma : comma - pos));
-      pos = comma == std::string::npos ? comma : comma + 1;
-    }
+    apps = split_list(opts.get_string("apps", ""));
+  }
+  // Directory shard sweep; the 1 leg is the unsharded baseline.
+  std::vector<int> shard_counts;
+  for (const auto& tok : split_list(opts.get_string("dir-shards", "1,4"))) {
+    shard_counts.push_back(std::atoi(tok.c_str()));
   }
 
   bench::print_header(
-      "Protocol comparison — LRC vs home-based LRC × piggyback modes",
+      "Protocol comparison — engine × dir-shards × piggyback",
       std::string("Problem size preset: ") + apps::size_name(size) + ", " +
           std::to_string(nodes) +
           " nodes.  Fill = segments per envelope; saved = messages below "
-          "the piggyback-off baseline of the same engine.");
+          "the piggyback-off baseline of the same engine and shard count; "
+          "MasterLkp = owner-lookup segments (page requests + directory "
+          "rounds) inbound at the master.");
 
   const dsm::EngineKind engines[] = {dsm::EngineKind::kLrc,
                                      dsm::EngineKind::kHomeLrc};
@@ -67,131 +92,188 @@ int main(int argc, char** argv) {
                                       dsm::PiggybackMode::kRelease,
                                       dsm::PiggybackMode::kAggressive};
 
-  util::Table t({"App (size)", "Engine", "Piggyback", "Time(s)", "Messages",
-                 "Saved", "Fill", "MB", "Consistency KB", "Home flushes",
-                 "Piggybacked"});
+  util::Table t({"App (size)", "Engine", "Shards", "Piggyback", "Time(s)",
+                 "Messages", "Saved", "Fill", "MB", "MasterLkp", "ShardLkp",
+                 "Consistency KB"});
 
   util::JsonWriter json;
   json.begin_object();
   json.field("bench", "protocols");
-  json.field("schema_version", 2);
+  json.field("schema_version", 3);
   json.field("size", apps::size_name(size));
   json.field("nodes", nodes);
   json.begin_object("workloads");
 
   bool ok = true;
+  auto fail = [&ok](const std::string& what) {
+    std::cerr << "FAIL: " << what << "\n";
+    ok = false;
+  };
+
   for (const auto& app : apps) {
     t.separator();
     json.begin_object(app);
-    double engine_checksum[2] = {0.0, 0.0};
-    int ei = 0;
+    // checksum of the first successful leg; every other leg must agree
+    // (engines, modes, and shard counts all compute the same answer).
+    double app_checksum = 0.0;
+    bool have_checksum = false;
+    // jacobi acceptance: master-inbound lookups at shard count 1 vs max
+    // (per engine, release mode).
     for (const dsm::EngineKind engine : engines) {
       json.begin_object(dsm::engine_kind_name(engine));
-      ModeResult base;     // the kOff run of this engine
-      ModeResult release;  // the kRelease run (headline batching delta)
-      for (const dsm::PiggybackMode mode : modes) {
-        harness::RunConfig cfg;
-        cfg.app = app;
-        cfg.size = size;
-        cfg.nprocs = nodes;
-        cfg.engine = engine;
-        cfg.piggyback = mode;
-        cfg.adaptive = false;
-        ModeResult r;
-        r.run = harness::run_workload(cfg);
-        r.segments = r.run.stats.counter("dsm.segments");
-        r.consistency_bytes =
-            r.run.stats.counter("dsm.consistency_traffic_bytes");
-        if (mode == dsm::PiggybackMode::kOff) base = r;
-        if (mode == dsm::PiggybackMode::kRelease) release = r;
+      // Release-mode results per shard count: the smallest count is the
+      // lookup baseline, the largest the most-sharded layout (the sweep
+      // order on the command line does not matter).
+      std::vector<std::pair<int, ModeResult>> release_by_shards;
+      for (const int shards : shard_counts) {
+        json.begin_object("shards" + std::to_string(shards));
+        ModeResult base;  // the kOff run of this (engine, shards)
+        ModeResult release;
+        for (const dsm::PiggybackMode mode : modes) {
+          harness::RunConfig cfg;
+          cfg.app = app;
+          cfg.size = size;
+          cfg.nprocs = nodes;
+          cfg.engine = engine;
+          cfg.piggyback = mode;
+          cfg.dir_shards = shards;
+          cfg.adaptive = false;
+          ModeResult r;
+          try {
+            r.run = harness::run_workload(cfg);
+            r.ok = true;
+          } catch (const std::exception& e) {
+            r.error = e.what();
+          }
+          const std::string leg = app + "/" +
+                                  dsm::engine_kind_name(engine) + "/shards" +
+                                  std::to_string(shards) + "/" +
+                                  dsm::piggyback_mode_name(mode);
+          json.begin_object(dsm::piggyback_mode_name(mode));
+          if (!r.ok) {
+            // The leg crashed mid-run: record it and keep sweeping, so
+            // BENCH_protocols.json still carries every healthy leg.
+            json.field("failed", true);
+            json.field("error", r.error);
+            json.end_object();
+            fail(leg + " crashed: " + r.error);
+            auto& row = t.row();
+            row.add(app).add(dsm::engine_kind_name(engine)).add(shards);
+            row.add(dsm::piggyback_mode_name(mode)).add("FAILED");
+            continue;
+          }
+          r.segments = r.run.stats.counter("dsm.segments");
+          r.consistency_bytes =
+              r.run.stats.counter("dsm.consistency_traffic_bytes");
+          r.lookups_master =
+              r.run.stats.counter("dsm.owner_lookups.master_inbound");
+          r.lookups_shard =
+              r.run.stats.counter("dsm.owner_lookups.shard_inbound");
+          if (mode == dsm::PiggybackMode::kOff) base = r;
+          if (mode == dsm::PiggybackMode::kRelease) release = r;
 
-        const std::int64_t saved = base.run.messages - r.run.messages;
-        const double fill =
-            r.run.messages > 0 ? static_cast<double>(r.segments) /
-                                     static_cast<double>(r.run.messages)
-                               : 0.0;
-        auto& row = t.row();
-        row.add(r.run.app + " (" + r.run.size_desc + ")");
-        row.add(dsm::engine_kind_name(engine));
-        row.add(dsm::piggyback_mode_name(mode));
-        row.add(r.run.seconds, 2);
-        row.add(r.run.messages);
-        row.add(saved);
-        row.add(fill, 3);
-        row.add(util::format_mb(r.run.bytes));
-        row.add(static_cast<double>(r.consistency_bytes) / 1024.0, 1);
-        row.add(r.run.stats.counter("dsm.home_flushes"));
-        row.add(r.run.stats.counter("dsm.home_flushes_piggybacked"));
+          const std::int64_t saved =
+              base.ok ? base.run.messages - r.run.messages : 0;
+          const double fill =
+              r.run.messages > 0 ? static_cast<double>(r.segments) /
+                                       static_cast<double>(r.run.messages)
+                                 : 0.0;
+          auto& row = t.row();
+          row.add(r.run.app + " (" + r.run.size_desc + ")");
+          row.add(dsm::engine_kind_name(engine));
+          row.add(shards);
+          row.add(dsm::piggyback_mode_name(mode));
+          row.add(r.run.seconds, 2);
+          row.add(r.run.messages);
+          row.add(saved);
+          row.add(fill, 3);
+          row.add(util::format_mb(r.run.bytes));
+          row.add(r.lookups_master);
+          row.add(r.lookups_shard);
+          row.add(static_cast<double>(r.consistency_bytes) / 1024.0, 1);
 
-        json.begin_object(dsm::piggyback_mode_name(mode));
-        json.field("seconds", r.run.seconds);
-        json.field("messages", r.run.messages);
-        json.field("segments", r.segments);
-        json.field("fill", fill);
-        json.field("bytes", r.run.bytes);
-        json.field("consistency_traffic_bytes", r.consistency_bytes);
-        json.field("page_fetches", r.run.page_fetches);
-        json.field("diff_fetches", r.run.diff_fetches);
-        json.field("home_flushes",
-                   r.run.stats.counter("dsm.home_flushes"));
-        json.field("home_flushes_piggybacked",
-                   r.run.stats.counter("dsm.home_flushes_piggybacked"));
-        json.field("gc_runs", r.run.stats.counter("dsm.gc_runs"));
-        json.field("checksum", r.run.checksum);
-        json.begin_object("segment_msgs");
-        for (int k = 0; k < dsm::kNumSegmentKinds; ++k) {
-          const char* name =
-              dsm::segment_kind_name(static_cast<dsm::SegmentKind>(k));
-          const std::int64_t msgs =
-              r.run.stats.counter(std::string("dsm.seg.") + name + ".msgs");
-          if (msgs != 0) json.field(name, msgs);
+          json.field("seconds", r.run.seconds);
+          json.field("messages", r.run.messages);
+          json.field("segments", r.segments);
+          json.field("fill", fill);
+          json.field("bytes", r.run.bytes);
+          json.field("consistency_traffic_bytes", r.consistency_bytes);
+          json.field("owner_lookups_master_inbound", r.lookups_master);
+          json.field("owner_lookups_shard_inbound", r.lookups_shard);
+          json.field("page_fetches", r.run.page_fetches);
+          json.field("diff_fetches", r.run.diff_fetches);
+          json.field("home_flushes",
+                     r.run.stats.counter("dsm.home_flushes"));
+          json.field("home_flushes_piggybacked",
+                     r.run.stats.counter("dsm.home_flushes_piggybacked"));
+          json.field("gc_runs", r.run.stats.counter("dsm.gc_runs"));
+          json.field("dir_delta_rounds",
+                     r.run.stats.counter("dsm.dir.delta_rounds"));
+          json.field("checksum", r.run.checksum);
+          json.begin_object("segment_msgs");
+          for (int k = 0; k < dsm::kNumSegmentKinds; ++k) {
+            const char* name =
+                dsm::segment_kind_name(static_cast<dsm::SegmentKind>(k));
+            const std::int64_t msgs =
+                r.run.stats.counter(std::string("dsm.seg.") + name + ".msgs");
+            if (msgs != 0) json.field(name, msgs);
+          }
+          json.end_object();
+          json.end_object();
+
+          if (!have_checksum) {
+            app_checksum = r.run.checksum;
+            have_checksum = true;
+          } else if (r.run.checksum != app_checksum) {
+            fail(leg + " checksum " + std::to_string(r.run.checksum) +
+                 " != " + std::to_string(app_checksum) +
+                 " of the first leg (engines, modes, and shard counts must "
+                 "agree)");
+          }
+          if (mode != dsm::PiggybackMode::kOff && base.ok &&
+              r.run.messages > base.run.messages) {
+            fail(leg + " sent " + std::to_string(r.run.messages) +
+                 " messages vs " + std::to_string(base.run.messages) +
+                 " with piggyback off");
+          }
+        }
+        // The batched-vs-unbatched headline delta (release over off).
+        if (base.ok && release.ok) {
+          json.begin_object("batching_delta");
+          json.field("messages_off", base.run.messages);
+          json.field("messages_release", release.run.messages);
+          json.field("messages_saved",
+                     base.run.messages - release.run.messages);
+          json.field("saved_pct",
+                     base.run.messages > 0
+                         ? 100.0 *
+                               static_cast<double>(base.run.messages -
+                                                   release.run.messages) /
+                               static_cast<double>(base.run.messages)
+                         : 0.0);
+          json.end_object();
         }
         json.end_object();
-        json.end_object();
-
-        if (mode != dsm::PiggybackMode::kOff) {
-          if (r.run.messages > base.run.messages) {
-            std::cerr << "FAIL: " << app << "/"
-                      << dsm::engine_kind_name(engine) << " piggyback "
-                      << dsm::piggyback_mode_name(mode) << " sent "
-                      << r.run.messages << " messages vs " << base.run.messages
-                      << " with piggyback off\n";
-            ok = false;
-          }
-          if (r.run.checksum != base.run.checksum) {
-            std::cerr << "FAIL: " << app << "/"
-                      << dsm::engine_kind_name(engine)
-                      << " checksum changed under piggyback "
-                      << dsm::piggyback_mode_name(mode) << " ("
-                      << r.run.checksum << " vs " << base.run.checksum
-                      << ")\n";
-            ok = false;
-          }
-        }
+        if (release.ok) release_by_shards.emplace_back(shards, release);
       }
-      // The batched-vs-unbatched headline delta (release over off).
-      json.begin_object("batching_delta");
-      json.field("messages_off", base.run.messages);
-      json.field("messages_release", release.run.messages);
-      json.field("messages_saved", base.run.messages - release.run.messages);
-      json.field("saved_pct",
-                 base.run.messages > 0
-                     ? 100.0 *
-                           static_cast<double>(base.run.messages -
-                                               release.run.messages) /
-                           static_cast<double>(base.run.messages)
-                     : 0.0);
+      // Sharding the directory must shed master-inbound owner-lookup load
+      // (it may not grow it) whenever more than one shard count ran.
+      const std::pair<int, ModeResult>* lo = nullptr;
+      const std::pair<int, ModeResult>* hi = nullptr;
+      for (const auto& entry : release_by_shards) {
+        if (lo == nullptr || entry.first < lo->first) lo = &entry;
+        if (hi == nullptr || entry.first > hi->first) hi = &entry;
+      }
+      if (lo != nullptr && hi != nullptr && lo->first < hi->first &&
+          hi->second.lookups_master > lo->second.lookups_master) {
+        fail(app + "/" + std::string(dsm::engine_kind_name(engine)) +
+             ": master-inbound owner lookups rose from " +
+             std::to_string(lo->second.lookups_master) + " (shards=" +
+             std::to_string(lo->first) + ") to " +
+             std::to_string(hi->second.lookups_master) + " (shards=" +
+             std::to_string(hi->first) + ")");
+      }
       json.end_object();
-      json.end_object();
-      engine_checksum[ei++] = base.run.checksum;
-    }
-    // Both engines must agree numerically on every workload (the original
-    // apples-to-apples engine-correctness signal).
-    if (engine_checksum[0] != engine_checksum[1]) {
-      std::cerr << "FAIL: checksum differs between engines for " << app
-                << " (" << engine_checksum[0] << " vs " << engine_checksum[1]
-                << ")\n";
-      ok = false;
     }
     json.end_object();
   }
@@ -202,10 +284,12 @@ int main(int argc, char** argv) {
   std::cout << "\nWrote BENCH_protocols.json\n";
   if (check_batching) {
     std::cout << (ok ? "check-batching: OK — batching never increased the "
-                       "message count and checksums are unchanged\n"
+                       "message count, checksums agree across engines, "
+                       "modes, and shard counts, and sharding shed "
+                       "master-inbound lookups\n"
                      : "check-batching: FAILED\n");
     return ok ? 0 : 1;
   }
-  if (!ok) std::cerr << "WARNING: batching property violated (see above)\n";
+  if (!ok) std::cerr << "WARNING: acceptance property violated (see above)\n";
   return 0;
 }

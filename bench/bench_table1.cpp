@@ -13,10 +13,12 @@
 int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
-  opts.allow_only({"size", "full", "nodes", "engine", "piggyback"});
+  opts.allow_only(
+      {"size", "full", "nodes", "engine", "piggyback", "dir-shards"});
   const apps::Size size = bench::size_from_options(opts);
   const dsm::EngineKind engine = bench::engine_from_options(opts);
   const dsm::PiggybackMode piggyback = bench::piggyback_from_options(opts);
+  const int dir_shards = bench::dir_shards_from_options(opts);
 
   bench::print_header(
       "Table 1 — execution times and network traffic, no adapt events",
@@ -24,7 +26,8 @@ int main(int argc, char** argv) {
           " (use --full for the paper's sizes; paper numbers are for the "
           "paper sizes only); consistency engine: " +
           dsm::engine_kind_name(engine) + ", piggyback: " +
-          dsm::piggyback_mode_name(piggyback));
+          dsm::piggyback_mode_name(piggyback) + ", dir-shards: " +
+          std::to_string(dir_shards));
 
   // Paper values for the --full configuration, for side-by-side comparison.
   struct PaperRow {
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
       cfg.nprocs = nodes;
       cfg.engine = engine;
       cfg.piggyback = piggyback;
+      cfg.dir_shards = dir_shards;
 
       cfg.adaptive = false;
       auto std_run = harness::run_workload(cfg);
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
     cfg.nprocs = node_counts.front();
     cfg.engine = engine;
     cfg.piggyback = piggyback;
+    cfg.dir_shards = dir_shards;
     auto run = harness::run_workload(cfg);
     t2.row().add(run.app).add(cfg.nprocs).add(run.adapt_point_interval_s, 3);
   }

@@ -51,6 +51,18 @@ PiggybackMode piggyback_mode_from_env() {
   return mode;
 }
 
+int dir_shards_from_env() {
+  static const int shards = [] {
+    const char* env = std::getenv("ANOW_DIR_SHARDS");
+    if (env == nullptr || *env == '\0') return 1;
+    const int n = std::atoi(env);
+    ANOW_CHECK_MSG(n >= 1, "ANOW_DIR_SHARDS must be >= 1, got '" << env
+                                                                 << "'");
+    return n;
+  }();
+  return shards;
+}
+
 EngineKind engine_kind_from_env() {
   static const EngineKind kind = [] {
     const char* env = std::getenv("ANOW_ENGINE");

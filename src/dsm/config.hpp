@@ -52,6 +52,13 @@ PiggybackMode parse_piggyback_mode(const std::string& name);
 /// touching every DsmConfig construction site.
 PiggybackMode piggyback_mode_from_env();
 
+/// Default owner-directory shard count: ANOW_DIR_SHARDS environment
+/// variable, falling back to 1 (the unsharded master-held directory, which
+/// is byte-identical to the pre-sharding protocol).  Lets CI run the whole
+/// suite with a sharded directory without touching every DsmConfig
+/// construction site.  Values > nprocs are clamped at DsmSystem::start().
+int dir_shards_from_env();
+
 /// How pids are reassigned when processes leave (paper §5.4 lists "the
 /// process id reassignment algorithm" among the cost factors; Figure 3 shows
 /// why it matters).
@@ -76,6 +83,14 @@ struct DsmConfig {
 
   /// Envelope coalescing policy (defaults to ANOW_PIGGYBACK, else release).
   PiggybackMode piggyback = piggyback_mode_from_env();
+
+  /// Owner-directory shards (DESIGN.md §8): the page->owner map is split
+  /// into this many contiguous page ranges, each held authoritatively by
+  /// one of the first `dir_shards` processes (uid == shard index), which is
+  /// also seeded with the initial valid copy of its range.  1 keeps the
+  /// whole directory at the master — byte-identical to the unsharded
+  /// protocol.  Clamped to nprocs at start().
+  int dir_shards = dir_shards_from_env();
 
   /// Protocol for pages not covered by a protocol_override.
   Protocol default_protocol = Protocol::kMultiWriter;

@@ -76,6 +76,19 @@ struct WireSize {
   std::int64_t operator()(const PageMapMsg& m) const {
     return static_cast<std::int64_t>(m.owner_by_page.size()) * 2;
   }
+  std::int64_t operator()(const OwnerQuery&) const { return 8; }
+  std::int64_t operator()(const OwnerSlice& m) const {
+    return 8 + static_cast<std::int64_t>(m.owners.size()) * 2;
+  }
+  std::int64_t operator()(const OwnerUpdate& m) const {
+    return 4 + static_cast<std::int64_t>(m.entries.size()) * 6;
+  }
+  std::int64_t operator()(const DirDeltaRequest& m) const {
+    return 8 + static_cast<std::int64_t>(m.records.size()) * 6;
+  }
+  std::int64_t operator()(const DirDeltaReply& m) const {
+    return 8 + static_cast<std::int64_t>(m.delta.size()) * 6;
+  }
 };
 
 constexpr const char* kSegmentKindNames[kNumSegmentKinds] = {
@@ -83,7 +96,8 @@ constexpr const char* kSegmentKindNames[kNumSegmentKinds] = {
     "home_flush",     "home_flush_ack", "barrier_arrive",
     "barrier_release", "gc_prepare",    "gc_ack",       "lock_acquire",
     "lock_grant",     "lock_release",   "fork",         "terminate",
-    "join_ready",     "page_map",
+    "join_ready",     "page_map",       "owner_query",  "owner_slice",
+    "owner_update",   "dir_delta_request", "dir_delta_reply",
 };
 
 static_assert(std::variant_size_v<Segment> == kNumSegmentKinds,

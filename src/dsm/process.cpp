@@ -35,11 +35,13 @@ DsmProcess::DsmProcess(DsmSystem& system, Uid uid, sim::HostId host)
   const auto& cfg = system_.config();
   region_.assign(static_cast<std::size_t>(cfg.heap_bytes), 0);
   engine_ = protocol::make_engine(cfg);
-  // The master seeds with a valid, exclusive copy of every (zeroed) page;
-  // everyone else faults pages in on demand — the initial data distribution.
+  // The directory init seeds the initial data distribution: the master's
+  // whole heap when unsharded, a shard holder's own range (plus its
+  // authoritative owner slice) when sharded; everyone else faults pages in
+  // on demand with hints at the pages' default holders (DESIGN.md §8).
   engine_->attach_node(uid_, region_.data(), system_.num_pages(),
                        system_.protocol_table(), system_.stats(),
-                       /*seed_all_valid=*/is_master());
+                       system_.node_dir_init_for(uid_));
 }
 
 DsmProcess::~DsmProcess() = default;
@@ -80,6 +82,15 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
   const PageId last = page_end(addr, len);
   ANOW_CHECK_MSG(last <= system_.num_pages(),
                  "write_range beyond shared heap: addr=" << addr);
+  if (channel_.mode() == PiggybackMode::kAggressive && last - first > 1) {
+    // The read side of a multi-page write fault batches exactly like
+    // read_range: full-page fetch requests share one envelope per source,
+    // diff fetches one round per creator across the span.  The per-page
+    // loop below then only write-declares (a page can still be invalidated
+    // by a notice arriving while a later page's declaration parks the
+    // fiber, so the fault path stays as a fallback).
+    fault_in_range(first, last);
+  }
   for (PageId p = first; p < last; ++p) {
     if (!engine_->page(p).is_valid()) {
       system_.stats().counter("dsm.faults.read")++;
@@ -250,13 +261,16 @@ void DsmProcess::fault_in_range(PageId first, PageId last) {
         system_.cluster().sim().wait(pr->wp, "page reply");
       }
       Segment seg = std::move(pr->seg);
+      const bool shared = pr->shared_envelope;
       erase_reply(w.cookie);
       auto& reply = std::get<PageReply>(seg);
       ANOW_CHECK(reply.page == w.page);
       ANOW_CHECK(reply.data.size() == kPageSize);
-      // Replies never coalesce: every page reply is a solo envelope.
+      // Reply-side coalescing: replies to one batched request share an
+      // envelope, so only a solo reply charges the header (§7 rule).
       if (w.resolves) {
-        consistency += kEnvelopeHeaderBytes + segment_wire_bytes(seg);
+        consistency += segment_wire_bytes(seg) +
+                       (shared ? 0 : kEnvelopeHeaderBytes);
       }
       engine_->install_copy(w.page, reply.data.data(), reply.applied,
                             engine_->full_copy_covers_pending());
@@ -458,6 +472,10 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
   while (true) {
     Segment m = next_instruction("barrier");
     if (auto* gp = std::get_if<GcPrepare>(&m)) {
+      // A shard holder's authoritative slice adopts the delta at the
+      // prepare phase: by the time the master's gc_finish runs (all acks
+      // in), every slice already answers queries with post-GC owners.
+      if (auto* slice = engine_->dir_slice()) slice->apply_delta(gp->owners);
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
@@ -467,6 +485,9 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
     auto* rel = std::get_if<BarrierRelease>(&m);
     ANOW_CHECK_MSG(rel != nullptr, "unexpected instruction inside barrier");
     ANOW_CHECK(rel->barrier_id == barrier_id);
+    if (auto* slice = engine_->dir_slice()) {
+      slice->apply_delta(rel->owner_delta);  // idempotent after the prepare
+    }
     engine_->integrate(rel->intervals);
     if (rel->gc_commit) {
       engine_->gc_commit_node(rel->owner_delta);
@@ -568,12 +589,19 @@ void DsmProcess::handle(Envelope env) {
   // let a later envelope from the same sender be handled first, and the
   // transport's ordering guarantee would silently break (the apply cost of
   // a piggybacked flush is charged on the writer side, in flush_homes).
+  const bool shared = env.segments.size() > 1;
   for (auto& seg : env.segments) {
-    handle_segment(std::move(seg), env.src);
+    handle_segment(std::move(seg), env.src, shared);
   }
+  // Page replies produced for this envelope's requests depart together,
+  // one envelope per requester (reply-side coalescing): a batched
+  // multi-page fetch request gets a batched reply, so the batching delta
+  // is symmetric in both directions.
+  flush_reply_batches();
 }
 
-void DsmProcess::handle_segment(Segment seg, Uid src) {
+void DsmProcess::handle_segment(Segment seg, Uid src,
+                                bool shared_envelope) {
   std::visit(
       [&](auto& body) {
         using T = std::decay_t<decltype(body)>;
@@ -583,12 +611,27 @@ void DsmProcess::handle_segment(Segment seg, Uid src) {
           handle_diff_request(body, src);
         } else if constexpr (std::is_same_v<T, HomeFlush>) {
           handle_home_flush(body);
+        } else if constexpr (std::is_same_v<T, OwnerQuery>) {
+          handle_owner_query(body, src);
+        } else if constexpr (std::is_same_v<T, OwnerUpdate>) {
+          handle_owner_update(body);
+        } else if constexpr (std::is_same_v<T, DirDeltaRequest>) {
+          handle_dir_delta_request(body, src);
         } else if constexpr (std::is_same_v<T, PageReply>) {
-          deliver_reply(body.cookie, std::move(seg));
+          deliver_reply(body.cookie, std::move(seg), shared_envelope);
         } else if constexpr (std::is_same_v<T, DiffReply>) {
-          deliver_reply(body.cookie, std::move(seg));
+          deliver_reply(body.cookie, std::move(seg), shared_envelope);
         } else if constexpr (std::is_same_v<T, HomeFlushAck>) {
-          deliver_reply(body.cookie, std::move(seg));
+          deliver_reply(body.cookie, std::move(seg), shared_envelope);
+        } else if constexpr (std::is_same_v<T, OwnerSlice>) {
+          deliver_reply(body.cookie, std::move(seg), shared_envelope);
+        } else if constexpr (std::is_same_v<T, DirDeltaReply>) {
+          if (body.cookie != 0) {
+            deliver_reply(body.cookie, std::move(seg), shared_envelope);
+          } else {
+            ANOW_CHECK(is_master());
+            system_.on_dir_delta_reply(std::move(body));
+          }
         } else if constexpr (std::is_same_v<T, BarrierArrive>) {
           ANOW_CHECK(is_master());
           system_.on_barrier_arrive(body);
@@ -648,13 +691,37 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
   reply.data.assign(region_.begin() + page_base(req.page),
                     region_.begin() + page_base(req.page) + kPageSize);
   reply.applied = engine_->page(req.page).applied;
-  const Uid requester = req.requester;
-  // Server-side handling cost before the reply leaves.
-  system_.cluster().sim().after(
-      system_.cluster().cost().page_service,
-      [this, requester, reply = std::move(reply)]() mutable {
-        channel_.send(requester, std::move(reply));
-      });
+  // Queued per requester; flush_reply_batches schedules the departure
+  // after the summed service cost once the whole inbound envelope is
+  // processed.  A solo request therefore departs exactly as before — one
+  // reply envelope after one page_service.
+  for (auto& batch : reply_batches_) {
+    if (batch.requester == req.requester) {
+      batch.replies.push_back(std::move(reply));
+      return;
+    }
+  }
+  reply_batches_.push_back({req.requester, {}});
+  reply_batches_.back().replies.push_back(std::move(reply));
+}
+
+void DsmProcess::flush_reply_batches() {
+  for (auto& batch : reply_batches_) {
+    // Serving n pages costs n service slots before the shared reply
+    // envelope departs (the copies happen back to back on this host).
+    const sim::Time service =
+        system_.cluster().cost().page_service *
+        static_cast<sim::Time>(batch.replies.size());
+    system_.cluster().sim().after(
+        service, [this, requester = batch.requester,
+                  replies = std::move(batch.replies)]() mutable {
+          for (std::size_t i = 0; i + 1 < replies.size(); ++i) {
+            channel_.stage(requester, std::move(replies[i]));
+          }
+          channel_.send(requester, std::move(replies.back()));
+        });
+  }
+  reply_batches_.clear();
 }
 
 void DsmProcess::handle_home_flush(const HomeFlush& msg) {
@@ -672,6 +739,54 @@ void DsmProcess::handle_home_flush(const HomeFlush& msg) {
   system_.cluster().sim().after(
       service, [this, writer, ack = HomeFlushAck{applied, msg.cookie}] {
         channel_.send(writer, ack);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Sharded owner directory, holder side (DESIGN.md §8; event context)
+// ---------------------------------------------------------------------------
+
+void DsmProcess::handle_owner_query(const OwnerQuery& query, Uid src) {
+  const auto* slice = engine_->dir_slice();
+  ANOW_CHECK_MSG(slice != nullptr && slice->shard() == query.shard,
+                 "owner query for shard " << query.shard
+                                          << " reached non-holder " << uid_);
+  OwnerSlice reply;
+  reply.shard = query.shard;
+  reply.owners = slice->owners();
+  reply.cookie = query.cookie;
+  system_.cluster().sim().after(
+      system_.cluster().cost().dir_service,
+      [this, src, reply = std::move(reply)]() mutable {
+        channel_.send(src, std::move(reply));
+      });
+}
+
+void DsmProcess::handle_owner_update(const OwnerUpdate& msg) {
+  auto* slice = engine_->dir_slice();
+  ANOW_CHECK_MSG(slice != nullptr,
+                 "owner update reached non-holder " << uid_);
+  slice->apply_delta(msg.entries);
+}
+
+void DsmProcess::handle_dir_delta_request(const DirDeltaRequest& req,
+                                          Uid src) {
+  const auto* slice = engine_->dir_slice();
+  ANOW_CHECK_MSG(slice != nullptr && slice->shard() == req.shard,
+                 "dir delta request for shard "
+                     << req.shard << " reached non-holder " << uid_);
+  DirDeltaReply reply;
+  reply.shard = req.shard;
+  reply.delta = slice->partial_delta(req.records);
+  reply.cookie = req.cookie;
+  // Record-vs-slice comparison on the holder before the reply leaves.
+  const sim::Time service =
+      system_.cluster().cost().dir_service +
+      system_.cluster().cost().gc_per_page *
+          static_cast<sim::Time>(req.records.size());
+  system_.cluster().sim().after(
+      service, [this, src, reply = std::move(reply)]() mutable {
+        channel_.send(src, std::move(reply));
       });
 }
 
@@ -720,11 +835,13 @@ void DsmProcess::erase_reply(std::uint64_t cookie) {
   ANOW_CHECK_MSG(false, "erase of unknown reply cookie");
 }
 
-void DsmProcess::deliver_reply(std::uint64_t cookie, Segment seg) {
+void DsmProcess::deliver_reply(std::uint64_t cookie, Segment seg,
+                               bool shared_envelope) {
   PendingReply* pr = find_reply(cookie);
   ANOW_CHECK_MSG(pr != nullptr, "reply with unknown cookie");
   pr->seg = std::move(seg);
   pr->ready = true;
+  pr->shared_envelope = shared_envelope;
   system_.cluster().sim().signal(pr->wp);
 }
 
@@ -776,6 +893,11 @@ void DsmProcess::run_task(const ForkMsg& fork) {
   // New construct: past exclusive write declarations are settled.
   engine_->begin_construct();
   apply_team(fork.team);
+  if (auto* slice = engine_->dir_slice()) {
+    // Queued ownership transfers (leave protocol) riding the fork; GC
+    // entries were already applied at the prepare.
+    slice->apply_delta(fork.owner_delta);
+  }
   engine_->integrate(fork.intervals);
   if (fork.gc_commit) {
     engine_->gc_commit_node(fork.owner_delta);
@@ -803,6 +925,7 @@ void DsmProcess::slave_main() {
       continue;
     }
     if (auto* gp = std::get_if<GcPrepare>(&m)) {
+      if (auto* slice = engine_->dir_slice()) slice->apply_delta(gp->owners);
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);

@@ -107,13 +107,24 @@ class DsmProcess {
   // --- message plumbing -------------------------------------------------------
   /// Delivers one envelope: its segments are dispatched strictly in order,
   /// which is what piggybacked segments rely on (a HomeFlush staged before
-  /// a BarrierArrive is applied before the arrival is processed).
+  /// a BarrierArrive is applied before the arrival is processed).  Page
+  /// replies produced while the envelope is processed are batched per
+  /// requester and depart as one envelope (reply-side coalescing, the
+  /// mirror of the batched multi-page fetch request).
   void handle(Envelope env);
-  void handle_segment(Segment seg, Uid src);
+  void handle_segment(Segment seg, Uid src, bool shared_envelope);
   void handle_page_request(const PageRequest& req, Uid src);
   void handle_diff_request(const DiffRequest& req, Uid src);
   void handle_home_flush(const HomeFlush& msg);
-  void deliver_reply(std::uint64_t cookie, Segment seg);
+  // Sharded owner directory (DESIGN.md §8), holder side.
+  void handle_owner_query(const OwnerQuery& query, Uid src);
+  void handle_owner_update(const OwnerUpdate& msg);
+  void handle_dir_delta_request(const DirDeltaRequest& req, Uid src);
+  void deliver_reply(std::uint64_t cookie, Segment seg,
+                     bool shared_envelope);
+  /// Schedules the current envelope's batched page replies: one envelope
+  /// per requester after the summed per-page service time.
+  void flush_reply_batches();
   /// Sends a request segment and parks until the matching reply (by
   /// cookie) arrives.
   Segment rpc(Uid dst, Segment seg, std::uint64_t cookie);
@@ -186,12 +197,24 @@ class DsmProcess {
     sim::WaitPoint wp;
     Segment seg;
     bool ready = false;
+    /// The reply rode a multi-segment envelope (reply-side coalescing), so
+    /// it carried no envelope header of its own — the requester's
+    /// consistency-traffic accounting charges payload only.
+    bool shared_envelope = false;
   };
   PendingReply& register_reply(std::uint64_t cookie);
   PendingReply* find_reply(std::uint64_t cookie);
   void erase_reply(std::uint64_t cookie);
   std::vector<std::unique_ptr<PendingReply>> pending_replies_;
   std::uint64_t next_cookie_ = 1;
+
+  /// Per-requester page replies accumulated while one inbound envelope is
+  /// processed (reply-side coalescing); flushed at the end of handle().
+  struct ReplyBatch {
+    Uid requester = kNoUid;
+    std::vector<Segment> replies;
+  };
+  std::vector<ReplyBatch> reply_batches_;
 
   // Instruction queue (fork / terminate / gc-prepare / barrier-release).
   std::deque<Segment> instr_q_;

@@ -12,34 +12,75 @@ void ConsistencyEngine::attach_node(Uid self, std::uint8_t* region,
                                     PageId num_pages,
                                     const std::vector<Protocol>& protocol,
                                     util::StatsRegistry& stats,
-                                    bool seed_all_valid) {
-  ANOW_CHECK_MSG(pages_.empty() && owner_.empty(),
+                                    const NodeDirInit& dir) {
+  ANOW_CHECK_MSG(pages_.empty() && dir_.map().num_pages == 0,
                  "engine already attached");
   self_ = self;
   region_ = region;
   protocol_ = &protocol;
   stats_ = &stats;
   pages_ = std::vector<PageMeta>(static_cast<std::size_t>(num_pages));
-  if (seed_all_valid) {
-    // The master starts with a valid, exclusive copy of every (zeroed)
-    // page; everyone else faults pages in on demand — the initial data
-    // distribution.  Exclusivity keeps the master's initialization phase
-    // free of twins and write notices.
-    for (auto& pm : pages_) {
-      pm.have_copy = true;
-      pm.exclusive = true;
+  if (dir.hint_map != nullptr) {
+    // Sharded directory: every process can compute the default holder of
+    // every page from the config alone, so hints start there instead of at
+    // the master — first-touch fetches spread across the holders.
+    for (PageId p = 0; p < num_pages; ++p) {
+      pages_[static_cast<std::size_t>(p)].owner_hint =
+          dir.hint_map->default_holder_of_page(p);
     }
+  }
+  // The seeded pages start with a valid, exclusive copy of their (zeroed)
+  // contents: the whole heap at the master when unsharded, a holder's own
+  // page set when sharded — the initial data distribution.  Exclusivity
+  // keeps initialization writes free of twins and write notices.
+  auto seed = [&](PageId p) {
+    PageMeta& pm = pages_[static_cast<std::size_t>(p)];
+    pm.have_copy = true;
+    pm.exclusive = true;
+  };
+  if (dir.seed_shard == NodeDirInit::kSeedAll) {
+    for (PageId p = 0; p < num_pages; ++p) seed(p);
+  } else if (dir.seed_shard >= 0) {
+    ANOW_CHECK(dir.hint_map != nullptr);
+    dir.hint_map->for_each_page(dir.seed_shard, seed);
+  }
+  if (dir.slice_shard >= 0) {
+    ANOW_CHECK(dir.hint_map != nullptr);
+    dir_slice_ = std::make_unique<DirSlice>(dir.slice_shard, *dir.hint_map,
+                                            self_);
   }
   on_attach_node();
 }
 
 void ConsistencyEngine::attach_master(PageId num_pages,
                                       util::StatsRegistry& stats) {
-  ANOW_CHECK_MSG(pages_.empty() && owner_.empty(),
+  ANOW_CHECK_MSG(pages_.empty() && dir_.map().num_pages == 0,
                  "engine already attached");
   stats_ = &stats;
-  owner_.assign(static_cast<std::size_t>(num_pages), kMasterUid);
+  dir_.init(num_pages);
   on_attach_master();
+}
+
+void ConsistencyEngine::configure_directory(const ShardMap& map) {
+  dir_.configure(map);
+}
+
+void ConsistencyEngine::reset_directory_node_state() {
+  dir_slice_.reset();
+  for (PageId p = 0; p < num_pages(); ++p) {
+    PageMeta& pm = page(p);
+    // Pre-fork there can be no twins or pending notices anywhere (no
+    // interval ever finished); anything else means the restore came too
+    // late and the caller's forks==0 check should have fired.
+    ANOW_CHECK(pm.twin == nullptr && pm.pending.empty());
+    pm.owner_hint = kMasterUid;
+    pm.dirty = false;
+    const bool master = self_ == kMasterUid;
+    pm.have_copy = master;
+    pm.exclusive = master;
+    pm.exclusive_rw = false;
+  }
+  dirty_pages_.clear();
 }
 
 std::int64_t ConsistencyEngine::resident_pages() const {
@@ -65,45 +106,28 @@ std::int64_t ConsistencyEngine::apply_home_flush(
 }
 
 std::vector<PageId> ConsistencyEngine::pages_owned_by(Uid uid) const {
-  // Count first so the output allocates exactly once.
-  std::size_t n = 0;
-  for (const Uid o : owner_) {
-    if (o == uid) ++n;
-  }
-  std::vector<PageId> out;
-  out.reserve(n);
-  for (PageId p = 0; p < static_cast<PageId>(owner_.size()); ++p) {
-    if (owner_[static_cast<std::size_t>(p)] == uid) out.push_back(p);
-  }
-  return out;
+  return owned_pages(dir_.full_owner_map(), uid);
 }
 
 std::vector<std::vector<PageId>> ConsistencyEngine::pages_owned_by_all()
     const {
-  // Single scan: size the per-uid buckets, then fill them, instead of one
-  // O(num_pages) pass per uid.
-  Uid max_uid = kNoUid;
-  for (const Uid o : owner_) max_uid = std::max(max_uid, o);
-  std::vector<std::size_t> counts(static_cast<std::size_t>(max_uid + 1), 0);
-  for (const Uid o : owner_) {
-    if (o >= 0) ++counts[static_cast<std::size_t>(o)];
-  }
-  std::vector<std::vector<PageId>> out(counts.size());
-  for (std::size_t u = 0; u < counts.size(); ++u) out[u].reserve(counts[u]);
-  for (PageId p = 0; p < static_cast<PageId>(owner_.size()); ++p) {
-    const Uid o = owner_[static_cast<std::size_t>(p)];
-    if (o >= 0) out[static_cast<std::size_t>(o)].push_back(p);
-  }
-  return out;
+  return owned_pages_by_all(dir_.full_owner_map());
+}
+
+void ConsistencyEngine::set_owner(PageId p, Uid owner) {
+  if (dir_.is_held_page(p)) dir_.set_local_owner(p, owner);
+  on_owner_changed(p, owner);
 }
 
 void ConsistencyEngine::queue_owner_update(PageId p, Uid owner) {
   queued_owner_updates_.emplace_back(p, owner);
-  owner_[static_cast<std::size_t>(p)] = owner;
+  if (dir_.is_held_page(p)) dir_.set_local_owner(p, owner);
+  on_owner_changed(p, owner);
 }
 
 void ConsistencyEngine::reset_owners_to_master() {
-  for (auto& o : owner_) o = kMasterUid;
+  dir_.reset_owners_to_master();
+  on_owners_reset();
 }
 
 PendingOwnerCommit ConsistencyEngine::take_pending_commit(

@@ -31,6 +31,7 @@
 #include "dsm/interval.hpp"
 #include "dsm/msg.hpp"
 #include "dsm/protocol/applied_map.hpp"
+#include "dsm/protocol/dir_shards.hpp"
 #include "dsm/types.hpp"
 #include "util/stats.hpp"
 
@@ -101,11 +102,24 @@ class ConsistencyEngine {
 
   // ========================= node side ===================================
   /// Binds this engine to one process.  `region` is the process's local copy
-  /// of the shared heap (stable for the engine's lifetime); `seed_all_valid`
-  /// gives the master its initial valid+exclusive copy of every zeroed page.
+  /// of the shared heap (stable for the engine's lifetime).  `dir` seeds the
+  /// node's directory role: the [seed_first, seed_end) range it starts with
+  /// a valid+exclusive copy of (the master's whole heap when unsharded, a
+  /// holder's own range when sharded), the initial owner hints, and the
+  /// authoritative DirSlice if this node holds one (DESIGN.md §8).
   void attach_node(Uid self, std::uint8_t* region, PageId num_pages,
                    const std::vector<Protocol>& protocol,
-                   util::StatsRegistry& stats, bool seed_all_valid);
+                   util::StatsRegistry& stats, const NodeDirInit& dir);
+
+  /// The authoritative owner slice this node holds (null for non-holders
+  /// and for the master, whose slices live in the master-side directory).
+  DirSlice* dir_slice() { return dir_slice_.get(); }
+  const DirSlice* dir_slice() const { return dir_slice_.get(); }
+
+  /// Checkpoint-restore collapse of a sharded directory (pre-fork only):
+  /// drops this node's slice and seeded copies and points every hint back
+  /// at the master, which re-seeds the whole restored region.
+  void reset_directory_node_state();
 
   PageMeta& page(PageId p) { return pages_[static_cast<std::size_t>(p)]; }
   const PageMeta& page(PageId p) const {
@@ -238,20 +252,33 @@ class ConsistencyEngine {
   /// delivered.
   virtual std::vector<Interval> collect_undelivered(Uid target) = 0;
 
-  // --- owner map (authoritative, master only) ----------------------------
-  const std::vector<Uid>& owner_by_page() const { return owner_; }
-  Uid owner_of(PageId p) const { return owner_[static_cast<std::size_t>(p)]; }
-  void set_owner(PageId p, Uid owner) {
-    owner_[static_cast<std::size_t>(p)] = owner;
+  // --- owner directory (master side; DESIGN.md §8) ------------------------
+  /// Repartitions the directory into the given shard layout.  Called once
+  /// from DsmSystem::start() before any protocol traffic; a 1-shard map is
+  /// the historical fully-master-held directory.
+  void configure_directory(const ShardMap& map);
+  DirectoryShards& dir() { return dir_; }
+  const DirectoryShards& dir() const { return dir_; }
+
+  /// The full owner map / owned-page scans.  Only valid while every shard
+  /// is master-held (always true when dir_shards == 1); with remote shards
+  /// DsmSystem assembles the global view via OwnerQuery instead.
+  const std::vector<Uid>& owner_by_page() const {
+    return dir_.full_owner_map();
   }
+  Uid owner_of(PageId p) const { return dir_.local_owner_of(p); }
+  void set_owner(PageId p, Uid owner);
   std::vector<PageId> pages_owned_by(Uid uid) const;
   /// Page lists of *all* uids in one scan of the owner map (index = uid;
   /// sized to the highest owner present).  Use this instead of repeated
   /// pages_owned_by calls when iterating several processes.
   std::vector<std::vector<PageId>> pages_owned_by_all() const;
-  /// Records an ownership change to broadcast with the next fork.
+  /// Records an ownership change to broadcast with the next fork.  For a
+  /// remotely-held page DsmSystem also pushes an OwnerUpdate to the slice
+  /// holder (the engine itself never sends).
   void queue_owner_update(PageId p, Uid owner);
-  /// Checkpoint restore: every page returns to the master.
+  /// Checkpoint restore: every page returns to the master.  With remote
+  /// shards the caller collapses the directory first.
   void reset_owners_to_master();
 
   // --- GC policy + pending commit ----------------------------------------
@@ -263,9 +290,18 @@ class ConsistencyEngine {
            (config_->auto_gc &&
             max_consistency_bytes > config_->gc_threshold_bytes);
   }
-  /// Starts a GC: computes the owner delta (last writer wins) and clears
-  /// the request flag.
-  virtual OwnerDelta gc_begin() = 0;
+  /// One DirDeltaRequest per remote shard with write records since the last
+  /// GC: DsmSystem sends them and hands the holders' partial deltas to
+  /// gc_begin.  Empty when every shard is master-held or nothing was
+  /// written (home-based engines never record, so always empty there).
+  std::vector<std::pair<Uid, DirDeltaRequest>> plan_dir_delta_requests() {
+    return dir_.plan_delta_requests();
+  }
+  /// Starts a GC: merges the owner delta (last writer wins) from the
+  /// master-held shards and the remote holders' partial replies, in shard
+  /// order, and clears the request flag.
+  virtual OwnerDelta gc_begin(
+      std::vector<std::pair<int, OwnerDelta>> remote_partials) = 0;
   /// Completes a GC at the master: applies the delta to the owner map,
   /// resets the interval log + delivery matrix, and arms the pending commit
   /// that rides on the next fork or barrier release.
@@ -279,6 +315,14 @@ class ConsistencyEngine {
   /// attach_master once the base state is in place.
   virtual void on_attach_node() {}
   virtual void on_attach_master() {}
+  /// Master side: an owner entry changed outside a GC commit (set_owner,
+  /// queue_owner_update, reset).  Home-based engines track first-touch
+  /// assignability here.
+  virtual void on_owner_changed(PageId p, Uid owner) {
+    (void)p;
+    (void)owner;
+  }
+  virtual void on_owners_reset() {}
 
   const DsmConfig* config_ = nullptr;
   util::StatsRegistry* stats_ = nullptr;
@@ -297,9 +341,11 @@ class ConsistencyEngine {
   std::int64_t archive_bytes_ = 0;
   std::int64_t twin_bytes_ = 0;
   std::int64_t pending_count_ = 0;
+  /// Authoritative owner slice when this node is a shard holder.
+  std::unique_ptr<DirSlice> dir_slice_;
 
   // Master-side state.
-  std::vector<Uid> owner_;
+  DirectoryShards dir_;
   OwnerDelta queued_owner_updates_;
   bool gc_requested_ = false;
   bool pending_commit_ = false;

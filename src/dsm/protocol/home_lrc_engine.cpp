@@ -27,6 +27,22 @@ void HomeLrcEngine::on_attach_node() {
   ctr_flush_diffs_applied_ = &stats_->counter("dsm.home_flush_diffs_applied");
 }
 
+void HomeLrcEngine::on_attach_master() {
+  off_default_.assign(static_cast<std::size_t>(dir_.map().num_pages), 0);
+}
+
+void HomeLrcEngine::on_owner_changed(PageId p, Uid owner) {
+  // A page whose home returns to its initial default (leave protocol
+  // re-owns to the master of an unsharded directory) becomes first-touch
+  // assignable again — the historical owner==master condition.
+  off_default_[static_cast<std::size_t>(p)] =
+      owner == dir_.map().default_holder_of_page(p) ? 0 : 1;
+}
+
+void HomeLrcEngine::on_owners_reset() {
+  for (auto& b : off_default_) b = 0;
+}
+
 // ---------------------------------------------------------------------------
 // Node side: write path
 // ---------------------------------------------------------------------------
@@ -353,7 +369,12 @@ void HomeLrcEngine::assign_homes(
     const Uid home =
         n == 1 ? touched[i].second
                : touched[i + (rr_cursor_++ % n)].second;
-    owner_[static_cast<std::size_t>(p)] = home;
+    if (dir_.is_held_page(p)) dir_.set_local_owner(p, home);
+    // A remotely-held slice is updated when its holder processes the
+    // GcPrepare carrying this delta (gc_should_run forces that round at
+    // this same barrier); the bit below keeps the page un-assignable in
+    // the meantime without an event-context slice read.
+    off_default_[static_cast<std::size_t>(p)] = 1;
     pending_delta_.emplace_back(p, home);
     stats_->counter("dsm.home_assignments")++;
     i = j;
@@ -365,9 +386,16 @@ void HomeLrcEngine::log_epoch(std::vector<Interval> intervals) {
   std::vector<std::pair<PageId, Uid>> touched;
   for (auto& iv : intervals) {
     iv.lamport = stamp;
-    if (iv.iseq != 0 && iv.creator != kMasterUid) {
+    if (iv.iseq != 0) {
       for (const auto& wn : iv.notices) {
-        if (owner_of(wn.page) == kMasterUid) {
+        // First touch: the page's home is still its initial default (the
+        // master, or the page's shard holder) and the writer is not that
+        // default itself.  The master is a legitimate assignee for pages
+        // defaulted at other shard holders; with an unsharded directory
+        // every default is the master, so it can never self-assign — the
+        // historical creator != master rule falls out of this check.
+        if (home_assignable(wn.page) &&
+            iv.creator != dir_.map().default_holder_of_page(wn.page)) {
           touched.emplace_back(wn.page, iv.creator);
         }
       }
@@ -403,7 +431,11 @@ bool HomeLrcEngine::gc_should_run(std::int64_t max_consistency_bytes) const {
          ConsistencyEngine::gc_should_run(max_consistency_bytes);
 }
 
-OwnerDelta HomeLrcEngine::gc_begin() {
+OwnerDelta HomeLrcEngine::gc_begin(
+    std::vector<std::pair<int, OwnerDelta>> remote_partials) {
+  // Home-based GC never records writes, so no DirDeltaRequests are planned
+  // and no partials can arrive.
+  ANOW_CHECK(remote_partials.empty());
   gc_requested_ = false;
   // The delta is just the staged home assignments; there is no last-writer
   // recomputation because homes *are* the owners.
@@ -413,8 +445,10 @@ OwnerDelta HomeLrcEngine::gc_begin() {
 }
 
 void HomeLrcEngine::gc_finish(const OwnerDelta& delta) {
+  dir_.apply_delta_local(delta);  // idempotent: held entries staged early
   for (const auto& [p, owner] : delta) {
-    owner_[static_cast<std::size_t>(p)] = owner;  // idempotent: staged early
+    off_default_[static_cast<std::size_t>(p)] =
+        owner == dir_.map().default_holder_of_page(p) ? 0 : 1;
   }
   directory_.clear();
   pending_commit_ = true;

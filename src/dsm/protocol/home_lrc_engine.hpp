@@ -76,17 +76,29 @@ class HomeLrcEngine final : public ConsistencyEngine {
   /// Also fires whenever home assignments are staged: they commit through
   /// the validated two-phase round, never as bare hints.
   bool gc_should_run(std::int64_t max_consistency_bytes) const override;
-  OwnerDelta gc_begin() override;
+  OwnerDelta gc_begin(
+      std::vector<std::pair<int, OwnerDelta>> remote_partials) override;
   void gc_finish(const OwnerDelta& delta) override;
 
  protected:
   void on_attach_node() override;
+  void on_attach_master() override;
+  void on_owner_changed(PageId p, Uid owner) override;
+  void on_owners_reset() override;
 
  private:
   /// First-touch assignment over one epoch's (page, writer) touches of
-  /// still-master-homed pages; new homes are staged into pending_delta_ so
+  /// still-default-homed pages; new homes are staged into pending_delta_ so
   /// they ride the next barrier release or fork.
   void assign_homes(std::vector<std::pair<PageId, Uid>>& touched);
+
+  /// A page is first-touch assignable while its home is still the initial
+  /// default (the master, or its shard's holder under a sharded directory)
+  /// and no assignment was staged for it.  Tracked as a bit per page so
+  /// assignability never needs a remote slice read in event context.
+  bool home_assignable(PageId p) const {
+    return off_default_[static_cast<std::size_t>(p)] == 0;
+  }
 
   // Node side.
   std::vector<PageId> flush_pages_;  // last interval's twinned pages
@@ -96,6 +108,7 @@ class HomeLrcEngine final : public ConsistencyEngine {
 
   // Master side.
   IntervalDirectory directory_;
+  std::vector<std::uint8_t> off_default_;  // 1 = home left its default
   std::size_t rr_cursor_ = 0;  // round-robin tiebreak for concurrent
                                // first writers
 };

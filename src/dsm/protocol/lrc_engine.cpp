@@ -39,9 +39,7 @@ void LrcEngine::on_attach_node() {
   ctr_diff_fetches_ = &stats_->counter("dsm.diff_fetches");
 }
 
-void LrcEngine::on_attach_master() {
-  last_writer_.assign(owner_.size(), {});
-}
+void LrcEngine::on_attach_master() {}
 
 // ---------------------------------------------------------------------------
 // Node side: twins + diff archive
@@ -418,18 +416,8 @@ void LrcEngine::forget_uid(Uid uid) { directory_.forget_uid(uid); }
 void LrcEngine::log_interval(Interval interval) {
   if (interval.iseq == 0) return;  // empty interval
   for (const auto& wn : interval.notices) {
-    LastWrite& lw = last_writer_[static_cast<std::size_t>(wn.page)];
-    if (wn.protocol == Protocol::kSingleWriter && lw.uid != kNoUid &&
-        lw.uid != interval.creator && lw.lamport == interval.lamport) {
-      ANOW_CHECK_MSG(false, "two single-writer writers for page "
-                                << wn.page << " in one epoch (uids " << lw.uid
-                                << ", " << interval.creator << ")");
-    }
-    if (interval.lamport > lw.lamport ||
-        (interval.lamport == lw.lamport && interval.creator > lw.uid)) {
-      lw.uid = interval.creator;
-      lw.lamport = interval.lamport;
-    }
+    dir_.record_write(wn.page, interval.creator, interval.lamport,
+                      wn.protocol);
   }
   directory_.log(std::move(interval));
 }
@@ -456,23 +444,19 @@ std::vector<Interval> LrcEngine::collect_undelivered(Uid target) {
 // Master side: garbage collection
 // ---------------------------------------------------------------------------
 
-OwnerDelta LrcEngine::gc_begin() {
+OwnerDelta LrcEngine::gc_begin(
+    std::vector<std::pair<int, OwnerDelta>> remote_partials) {
   gc_requested_ = false;
-  OwnerDelta delta;
-  for (PageId p = 0; p < static_cast<PageId>(owner_.size()); ++p) {
-    const LastWrite& lw = last_writer_[static_cast<std::size_t>(p)];
-    if (lw.uid != kNoUid && lw.uid != owner_[static_cast<std::size_t>(p)]) {
-      delta.emplace_back(p, lw.uid);
-    }
-  }
-  return delta;
+  // Master-held shards: the classic last-writer-vs-owner scan.  Remote
+  // shards: the holders' partial deltas, computed against their
+  // authoritative slices.  Shard order keeps the delta page-ascending.
+  return dir_.merge_partials(remote_partials);
 }
 
 void LrcEngine::gc_finish(const OwnerDelta& delta) {
-  for (const auto& [p, owner] : delta) {
-    owner_[static_cast<std::size_t>(p)] = owner;
-  }
-  for (auto& lw : last_writer_) lw = {};
+  // Remote slices were updated when their holders processed the GcPrepare
+  // carrying this delta; only the master-held entries apply here.
+  dir_.apply_delta_local(delta);
   directory_.clear();
   // The processes commit when the next fork/release delivers
   // gc_commit=true; until then the delta stays pending.

@@ -48,7 +48,8 @@ class LrcEngine final : public ConsistencyEngine {
   void log_release(Interval interval) override;
   std::vector<Interval> collect_undelivered(Uid target) override;
 
-  OwnerDelta gc_begin() override;
+  OwnerDelta gc_begin(
+      std::vector<std::pair<int, OwnerDelta>> remote_partials) override;
   void gc_finish(const OwnerDelta& delta) override;
 
  protected:
@@ -63,15 +64,12 @@ class LrcEngine final : public ConsistencyEngine {
     std::int32_t iseq = 0;
     DiffBytes bytes;
   };
-  struct LastWrite {
-    Uid uid = kNoUid;
-    std::int64_t lamport = -1;
-  };
 
   /// Converts the page's lazy twin into an archived diff.
   void materialize_diff(PageId p);
   const DiffBytes& archived_diff(PageId p, std::int32_t iseq) const;
-  /// Updates the last-writer map and logs an interval under its stamp.
+  /// Records the interval's write notices in the sharded directory's
+  /// last-writer buffers and logs the interval under its stamp.
   void log_interval(Interval interval);
 
   // Node side.
@@ -80,9 +78,9 @@ class LrcEngine final : public ConsistencyEngine {
   std::int64_t* ctr_intervals_ = nullptr;
   std::int64_t* ctr_diff_fetches_ = nullptr;
 
-  // Master side.
+  // Master side.  Last-writer tracking lives in the base directory
+  // (DirectoryShards::record_write), where GC delta computation is sharded.
   IntervalDirectory directory_;
-  std::vector<LastWrite> last_writer_;
 };
 
 }  // namespace anow::dsm::protocol

@@ -98,23 +98,23 @@ class DsmSystem {
   /// layer's job.
   void move_process(Uid uid, sim::HostId new_host);
 
-  /// Owner map access for the adaptive layer (leave protocol, joins);
-  /// forwards to the master-side engine's authoritative map.
-  const std::vector<Uid>& owner_by_page() const {
-    return engine_->owner_by_page();
-  }
+  /// Owner map access for the adaptive layer (leave protocol, joins).
+  /// With an unsharded directory these are the master engine's local map
+  /// walks, exactly as before.  With remote shards the global view is
+  /// assembled: one OwnerQuery round per remote shard when called on the
+  /// master fiber, or a direct slice read when the simulation is not
+  /// running (post-run inspection — no protocol traffic exists then).
+  std::vector<Uid> owner_by_page();
   void set_owner(PageId page, Uid owner);
-  /// Pages currently owned by `uid` (by the master's authoritative map).
-  std::vector<PageId> pages_owned_by(Uid uid) const {
-    return engine_->pages_owned_by(uid);
-  }
+  /// Pages currently owned by `uid` (by the authoritative directory).
+  std::vector<PageId> pages_owned_by(Uid uid);
   /// All uids' page lists in one owner-map scan (index = uid); use when
   /// several processes are inspected at once (multi-leave adaptation
   /// points) instead of one pages_owned_by scan per uid.
-  std::vector<std::vector<PageId>> pages_owned_by_all() const {
-    return engine_->pages_owned_by_all();
-  }
-  /// Records an ownership change to broadcast with the next fork.
+  std::vector<std::vector<PageId>> pages_owned_by_all();
+  /// Records an ownership change to broadcast with the next fork.  A
+  /// remotely-held page's slice is updated with an OwnerUpdate staged on
+  /// the holder's channel (it rides the next envelope to the holder).
   void queue_owner_update(PageId page, Uid owner);
 
   /// Sends the joiner the full page-location map (paper §4.1: "a message
@@ -154,6 +154,15 @@ class DsmSystem {
   /// traffic departs through a Channel — there is no raw send.
   Channel& channel(Uid from);
 
+  /// The directory shard layout fixed at start() (1 shard unless
+  /// DsmConfig::dir_shards > 1; clamped to nprocs).
+  const protocol::ShardMap& shard_map() const { return shard_map_; }
+
+  /// Directory attachment parameters for a process's node-side engine:
+  /// seeded page range, initial owner hints, authoritative slice (if the
+  /// uid is a shard holder of the initial team).
+  protocol::NodeDirInit node_dir_init_for(Uid uid) const;
+
  private:
   friend class DsmProcess;
 
@@ -169,13 +178,34 @@ class DsmSystem {
   void on_lock_release(const LockReleaseMsg& msg);
   void on_gc_ack(const GcAck& msg);
   void on_join_ready(const JoinReady& msg);
+  /// A shard holder's partial GC delta arrived (barrier-GC path).
+  void on_dir_delta_reply(DirDeltaReply msg);
 
   void barrier_complete();
   void release_barrier();
+  /// Closes and logs the master's open sequential-section interval (fork
+  /// and gc_at_fork are release points for the master).  No-op when every
+  /// master write was exclusivity-covered (the unsharded layout pre-fork).
+  void close_master_interval();
 
-  /// GC at a barrier: sends GcPrepare to everyone; the release is sent once
-  /// all acks are in (state machine driven by on_gc_ack).
+  /// GC at a barrier: collects the sharded owner delta (DirDeltaRequest
+  /// rounds when remote shards have write records), then sends GcPrepare to
+  /// everyone; the release is sent once all acks are in (state machines
+  /// driven by on_dir_delta_reply and on_gc_ack).
   void begin_gc_at_barrier();
+  /// Second phase: the merged delta is known; fan out the GcPrepares.
+  void start_gc_prepare(OwnerDelta delta);
+  /// Blocking delta collection on the master fiber (gc_at_fork).
+  OwnerDelta collect_gc_delta();
+
+  /// One shard's owner slice: local copy, OwnerQuery RPC (master fiber),
+  /// or a direct post-run read of the holder's slice.
+  std::vector<Uid> shard_slice(int shard);
+  std::vector<Uid> collect_owner_map();
+  /// Keeps a remotely-held slice in sync with a master-side owner write
+  /// (leave-protocol transfers, explicit set_owner).
+  void push_owner_update(PageId page, Uid owner);
+  bool on_master_fiber() const;
 
   sim::Cluster& cluster_;
   DsmConfig config_;
@@ -206,6 +236,16 @@ class DsmSystem {
   std::int64_t* seg_bytes_[kNumSegmentKinds] = {};
   std::int64_t* ctr_segments_ = nullptr;
   std::int64_t* ctr_consistency_bytes_ = nullptr;
+  /// Owner-lookup segments (PageRequest / OwnerQuery / DirDeltaRequest) by
+  /// destination: the master-inbound count is the directory bottleneck the
+  /// sharded layout exists to shrink (DESIGN.md §8).
+  std::int64_t* ctr_lookups_master_ = nullptr;
+  std::int64_t* ctr_lookups_shard_ = nullptr;
+
+  /// Directory shard layout (fixed at start) and the first uid that is not
+  /// an initial team member (joiners are never shard holders).
+  protocol::ShardMap shard_map_;
+  Uid initial_team_end_ = 0;
 
   // Master: barrier state.
   std::int32_t barrier_id_ = -1;
@@ -217,6 +257,9 @@ class DsmSystem {
   bool gc_in_progress_ = false;
   int gc_acks_outstanding_ = 0;
   OwnerDelta gc_delta_;  // in-flight delta, staged for GcPrepare messages
+  // Sharded delta collection (barrier-GC path, event context).
+  int dir_partials_outstanding_ = 0;
+  std::vector<std::pair<int, OwnerDelta>> dir_partials_;
   enum class GcResume { kNone, kBarrierRelease, kForkHook } gc_resume_ =
       GcResume::kNone;
   sim::WaitPoint gc_fork_wp_;  // master fiber waits here in gc_at_fork()

@@ -25,6 +25,7 @@ RunResult run_workload(const RunConfig& config,
   dsm::DsmConfig dsm_cfg = workload->dsm_config();
   dsm_cfg.engine = config.engine;
   dsm_cfg.piggyback = config.piggyback;
+  dsm_cfg.dir_shards = config.dir_shards;
   dsm_cfg.pid_strategy = config.pid_strategy;
   dsm::DsmSystem system(cluster, dsm_cfg);
   ompx::Runtime rt(system);

@@ -29,6 +29,8 @@ struct RunConfig {
   dsm::EngineKind engine = dsm::engine_kind_from_env();
   /// Envelope coalescing policy (--piggyback / ANOW_PIGGYBACK).
   dsm::PiggybackMode piggyback = dsm::piggyback_mode_from_env();
+  /// Owner-directory shards (--dir-shards / ANOW_DIR_SHARDS; DESIGN.md §8).
+  int dir_shards = dsm::dir_shards_from_env();
   dsm::PidStrategy pid_strategy = dsm::PidStrategy::kShift;
   bool gc_before_adapt = true;
   sim::CostModel cost{};

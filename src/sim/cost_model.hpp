@@ -60,6 +60,10 @@ struct CostModel {
   Time barrier_service = 15 * kUsec;
   /// Local page-table scan per page during garbage collection.
   Time gc_per_page = 2 * kUsec;
+  /// Shard-holder processing of a directory request (owner-slice copy or
+  /// partial-delta computation) before the reply leaves.  Only charged
+  /// when the owner directory is sharded (DESIGN.md §8).
+  Time dir_service = 25 * kUsec;
 
   // --- adaptation ------------------------------------------------------------
   /// Remote process creation (paper: "approximately 0.6 to 0.8 seconds").

@@ -162,9 +162,14 @@ TEST(AppProtocols, OnlyJacobiProducesDiffs) {
 
 TEST(AppScaling, MoreProcessesRunFaster) {
   // Test-size problems are communication-bound (more processes lose);
-  // speedup needs compute-dominated sizes, as in Table 1.
+  // speedup needs compute-dominated sizes, as in Table 1.  The 1.5x bound
+  // is calibrated for the master-centric initial data distribution, so the
+  // directory is pinned unsharded (a sharded directory trades init-phase
+  // locality for spread-out owner lookups; bench_protocols measures that
+  // trade explicitly).
   for (const auto& app : workload_names()) {
     harness::RunConfig cfg;
+    cfg.dir_shards = 1;
     cfg.nprocs = 1;
     const double t1 = harness::run_workload(cfg, adapt_workload(app)).seconds;
     cfg.nprocs = 4;

@@ -177,6 +177,10 @@ TEST(HomeLrc, FlushRidesBarrierArriveKeepingHomesComplete) {
   sim::Cluster cluster({}, kProcs);
   DsmConfig cfg = home_config();
   cfg.piggyback = PiggybackMode::kRelease;
+  // The premise (every flush targets the master) needs the master-centric
+  // defaults; with a sharded directory first-construct homes are the shard
+  // holders and the flush counters legitimately differ.
+  cfg.dir_shards = 1;
   DsmSystem sys(cluster, cfg);
 
   constexpr std::int64_t kN = 2048;  // 4 pages of int64

@@ -408,8 +408,13 @@ TEST(DsmSystem, SingleProcessRunsWithoutNetworkTraffic) {
 TEST(DsmSystem, MasterInitializationIsExclusiveNoDiffStorm) {
   // Master fills the whole heap before the first fork; no twins, notices,
   // or diffs should result from that (the exclusive-write shortcut).
+  // This is a property of the master-centric initial data distribution,
+  // so the directory is pinned unsharded: with dir-shards > 1 the master
+  // legitimately announces an init interval for other holders' ranges.
   sim::Cluster cluster({}, 4);
-  DsmSystem sys(cluster, small_config(Protocol::kMultiWriter));
+  DsmConfig cfg = small_config(Protocol::kMultiWriter);
+  cfg.dir_shards = 1;
+  DsmSystem sys(cluster, cfg);
   auto task = sys.register_task(
       "touch", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
         auto args = unpack<ArrayArgs>(a);
