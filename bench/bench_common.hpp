@@ -47,6 +47,14 @@ inline int dir_shards_from_options(const util::Options& opts) {
       opts.get_int("dir-shards", dsm::dir_shards_from_env()));
 }
 
+/// --placement {static,adaptive}: adaptive home migration + shard
+/// rebalancing (defaults to ANOW_PLACEMENT, else static).
+inline dsm::PlacementMode placement_from_options(const util::Options& opts) {
+  return dsm::parse_placement_mode(opts.get_choice(
+      "placement", {"static", "adaptive"},
+      dsm::placement_mode_name(dsm::placement_mode_from_env())));
+}
+
 inline void print_header(const std::string& title, const std::string& what) {
   std::cout << "\n=== " << title << " ===\n" << what << "\n\n";
 }

@@ -1,5 +1,6 @@
 // Protocol ablation: the Table 1 workloads (gauss, jacobi, fft3d, nbf)
-// under both consistency engines — TreadMarks-style lazy release consistency
+// plus the shifting-hotspot placement workload, under both consistency
+// engines — TreadMarks-style lazy release consistency
 // (diff archives, on-demand diff fetch) vs home-based LRC (eager flush to a
 // per-page home, full-page fetch on fault) — and, per engine, under the
 // envelope piggyback modes (off = flat one-segment-per-envelope baseline,
@@ -8,20 +9,26 @@
 // shard counts (--dir-shards, DESIGN.md §8: 1 = the master-held directory,
 // N = page ranges spread across the first N processes).
 //
-// Results go to stdout and to BENCH_protocols.json (schema 3): per
+// Results go to stdout and to BENCH_protocols.json (schema 4): per
 // (engine, dir-shards, piggyback) virtual runtime, message/envelope count,
 // envelope fill, total bytes, the consistency-traffic metric, the
 // master-inbound vs shard-inbound owner-lookup split, the per-segment-kind
-// message histogram, and the batched-vs-unbatched delta.  A leg that
-// crashes mid-run is recorded as {"failed": true, "error": ...} and the
-// sweep continues — the JSON is always written, so the perf trajectory is
-// never empty after a crashed bench.
+// message histogram, and the batched-vs-unbatched delta — plus, per
+// (engine, dir-shards), one `--placement adaptive` leg (release mode) with
+// the dsm.placement.{home_moves,shard_moves} counters (DESIGN.md §9).  A
+// leg that crashes mid-run is recorded as {"failed": true, "error": ...}
+// and the sweep continues — the JSON is always written, so the perf
+// trajectory is never empty after a crashed bench.
 //
 // --check-batching turns the acceptance properties into an exit code: for
 // every workload, engine, and shard count, batching must never increase the
 // total message count and must leave the workload checksum unchanged; shard
-// counts must agree on checksums with each other and across engines; and
-// sharding must not increase master-inbound owner lookups (CI smoke).
+// counts must agree on checksums with each other and across engines;
+// sharding must not increase master-inbound owner lookups (CI smoke); no
+// static leg may emit a placement segment; adaptive placement must never
+// raise the message count on the steady-state (non-shifting) workloads;
+// and on the shifting-hotspot workload the home engine's adaptive leg must
+// reduce consistency traffic (messages or bytes) below the static one.
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -41,6 +48,9 @@ struct ModeResult {
   std::int64_t consistency_bytes = 0;
   std::int64_t lookups_master = 0;
   std::int64_t lookups_shard = 0;
+  std::int64_t placement_segments = 0;
+  std::int64_t home_moves = 0;
+  std::int64_t shard_moves = 0;
 };
 
 std::vector<std::string> split_list(const std::string& list) {
@@ -67,6 +77,7 @@ int main(int argc, char** argv) {
   const bool check_batching = opts.get_bool("check-batching", false);
 
   std::vector<std::string> apps = bench::table1_apps();
+  apps.push_back("hotspot");  // the shifting-dominant-writer placement leg
   if (opts.has("apps")) {
     // Comma-separated subset, e.g. --apps jacobi,gauss (CI smoke runs one).
     apps = split_list(opts.get_string("apps", ""));
@@ -78,13 +89,15 @@ int main(int argc, char** argv) {
   }
 
   bench::print_header(
-      "Protocol comparison — engine × dir-shards × piggyback",
+      "Protocol comparison — engine × dir-shards × piggyback × placement",
       std::string("Problem size preset: ") + apps::size_name(size) + ", " +
           std::to_string(nodes) +
           " nodes.  Fill = segments per envelope; saved = messages below "
           "the piggyback-off baseline of the same engine and shard count; "
           "MasterLkp = owner-lookup segments (page requests + directory "
-          "rounds) inbound at the master.");
+          "rounds) inbound at the master.  The adaptive rows rerun the "
+          "release mode with --placement adaptive (home migration + shard "
+          "rebalancing, DESIGN.md §9).");
 
   const dsm::EngineKind engines[] = {dsm::EngineKind::kLrc,
                                      dsm::EngineKind::kHomeLrc};
@@ -99,7 +112,7 @@ int main(int argc, char** argv) {
   util::JsonWriter json;
   json.begin_object();
   json.field("bench", "protocols");
-  json.field("schema_version", 3);
+  json.field("schema_version", 4);
   json.field("size", apps::size_name(size));
   json.field("nodes", nodes);
   json.begin_object("workloads");
@@ -129,7 +142,11 @@ int main(int argc, char** argv) {
         json.begin_object("shards" + std::to_string(shards));
         ModeResult base;  // the kOff run of this (engine, shards)
         ModeResult release;
-        for (const dsm::PiggybackMode mode : modes) {
+        // One leg = one run; `leg_name` keys the JSON object ("off",
+        // "release", "aggressive" for the static piggyback sweep,
+        // "adaptive" for the placement rerun of release mode).
+        auto run_leg = [&](const char* leg_name, dsm::PiggybackMode mode,
+                           dsm::PlacementMode placement) {
           harness::RunConfig cfg;
           cfg.app = app;
           cfg.size = size;
@@ -137,6 +154,7 @@ int main(int argc, char** argv) {
           cfg.engine = engine;
           cfg.piggyback = mode;
           cfg.dir_shards = shards;
+          cfg.placement = placement;
           cfg.adaptive = false;
           ModeResult r;
           try {
@@ -147,9 +165,8 @@ int main(int argc, char** argv) {
           }
           const std::string leg = app + "/" +
                                   dsm::engine_kind_name(engine) + "/shards" +
-                                  std::to_string(shards) + "/" +
-                                  dsm::piggyback_mode_name(mode);
-          json.begin_object(dsm::piggyback_mode_name(mode));
+                                  std::to_string(shards) + "/" + leg_name;
+          json.begin_object(leg_name);
           if (!r.ok) {
             // The leg crashed mid-run: record it and keep sweeping, so
             // BENCH_protocols.json still carries every healthy leg.
@@ -159,8 +176,8 @@ int main(int argc, char** argv) {
             fail(leg + " crashed: " + r.error);
             auto& row = t.row();
             row.add(app).add(dsm::engine_kind_name(engine)).add(shards);
-            row.add(dsm::piggyback_mode_name(mode)).add("FAILED");
-            continue;
+            row.add(leg_name).add("FAILED");
+            return r;
           }
           r.segments = r.run.stats.counter("dsm.segments");
           r.consistency_bytes =
@@ -169,8 +186,11 @@ int main(int argc, char** argv) {
               r.run.stats.counter("dsm.owner_lookups.master_inbound");
           r.lookups_shard =
               r.run.stats.counter("dsm.owner_lookups.shard_inbound");
-          if (mode == dsm::PiggybackMode::kOff) base = r;
-          if (mode == dsm::PiggybackMode::kRelease) release = r;
+          r.placement_segments =
+              r.run.stats.counter("dsm.seg.home_move.msgs") +
+              r.run.stats.counter("dsm.seg.shard_move.msgs");
+          r.home_moves = r.run.stats.counter("dsm.placement.home_moves");
+          r.shard_moves = r.run.stats.counter("dsm.placement.shard_moves");
 
           const std::int64_t saved =
               base.ok ? base.run.messages - r.run.messages : 0;
@@ -182,7 +202,7 @@ int main(int argc, char** argv) {
           row.add(r.run.app + " (" + r.run.size_desc + ")");
           row.add(dsm::engine_kind_name(engine));
           row.add(shards);
-          row.add(dsm::piggyback_mode_name(mode));
+          row.add(leg_name);
           row.add(r.run.seconds, 2);
           row.add(r.run.messages);
           row.add(saved);
@@ -209,6 +229,8 @@ int main(int argc, char** argv) {
           json.field("gc_runs", r.run.stats.counter("dsm.gc_runs"));
           json.field("dir_delta_rounds",
                      r.run.stats.counter("dsm.dir.delta_rounds"));
+          json.field("placement_home_moves", r.home_moves);
+          json.field("placement_shard_moves", r.shard_moves);
           json.field("checksum", r.run.checksum);
           json.begin_object("segment_msgs");
           for (int k = 0; k < dsm::kNumSegmentKinds; ++k) {
@@ -227,14 +249,60 @@ int main(int argc, char** argv) {
           } else if (r.run.checksum != app_checksum) {
             fail(leg + " checksum " + std::to_string(r.run.checksum) +
                  " != " + std::to_string(app_checksum) +
-                 " of the first leg (engines, modes, and shard counts must "
-                 "agree)");
+                 " of the first leg (engines, modes, shard counts, and "
+                 "placement must agree)");
           }
+          if (placement == dsm::PlacementMode::kStatic &&
+              r.placement_segments != 0) {
+            fail(leg + " emitted " + std::to_string(r.placement_segments) +
+                 " placement segments with --placement static");
+          }
+          return r;
+        };
+        for (const dsm::PiggybackMode mode : modes) {
+          ModeResult r = run_leg(dsm::piggyback_mode_name(mode), mode,
+                                 dsm::PlacementMode::kStatic);
+          if (!r.ok) continue;
+          if (mode == dsm::PiggybackMode::kOff) base = r;
+          if (mode == dsm::PiggybackMode::kRelease) release = r;
           if (mode != dsm::PiggybackMode::kOff && base.ok &&
               r.run.messages > base.run.messages) {
-            fail(leg + " sent " + std::to_string(r.run.messages) +
-                 " messages vs " + std::to_string(base.run.messages) +
-                 " with piggyback off");
+            fail(app + "/" + std::string(dsm::engine_kind_name(engine)) +
+                 "/shards" + std::to_string(shards) + "/" +
+                 dsm::piggyback_mode_name(mode) + " sent " +
+                 std::to_string(r.run.messages) + " messages vs " +
+                 std::to_string(base.run.messages) + " with piggyback off");
+          }
+        }
+        // The adaptive placement leg reruns release mode with the policy
+        // live (DESIGN.md §9).
+        const ModeResult adaptive =
+            run_leg("adaptive", dsm::PiggybackMode::kRelease,
+                    dsm::PlacementMode::kAdaptive);
+        if (adaptive.ok && release.ok) {
+          const std::string leg =
+              app + "/" + dsm::engine_kind_name(engine) + "/shards" +
+              std::to_string(shards) + "/adaptive";
+          if (app == "hotspot") {
+            // The shifting-hotspot acceptance property: the home engine
+            // must convert its placement moves into a consistency-traffic
+            // win (messages or bytes) over the static layout.
+            if (engine == dsm::EngineKind::kHomeLrc &&
+                !(adaptive.run.messages < release.run.messages ||
+                  adaptive.consistency_bytes < release.consistency_bytes)) {
+              fail(leg + " did not reduce consistency traffic: " +
+                   std::to_string(adaptive.run.messages) + " msgs / " +
+                   std::to_string(adaptive.consistency_bytes) +
+                   " consistency bytes vs static " +
+                   std::to_string(release.run.messages) + " / " +
+                   std::to_string(release.consistency_bytes));
+            }
+          } else if (adaptive.run.messages > release.run.messages) {
+            // Steady-state workloads: adaptive placement must never raise
+            // the message count (the policy should decide nothing).
+            fail(leg + " raised the steady-state message count: " +
+                 std::to_string(adaptive.run.messages) + " vs " +
+                 std::to_string(release.run.messages) + " static");
           }
         }
         // The batched-vs-unbatched headline delta (release over off).
@@ -285,8 +353,10 @@ int main(int argc, char** argv) {
   if (check_batching) {
     std::cout << (ok ? "check-batching: OK — batching never increased the "
                        "message count, checksums agree across engines, "
-                       "modes, and shard counts, and sharding shed "
-                       "master-inbound lookups\n"
+                       "modes, shard counts, and placement, sharding shed "
+                       "master-inbound lookups, static placement emitted "
+                       "zero placement segments, and adaptive placement "
+                       "never raised steady-state message counts\n"
                      : "check-batching: FAILED\n");
     return ok ? 0 : 1;
   }

@@ -13,12 +13,13 @@
 int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
-  opts.allow_only(
-      {"size", "full", "nodes", "engine", "piggyback", "dir-shards"});
+  opts.allow_only({"size", "full", "nodes", "engine", "piggyback",
+                   "dir-shards", "placement"});
   const apps::Size size = bench::size_from_options(opts);
   const dsm::EngineKind engine = bench::engine_from_options(opts);
   const dsm::PiggybackMode piggyback = bench::piggyback_from_options(opts);
   const int dir_shards = bench::dir_shards_from_options(opts);
+  const dsm::PlacementMode placement = bench::placement_from_options(opts);
 
   bench::print_header(
       "Table 1 — execution times and network traffic, no adapt events",
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
           "paper sizes only); consistency engine: " +
           dsm::engine_kind_name(engine) + ", piggyback: " +
           dsm::piggyback_mode_name(piggyback) + ", dir-shards: " +
-          std::to_string(dir_shards));
+          std::to_string(dir_shards) + ", placement: " +
+          dsm::placement_mode_name(placement));
 
   // Paper values for the --full configuration, for side-by-side comparison.
   struct PaperRow {
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
       cfg.engine = engine;
       cfg.piggyback = piggyback;
       cfg.dir_shards = dir_shards;
+      cfg.placement = placement;
 
       cfg.adaptive = false;
       auto std_run = harness::run_workload(cfg);
@@ -114,6 +117,7 @@ int main(int argc, char** argv) {
     cfg.engine = engine;
     cfg.piggyback = piggyback;
     cfg.dir_shards = dir_shards;
+    cfg.placement = placement;
     auto run = harness::run_workload(cfg);
     t2.row().add(run.app).add(cfg.nprocs).add(run.adapt_point_interval_s, 3);
   }

@@ -1,0 +1,107 @@
+#include "apps/hotspot.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace anow::apps {
+
+Hotspot::Params Hotspot::Params::preset(Size size) {
+  switch (size) {
+    case Size::kTest:
+      return {8, 2, 24, 6};
+    case Size::kBench:
+      return {8, 16, 80, 10};
+    case Size::kPaper:
+      return {16, 64, 400, 40};
+  }
+  return {};
+}
+
+Hotspot::Hotspot(Params params) : params_(params) {
+  ANOW_CHECK(params_.blocks >= 1 && params_.block_pages >= 1);
+  ANOW_CHECK(params_.rotate_every >= 1);
+}
+
+std::string Hotspot::size_desc() const {
+  std::ostringstream os;
+  os << params_.blocks << " x " << params_.block_pages << " pages, "
+     << params_.iters << " iters, rotate " << params_.rotate_every;
+  return os.str();
+}
+
+std::int64_t Hotspot::shared_bytes() const {
+  return params_.blocks * params_.block_pages *
+         static_cast<std::int64_t>(dsm::kPageSize);
+}
+
+int Hotspot::writer_of_block(std::int64_t block, std::int64_t iter,
+                             std::int64_t rotate_every, int nprocs) {
+  return static_cast<int>((block + iter / rotate_every) %
+                          static_cast<std::int64_t>(nprocs));
+}
+
+double Hotspot::expected_checksum(const Params& params) {
+  const std::int64_t words =
+      params.blocks * params.block_pages *
+      (static_cast<std::int64_t>(dsm::kPageSize) / 8);
+  double per_elem = 0.0;
+  for (std::int64_t it = 0; it < params.iters; ++it) {
+    per_elem += static_cast<double>(it + 1);
+  }
+  return per_elem * static_cast<double>(words);
+}
+
+void Hotspot::setup(ompx::Runtime& rt) {
+  region_ = rt.region<IterArgs>(
+      "hotspot_iter", [](dsm::DsmProcess& p, const IterArgs& a) {
+        // Every block is rewritten wholesale by its current writer: the
+        // rotation makes that writer the page's *dominant* writer between
+        // shifts.  The increment depends only on the iteration, so the
+        // result is independent of the rotation offset and process count.
+        ompx::SharedArray<double> data(a.base,
+                                       a.blocks * a.block_words);
+        const double add = static_cast<double>(a.iter + 1);
+        for (std::int64_t b = 0; b < a.blocks; ++b) {
+          if (writer_of_block(b, a.iter, a.rotate_every, p.nprocs()) !=
+              p.pid()) {
+            continue;
+          }
+          const std::int64_t lo = b * a.block_words;
+          const std::int64_t hi = lo + a.block_words;
+          double* d = data.write(p, lo, hi);
+          for (std::int64_t i = lo; i < hi; ++i) d[i] += add;
+          p.compute(1e-8 * static_cast<double>(a.block_words));
+        }
+        p.barrier(1);
+      });
+}
+
+void Hotspot::init(dsm::DsmProcess& master) {
+  const std::int64_t words =
+      params_.blocks * params_.block_pages *
+      (static_cast<std::int64_t>(dsm::kPageSize) / 8);
+  data_ = ompx::SharedArray<double>::allocate(master.system(), words);
+  double* d = data_.write_all(master);
+  for (std::int64_t i = 0; i < words; ++i) d[i] = 0.0;
+}
+
+void Hotspot::iterate(dsm::DsmProcess& master, std::int64_t iter) {
+  IterArgs args;
+  args.base = data_.gaddr();
+  args.iter = iter;
+  args.blocks = params_.blocks;
+  args.block_words = params_.block_pages *
+                     (static_cast<std::int64_t>(dsm::kPageSize) / 8);
+  args.rotate_every = params_.rotate_every;
+  master.system().run_parallel(region_.task_id, ompx::pack_args(args));
+}
+
+double Hotspot::checksum(dsm::DsmProcess& master) {
+  const double* d = data_.read_all(master);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < data_.size(); ++i) sum += d[i];
+  return sum;
+}
+
+}  // namespace anow::apps

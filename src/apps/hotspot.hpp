@@ -1,0 +1,70 @@
+// Hotspot — a shifting-dominant-writer microworkload for the adaptive
+// placement subsystem (DESIGN.md §9; not one of the paper's Table 1
+// applications).
+//
+// The shared array is split into page-aligned blocks.  In every outer
+// iteration each block is rewritten wholesale by exactly one process, and
+// the block→writer mapping rotates by one slot every `rotate_every`
+// iterations.  Between rotations a page therefore has a stable sole
+// (dominant) writer; across rotations the dominant writer shifts — the
+// access pattern home-based LRC handles worst with frozen first-touch
+// homes (every write interval flushes a full-page diff to the stale home)
+// and best when the runtime re-homes pages to the writer (the home writes
+// locally; with exclusivity even notice-free).  bench_protocols uses it to
+// measure the `--placement adaptive` win.
+//
+// The increment added each iteration depends only on the iteration number,
+// so the checksum is independent of the process count and of where homes
+// live — any divergence is a lost or duplicated update.
+#pragma once
+
+#include "apps/workload.hpp"
+
+namespace anow::apps {
+
+class Hotspot final : public Workload {
+ public:
+  struct Params {
+    std::int64_t blocks = 8;        // independent writer slots
+    std::int64_t block_pages = 4;   // pages per block (page-aligned)
+    std::int64_t iters = 24;
+    std::int64_t rotate_every = 6;  // iterations between writer shifts
+    static Params preset(Size size);
+  };
+
+  explicit Hotspot(Params params);
+
+  std::string name() const override { return "Hotspot"; }
+  std::string size_desc() const override;
+  std::int64_t shared_bytes() const override;
+  dsm::Protocol protocol() const override {
+    return dsm::Protocol::kMultiWriter;
+  }
+  std::int64_t iterations() const override { return params_.iters; }
+
+  void setup(ompx::Runtime& rt) override;
+  void init(dsm::DsmProcess& master) override;
+  void iterate(dsm::DsmProcess& master, std::int64_t iter) override;
+  double checksum(dsm::DsmProcess& master) override;
+
+  /// The block→writer rotation both the tasks and the reference use.
+  static int writer_of_block(std::int64_t block, std::int64_t iter,
+                             std::int64_t rotate_every, int nprocs);
+  /// Closed-form checksum (every element accumulates iter+1 per iteration).
+  static double expected_checksum(const Params& params);
+
+ private:
+  struct IterArgs {
+    dsm::GAddr base;
+    std::int64_t iter;
+    std::int64_t blocks;
+    std::int64_t block_words;
+    std::int64_t rotate_every;
+  };
+
+  Params params_;
+  ompx::Region<IterArgs> region_;
+  ompx::SharedArray<double> data_;
+};
+
+}  // namespace anow::apps

@@ -4,6 +4,7 @@
 
 #include "apps/fft3d.hpp"
 #include "apps/gauss.hpp"
+#include "apps/hotspot.hpp"
 #include "apps/jacobi.hpp"
 #include "apps/nbf.hpp"
 #include "util/check.hpp"
@@ -68,8 +69,14 @@ std::unique_ptr<Workload> make_workload(const std::string& name, Size size) {
   if (lower == "nbf") {
     return std::make_unique<Nbf>(Nbf::Params::preset(size));
   }
-  ANOW_CHECK_MSG(false, "unknown workload '" << name
-                                             << "' (jacobi|gauss|fft3d|nbf)");
+  if (lower == "hotspot") {
+    // Shifting-dominant-writer microworkload for the placement subsystem
+    // (DESIGN.md §9); not a Table 1 application, so not in
+    // workload_names().
+    return std::make_unique<Hotspot>(Hotspot::Params::preset(size));
+  }
+  ANOW_CHECK_MSG(false, "unknown workload '"
+                            << name << "' (jacobi|gauss|fft3d|nbf|hotspot)");
 }
 
 std::vector<std::string> workload_names() {

@@ -63,6 +63,32 @@ int dir_shards_from_env() {
   return shards;
 }
 
+const char* placement_mode_name(PlacementMode mode) {
+  switch (mode) {
+    case PlacementMode::kStatic:
+      return "static";
+    case PlacementMode::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+PlacementMode parse_placement_mode(const std::string& name) {
+  if (name == "static") return PlacementMode::kStatic;
+  if (name == "adaptive") return PlacementMode::kAdaptive;
+  ANOW_CHECK_MSG(false, "unknown placement mode '"
+                            << name << "' (want static|adaptive)");
+}
+
+PlacementMode placement_mode_from_env() {
+  static const PlacementMode mode = [] {
+    const char* env = std::getenv("ANOW_PLACEMENT");
+    return env != nullptr && *env != '\0' ? parse_placement_mode(env)
+                                          : PlacementMode::kStatic;
+  }();
+  return mode;
+}
+
 EngineKind engine_kind_from_env() {
   static const EngineKind kind = [] {
     const char* env = std::getenv("ANOW_ENGINE");

@@ -59,6 +59,29 @@ PiggybackMode piggyback_mode_from_env();
 /// construction site.  Values > nprocs are clamped at DsmSystem::start().
 int dir_shards_from_env();
 
+/// Adaptive placement (DESIGN.md §9): whether the runtime monitors access
+/// traffic and migrates page homes / directory shards at GC rounds.
+enum class PlacementMode : std::uint8_t {
+  /// Homes and shard holders stay wherever first touch / the initial
+  /// layout put them — byte-identical to the pre-placement protocol (no
+  /// placement segment is ever sent, no monitoring work is done).
+  kStatic,
+  /// The AccessMonitor aggregates per-page/per-holder traffic each epoch;
+  /// the PlacementPolicy re-homes pages to their dominant writer
+  /// (home-based engine) and moves directory shards off overloaded or
+  /// departing holders; the MigrationPlanner executes the moves by riding
+  /// the existing atomic GC commit round.
+  kAdaptive,
+};
+
+const char* placement_mode_name(PlacementMode mode);
+/// Parses "static" / "adaptive"; throws on anything else.
+PlacementMode parse_placement_mode(const std::string& name);
+/// Default mode: ANOW_PLACEMENT environment variable, falling back to
+/// static.  Lets CI run the whole test suite under adaptive placement
+/// without touching every DsmConfig construction site.
+PlacementMode placement_mode_from_env();
+
 /// How pids are reassigned when processes leave (paper §5.4 lists "the
 /// process id reassignment algorithm" among the cost factors; Figure 3 shows
 /// why it matters).
@@ -91,6 +114,23 @@ struct DsmConfig {
   /// whole directory at the master — byte-identical to the unsharded
   /// protocol.  Clamped to nprocs at start().
   int dir_shards = dir_shards_from_env();
+
+  /// Adaptive placement (DESIGN.md §9): monitor traffic and migrate page
+  /// homes / directory shards at GC rounds.  Static (the default) is
+  /// byte-identical to the pre-placement protocol.
+  PlacementMode placement = placement_mode_from_env();
+
+  /// Placement hysteresis: a page re-homes only after the same sole writer
+  /// dominated it for this many consecutive monitoring windows (barrier
+  /// epochs), with at least placement_min_writes write records per window.
+  int placement_hysteresis = 2;
+  int placement_min_writes = 1;
+  /// A directory shard moves off its holder only when the holder's inbound
+  /// owner-lookup load exceeded placement_overload_factor times the
+  /// team-wide mean — and at least placement_min_lookups segments — for
+  /// placement_hysteresis consecutive windows.
+  double placement_overload_factor = 2.0;
+  std::int64_t placement_min_lookups = 128;
 
   /// Protocol for pages not covered by a protocol_override.
   Protocol default_protocol = Protocol::kMultiWriter;

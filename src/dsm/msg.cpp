@@ -84,10 +84,22 @@ struct WireSize {
     return 4 + static_cast<std::int64_t>(m.entries.size()) * 6;
   }
   std::int64_t operator()(const DirDeltaRequest& m) const {
-    return 8 + static_cast<std::int64_t>(m.records.size()) * 6;
+    // The want_slice flag is charged only when set, so --placement static
+    // requests weigh exactly what they did before the flag existed.
+    return 8 + static_cast<std::int64_t>(m.records.size()) * 6 +
+           (m.want_slice ? 1 : 0);
   }
   std::int64_t operator()(const DirDeltaReply& m) const {
-    return 8 + static_cast<std::int64_t>(m.delta.size()) * 6;
+    return 8 + static_cast<std::int64_t>(m.delta.size()) * 6 +
+           (m.slice.empty()
+                ? 0
+                : 4 + static_cast<std::int64_t>(m.slice.size()) * 2);
+  }
+  std::int64_t operator()(const HomeMove& m) const {
+    return 4 + static_cast<std::int64_t>(m.entries.size()) * 6;
+  }
+  std::int64_t operator()(const ShardMove& m) const {
+    return 8 + static_cast<std::int64_t>(m.owners.size()) * 2;
   }
 };
 
@@ -98,6 +110,7 @@ constexpr const char* kSegmentKindNames[kNumSegmentKinds] = {
     "lock_grant",     "lock_release",   "fork",         "terminate",
     "join_ready",     "page_map",       "owner_query",  "owner_slice",
     "owner_update",   "dir_delta_request", "dir_delta_reply",
+    "home_move",      "shard_move",
 };
 
 static_assert(std::variant_size_v<Segment> == kNumSegmentKinds,

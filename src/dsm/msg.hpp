@@ -204,6 +204,11 @@ struct OwnerUpdate {
 struct DirDeltaRequest {
   std::int32_t shard = -1;
   OwnerDelta records;  // (page, last writer), page-ascending
+  /// Adaptive placement (DESIGN.md §9): the shard was chosen to move this
+  /// GC round, so the reply must also carry the authoritative pre-GC slice
+  /// contents (the master assembles the post-GC slice for the ShardMove).
+  /// Never set with --placement static.
+  bool want_slice = false;
   /// 0 = reply is routed to the master's GC state machine (barrier GC,
   /// event context); nonzero = fiber rendezvous (gc_at_fork).
   std::uint64_t cookie = 0;
@@ -214,7 +219,39 @@ struct DirDeltaRequest {
 struct DirDeltaReply {
   std::int32_t shard = -1;
   OwnerDelta delta;
+  /// The authoritative slice contents (local-index order), present exactly
+  /// when the request asked for them (want_slice).
+  std::vector<Uid> slice;
   std::uint64_t cookie = 0;
+};
+
+// --- adaptive placement (DESIGN.md §9) -------------------------------------
+// With --placement adaptive the MigrationPlanner executes the policy's
+// decisions by riding the GC commit round: both segments are *staged* on
+// the master's channel ahead of the GcPrepare fan-out, so they travel in
+// the prepare envelope (or, under --piggyback off, as their own envelope
+// immediately before it — per-pair FIFO keeps the order) and need no ack
+// round of their own: the existing GcAck already gates the commit.
+// Neither segment exists with --placement static.
+
+/// Announces to a process the pages whose home the placement policy is
+/// moving *to it* this GC round (the re-homes themselves ride the commit's
+/// OwnerDelta, where prepare-phase validation covers them; this is the
+/// explicit adoption notice the new home counts and checks against).
+struct HomeMove {
+  OwnerDelta entries;  // (page, new home == receiver)
+};
+
+/// Moves a directory shard's authority to a new holder.  Sent to the new
+/// holder with the post-GC slice contents (it adopts before processing the
+/// GcPrepare riding behind, whose delta application is then idempotent) and
+/// to the old holder with empty contents (it drops its slice).  The same
+/// segment re-homes a departing holder's slices to a survivor at leave
+/// adaptation points — the planner's replacement for the master fold.
+struct ShardMove {
+  std::int32_t shard = -1;
+  Uid new_holder = kNoUid;
+  std::vector<Uid> owners;  // empty = drop instruction for the old holder
 };
 
 /// One typed unit of the wire protocol.  Alternative order must match
@@ -224,7 +261,8 @@ using Segment =
                  HomeFlushAck, BarrierArrive, BarrierRelease, GcPrepare,
                  GcAck, LockAcquireReq, LockGrant, LockReleaseMsg, ForkMsg,
                  TerminateMsg, JoinReady, PageMapMsg, OwnerQuery, OwnerSlice,
-                 OwnerUpdate, DirDeltaRequest, DirDeltaReply>;
+                 OwnerUpdate, DirDeltaRequest, DirDeltaReply, HomeMove,
+                 ShardMove>;
 
 enum class SegmentKind : std::uint8_t {
   kPageRequest,
@@ -249,8 +287,10 @@ enum class SegmentKind : std::uint8_t {
   kOwnerUpdate,
   kDirDeltaRequest,
   kDirDeltaReply,
+  kHomeMove,
+  kShardMove,
 };
-constexpr int kNumSegmentKinds = 22;
+constexpr int kNumSegmentKinds = 24;
 
 inline SegmentKind segment_kind(const Segment& seg) {
   return static_cast<SegmentKind>(seg.index());

@@ -1,0 +1,102 @@
+#include "dsm/placement/access_monitor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace anow::dsm::placement {
+
+void AccessMonitor::attach(PageId num_pages) {
+  ANOW_CHECK(pages_.empty());
+  pages_.assign(static_cast<std::size_t>(num_pages), PageStat{});
+}
+
+PageStat& AccessMonitor::touch(PageId page) {
+  PageStat& ps = pages_[static_cast<std::size_t>(page)];
+  // First activity of the window: the page joins the touched list once,
+  // so end_window() can fold and reset in O(touched).
+  if (ps.window_writes == 0 && ps.window_flush_bytes == 0 &&
+      ps.window_fetches == 0) {
+    touched_.push_back(page);
+  }
+  return ps;
+}
+
+void AccessMonitor::record_write(PageId page, Uid writer) {
+  PageStat& ps = touch(page);
+  if (ps.window_writes == 0) {
+    ps.window_writer = writer;
+  } else if (ps.window_writer != writer) {
+    ps.window_mixed = true;
+  }
+  ++ps.window_writes;
+}
+
+void AccessMonitor::record_flush(PageId page, std::int64_t bytes) {
+  PageStat& ps = touch(page);
+  const std::int64_t sum =
+      static_cast<std::int64_t>(ps.window_flush_bytes) + bytes;
+  ps.window_flush_bytes = static_cast<std::uint32_t>(
+      std::min<std::int64_t>(sum, UINT32_MAX));  // saturating
+}
+
+void AccessMonitor::record_fetch(PageId page) {
+  PageStat& ps = touch(page);
+  ++ps.window_fetches;
+}
+
+void AccessMonitor::record_lookup(Uid dest) {
+  const auto i = static_cast<std::size_t>(dest);
+  if (i >= lookups_.size()) lookups_.resize(i + 1, 0);
+  ++lookups_[i];
+}
+
+void AccessMonitor::end_window(std::uint32_t min_writes) {
+  for (const PageId p : touched_) {
+    PageStat& ps = pages_[static_cast<std::size_t>(p)];
+    if (ps.window_mixed) {
+      // Contended page: no single writer dominates, so there is no home
+      // that would absorb its traffic.  Reset the streak hard.
+      ps.streak_writer = kNoUid;
+      ps.streak = 0;
+      ps.fresh = false;
+    } else if (ps.window_writes >= min_writes &&
+               ps.window_writer != kNoUid) {
+      if (ps.window_writer == ps.streak_writer) {
+        if (ps.streak < UINT16_MAX) ++ps.streak;
+      } else {
+        ps.streak_writer = ps.window_writer;
+        ps.streak = 1;
+      }
+      ps.fresh = true;
+    } else {
+      ps.fresh = false;
+    }
+    // Pure flush/fetch activity (no write records) and sub-threshold
+    // windows leave the streak untouched: idleness is not evidence.
+    ps.window_writer = kNoUid;
+    ps.window_mixed = false;
+    ps.window_writes = 0;
+    ps.window_flush_bytes = 0;
+    ps.window_fetches = 0;
+  }
+  last_window_pages_ = std::move(touched_);
+  touched_.clear();
+  last_window_lookups_ = std::move(lookups_);
+  lookups_.clear();
+  last_window_lookup_total_ = 0;
+  for (const std::int64_t n : last_window_lookups_) {
+    last_window_lookup_total_ += n;
+  }
+}
+
+void AccessMonitor::reset() {
+  std::fill(pages_.begin(), pages_.end(), PageStat{});
+  touched_.clear();
+  last_window_pages_.clear();
+  lookups_.clear();
+  last_window_lookups_.clear();
+  last_window_lookup_total_ = 0;
+}
+
+}  // namespace anow::dsm::placement

@@ -1,0 +1,110 @@
+// AccessMonitor — the measurement half of the adaptive placement subsystem
+// (DESIGN.md §9).
+//
+// Aggregates, per monitoring *window* (one barrier epoch), the traffic
+// signals the PlacementPolicy feeds on:
+//   * per-page write records — the (page, writer) pairs of every interval
+//     the master logs, i.e. exactly the write records the sharded GC
+//     already ships in DirDeltaRequest — the home-move dominance signal;
+//   * per-page flush bytes and fault fetches — recorded where the master's
+//     transport already walks every segment (DsmSystem::send_envelope), so
+//     no extra message or handler exists for monitoring.  The current
+//     policy keys only off write streaks and lookup loads; the magnitudes
+//     are kept for the cost-model policy follow-up (ROADMAP) and for
+//     post-run inspection;
+//   * per-uid inbound owner-lookup counts (PageRequest / OwnerQuery /
+//     DirDeltaRequest by destination) — the directory-load signal shard
+//     rebalancing acts on.
+//
+// All hooks are O(1) appends/increments gated on --placement adaptive;
+// with --placement static the monitor is never called at all, which is
+// part of the static-is-byte-identical guarantee (and keeps the hot send
+// path free of even the branch cost the counters would add).
+//
+// Window lifecycle: DsmSystem feeds records between barriers and calls
+// end_window() at each barrier; the monitor then folds the window into the
+// per-page dominance *streaks* (hysteresis state) the policy reads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/types.hpp"
+
+namespace anow::dsm::placement {
+
+/// Per-page hysteresis state, updated at each end_window().
+struct PageStat {
+  // --- current window --------------------------------------------------
+  Uid window_writer = kNoUid;  ///< sole writer so far, kNoUid if none
+  bool window_mixed = false;   ///< >1 distinct writer this window
+  std::uint32_t window_writes = 0;
+  std::uint32_t window_flush_bytes = 0;
+  std::uint32_t window_fetches = 0;
+  // --- across windows ---------------------------------------------------
+  /// The writer that solely dominated the page in the last `streak`
+  /// consecutive windows (with >= min_writes records each).
+  Uid streak_writer = kNoUid;
+  std::uint16_t streak = 0;
+  /// The window that just ended qualified (sole writer, >= min_writes):
+  /// the policy only acts on streaks whose evidence is current.
+  bool fresh = false;
+};
+
+class AccessMonitor {
+ public:
+  /// Sizes the per-page table; called once from the DsmSystem ctor.
+  void attach(PageId num_pages);
+
+  // --- recording (adaptive mode only; event/handler context) -------------
+  /// One write record: a logged interval's write notice (page, creator).
+  void record_write(PageId page, Uid writer);
+  /// A HomeFlush page's diff bytes passing through the transport.
+  void record_flush(PageId page, std::int64_t bytes);
+  /// A full-page fetch request passing through the transport.
+  void record_fetch(PageId page);
+  /// An owner-lookup segment (PageRequest/OwnerQuery/DirDeltaRequest)
+  /// inbound at `dest`.
+  void record_lookup(Uid dest);
+
+  /// Folds the current window into the streaks (a page keeps its streak
+  /// while sole-written by the same writer with >= min_writes records;
+  /// mixed windows reset it; untouched pages keep their streak — idleness
+  /// is not evidence of a new owner).  Decays the per-uid lookup loads to
+  /// zero for the next window.
+  void end_window(std::uint32_t min_writes);
+
+  // --- policy-side queries ------------------------------------------------
+  /// Pages touched by write records in the window that just ended (valid
+  /// until the next record_write; the streak fields are up to date).
+  const std::vector<PageId>& last_window_pages() const {
+    return last_window_pages_;
+  }
+  const PageStat& page(PageId p) const {
+    return pages_[static_cast<std::size_t>(p)];
+  }
+  /// Lookup load per uid over the window that just ended.
+  const std::vector<std::int64_t>& last_window_lookups() const {
+    return last_window_lookups_;
+  }
+  std::int64_t last_window_lookup_total() const {
+    return last_window_lookup_total_;
+  }
+
+  /// Checkpoint restore / directory collapse: drop all state.
+  void reset();
+
+ private:
+  /// Window-activity dedup shared by every record_* hook: the first
+  /// activity of the window enrolls the page in the touched list.
+  PageStat& touch(PageId page);
+
+  std::vector<PageStat> pages_;
+  std::vector<PageId> touched_;            // pages with window activity
+  std::vector<PageId> last_window_pages_;  // snapshot taken at end_window
+  std::vector<std::int64_t> lookups_;      // per uid, current window
+  std::vector<std::int64_t> last_window_lookups_;
+  std::int64_t last_window_lookup_total_ = 0;
+};
+
+}  // namespace anow::dsm::placement

@@ -1,0 +1,132 @@
+#include "dsm/placement/planner.hpp"
+
+#include <algorithm>
+
+#include "dsm/channel.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace anow::dsm::placement {
+
+void MigrationPlanner::set_decision(PlacementDecision decision) {
+  ANOW_CHECK_MSG(decision_.empty(),
+                 "placement decision armed while one is pending");
+  decision_ = std::move(decision);
+}
+
+void MigrationPlanner::add_slice_requests(
+    std::vector<std::pair<Uid, DirDeltaRequest>>& requests,
+    const protocol::DirectoryShards& dir) {
+  for (const auto& [shard, new_holder] : decision_.shard_moves) {
+    (void)new_holder;
+    if (dir.is_held(shard)) continue;  // contents read locally at stage time
+    bool found = false;
+    for (auto& [holder, req] : requests) {
+      (void)holder;
+      if (req.shard == shard) {
+        req.want_slice = true;
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    DirDeltaRequest req;
+    req.shard = shard;
+    req.want_slice = true;
+    requests.emplace_back(dir.holder_of(shard), std::move(req));
+  }
+}
+
+void MigrationPlanner::note_slice(int shard, std::vector<Uid> owners) {
+  slices_.emplace_back(shard, std::move(owners));
+}
+
+int MigrationPlanner::stage_moves(protocol::DirectoryShards& dir,
+                                  Channel& master_channel,
+                                  const OwnerDelta& delta,
+                                  const OwnerDelta& home_moves,
+                                  const std::function<bool(Uid)>& is_alive,
+                                  util::StatsRegistry& stats) {
+  // Adoption notices for the pages whose home the round's commit moves:
+  // one HomeMove per new home, staged so it rides that node's GcPrepare.
+  // (The re-homes themselves are in `delta` via stage_owner_moves; the
+  // master itself never needs a notice.)
+  if (!home_moves.empty()) {
+    std::vector<std::pair<Uid, OwnerDelta>> by_home;
+    for (const auto& [page, home] : home_moves) {
+      if (home == kMasterUid) continue;
+      bool found = false;
+      for (auto& [uid, entries] : by_home) {
+        if (uid == home) {
+          entries.emplace_back(page, home);
+          found = true;
+          break;
+        }
+      }
+      if (!found) by_home.push_back({home, {{page, home}}});
+    }
+    for (auto& [home, entries] : by_home) {
+      if (!is_alive(home)) continue;
+      master_channel.stage(home, HomeMove{std::move(entries)});
+    }
+  }
+
+  // Shard authority moves: fold/adopt riding the prepare fan-out.
+  int staged = 0;
+  for (const auto& [shard, new_holder] : decision_.shard_moves) {
+    const Uid old_holder = dir.holder_of(shard);
+    if (old_holder == new_holder || !is_alive(new_holder)) continue;
+    // Post-GC contents: the authoritative pre-GC slice (local read for
+    // master-held shards, the DirDeltaReply fetch otherwise) with the
+    // round's delta applied — so the adopted slice equals what the old
+    // holder's slice will say after it processes the same prepare.
+    std::vector<Uid> owners;
+    if (dir.is_held(shard)) {
+      owners = dir.held_slice(shard);
+    } else {
+      bool found = false;
+      for (auto& [s, fetched] : slices_) {
+        if (s == shard) {
+          owners = std::move(fetched);
+          found = true;
+          break;
+        }
+      }
+      ANOW_CHECK_MSG(found, "shard " << shard
+                                     << " moving without fetched contents");
+    }
+    {
+      std::vector<PageId> pages;
+      pages.reserve(owners.size());
+      dir.map().for_each_page(shard, [&](PageId p) { pages.push_back(p); });
+      for (const auto& [p, owner] : delta) {
+        const auto it = std::lower_bound(pages.begin(), pages.end(), p);
+        if (it != pages.end() && *it == p) {
+          owners[static_cast<std::size_t>(it - pages.begin())] = owner;
+        }
+      }
+    }
+    if (new_holder == kMasterUid) {
+      // Moving to the master is a fold: contents stay local, the old
+      // holder just drops.
+      dir.fold(shard, std::move(owners));
+    } else {
+      master_channel.stage(new_holder,
+                           ShardMove{shard, new_holder, std::move(owners)});
+      dir.move_holder(shard, new_holder);
+    }
+    if (old_holder != kMasterUid && is_alive(old_holder)) {
+      master_channel.stage(old_holder, ShardMove{shard, new_holder, {}});
+    }
+    stats.counter("dsm.placement.shard_moves")++;
+    ++staged;
+  }
+  return staged;
+}
+
+void MigrationPlanner::clear() {
+  decision_ = PlacementDecision{};
+  slices_.clear();
+}
+
+}  // namespace anow::dsm::placement

@@ -1,0 +1,89 @@
+// PlacementPolicy — the decision half of the adaptive placement subsystem
+// (DESIGN.md §9).
+//
+// Reads the AccessMonitor's window aggregates at each barrier and decides
+//   * which pages should re-home to their dominant writer (home-based
+//     engine only: LRC's GC already moves owners to last writers, so page
+//     placement is the home engine's problem), and
+//   * which directory shards should move off overloaded holders, and where
+//     a departing holder's shards should go (the leave path's survivor
+//     pick).
+//
+// Both decisions are hysteresis-gated (DsmConfig::placement_* tunables) so
+// a page ping-ponging between writers or a holder with one noisy window
+// never triggers a move.  Decisions are *executed* by the MigrationPlanner
+// at the next GC round; the policy itself only reads state and keeps the
+// master-side owner shadow.
+//
+// The owner shadow: every ownership change in the system flows through the
+// master (GC commit deltas, first-touch assignments, leave-protocol
+// transfers, explicit set_owner), so the policy maintains an exact local
+// copy of the post-commit owner map without ever querying a remote slice —
+// note_owner_delta() is called wherever the master applies or broadcasts a
+// delta.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/config.hpp"
+#include "dsm/msg.hpp"
+#include "dsm/protocol/dir_shards.hpp"
+#include "dsm/types.hpp"
+
+namespace anow::dsm::placement {
+
+class AccessMonitor;
+
+/// One GC round's worth of placement decisions.
+struct PlacementDecision {
+  /// Page re-homes (home-based engine): (page, dominant writer).
+  OwnerDelta home_moves;
+  /// Directory shard authority moves: (shard, new holder).
+  std::vector<std::pair<int, Uid>> shard_moves;
+
+  bool empty() const { return home_moves.empty() && shard_moves.empty(); }
+};
+
+class PlacementPolicy {
+ public:
+  explicit PlacementPolicy(const DsmConfig& config) : config_(&config) {}
+
+  /// Seeds the owner shadow from the shard layout fixed at start().
+  void configure(const protocol::ShardMap& map);
+
+  /// Keeps the owner shadow exact: called for every delta the master
+  /// commits or broadcasts (GC commit, queued leave transfers, explicit
+  /// set_owner) — see the header comment.
+  void note_owner_delta(const OwnerDelta& delta);
+  Uid shadow_owner(PageId p) const {
+    return owner_shadow_[static_cast<std::size_t>(p)];
+  }
+
+  /// Evaluates the window that just ended (monitor.end_window() must have
+  /// run).  `team` is the current team by pid; `home_engine` enables page
+  /// re-homes.  Deterministic: ties break toward lower uids/shards.
+  PlacementDecision decide(const AccessMonitor& monitor,
+                           const protocol::DirectoryShards& dir,
+                           const std::vector<Uid>& team, bool home_engine);
+
+  /// The leave path's survivor pick: the least-loaded team member (by the
+  /// last window's lookup loads) other than `leaver`; prefers non-master
+  /// holders so folded authority spreads instead of re-concentrating, and
+  /// returns kMasterUid only when no other survivor exists.
+  Uid pick_leave_target(const AccessMonitor& monitor,
+                        const std::vector<Uid>& team, Uid leaver) const;
+
+  /// Checkpoint restore / directory collapse.
+  void reset(const protocol::ShardMap& map);
+
+ private:
+  const DsmConfig* config_;
+  const protocol::ShardMap* map_ = nullptr;
+  std::vector<Uid> owner_shadow_;
+  /// Consecutive windows each uid's lookup load exceeded the overload
+  /// threshold (shard-move hysteresis).
+  std::vector<std::uint16_t> overload_streak_;
+};
+
+}  // namespace anow::dsm::placement

@@ -472,10 +472,10 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
   while (true) {
     Segment m = next_instruction("barrier");
     if (auto* gp = std::get_if<GcPrepare>(&m)) {
-      // A shard holder's authoritative slice adopts the delta at the
+      // A shard holder's authoritative slices adopt the delta at the
       // prepare phase: by the time the master's gc_finish runs (all acks
       // in), every slice already answers queries with post-GC owners.
-      if (auto* slice = engine_->dir_slice()) slice->apply_delta(gp->owners);
+      engine_->apply_delta_to_slices(gp->owners);
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
@@ -485,9 +485,8 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
     auto* rel = std::get_if<BarrierRelease>(&m);
     ANOW_CHECK_MSG(rel != nullptr, "unexpected instruction inside barrier");
     ANOW_CHECK(rel->barrier_id == barrier_id);
-    if (auto* slice = engine_->dir_slice()) {
-      slice->apply_delta(rel->owner_delta);  // idempotent after the prepare
-    }
+    // Idempotent after the prepare.
+    engine_->apply_delta_to_slices(rel->owner_delta);
     engine_->integrate(rel->intervals);
     if (rel->gc_commit) {
       engine_->gc_commit_node(rel->owner_delta);
@@ -617,6 +616,10 @@ void DsmProcess::handle_segment(Segment seg, Uid src,
           handle_owner_update(body);
         } else if constexpr (std::is_same_v<T, DirDeltaRequest>) {
           handle_dir_delta_request(body, src);
+        } else if constexpr (std::is_same_v<T, HomeMove>) {
+          handle_home_move(body);
+        } else if constexpr (std::is_same_v<T, ShardMove>) {
+          handle_shard_move(std::move(body));
         } else if constexpr (std::is_same_v<T, PageReply>) {
           deliver_reply(body.cookie, std::move(seg), shared_envelope);
         } else if constexpr (std::is_same_v<T, DiffReply>) {
@@ -747,8 +750,8 @@ void DsmProcess::handle_home_flush(const HomeFlush& msg) {
 // ---------------------------------------------------------------------------
 
 void DsmProcess::handle_owner_query(const OwnerQuery& query, Uid src) {
-  const auto* slice = engine_->dir_slice();
-  ANOW_CHECK_MSG(slice != nullptr && slice->shard() == query.shard,
+  const auto* slice = engine_->dir_slice(query.shard);
+  ANOW_CHECK_MSG(slice != nullptr,
                  "owner query for shard " << query.shard
                                           << " reached non-holder " << uid_);
   OwnerSlice reply;
@@ -763,21 +766,23 @@ void DsmProcess::handle_owner_query(const OwnerQuery& query, Uid src) {
 }
 
 void DsmProcess::handle_owner_update(const OwnerUpdate& msg) {
-  auto* slice = engine_->dir_slice();
-  ANOW_CHECK_MSG(slice != nullptr,
+  ANOW_CHECK_MSG(engine_->holds_slices(),
                  "owner update reached non-holder " << uid_);
-  slice->apply_delta(msg.entries);
+  engine_->apply_delta_to_slices(msg.entries);
 }
 
 void DsmProcess::handle_dir_delta_request(const DirDeltaRequest& req,
                                           Uid src) {
-  const auto* slice = engine_->dir_slice();
-  ANOW_CHECK_MSG(slice != nullptr && slice->shard() == req.shard,
+  const auto* slice = engine_->dir_slice(req.shard);
+  ANOW_CHECK_MSG(slice != nullptr,
                  "dir delta request for shard "
                      << req.shard << " reached non-holder " << uid_);
   DirDeltaReply reply;
   reply.shard = req.shard;
   reply.delta = slice->partial_delta(req.records);
+  // Placement slice fetch (DESIGN.md §9): the shard is moving this GC
+  // round, so the master also needs the authoritative pre-GC contents.
+  if (req.want_slice) reply.slice = slice->owners();
   reply.cookie = req.cookie;
   // Record-vs-slice comparison on the holder before the reply leaves.
   const sim::Time service =
@@ -788,6 +793,43 @@ void DsmProcess::handle_dir_delta_request(const DirDeltaRequest& req,
       service, [this, src, reply = std::move(reply)]() mutable {
         channel_.send(src, std::move(reply));
       });
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive placement (DESIGN.md §9; event context).  Both segments ride the
+// GcPrepare envelope (staged ahead of it on the master's channel), so they
+// are applied before the prepare is processed — no ack round of their own.
+// ---------------------------------------------------------------------------
+
+void DsmProcess::handle_home_move(const HomeMove& msg) {
+  // The adoption notice for pages the placement policy re-homes *to this
+  // node* this GC round.  The moves themselves ride the commit's
+  // OwnerDelta (validated at the prepare); this is bookkeeping plus the
+  // adoption-side sanity check.
+  for (const auto& [page, home] : msg.entries) {
+    (void)page;
+    ANOW_CHECK_MSG(home == uid_, "home move notice for page " << page
+                                     << " -> " << home
+                                     << " delivered to node " << uid_);
+  }
+  system_.stats().counter("dsm.placement.home_moves_adopted") +=
+      static_cast<std::int64_t>(msg.entries.size());
+}
+
+void DsmProcess::handle_shard_move(ShardMove msg) {
+  if (msg.new_holder == uid_) {
+    // Adoption: the master shipped the authoritative (post-GC when riding
+    // a prepare) contents; the GcPrepare behind this segment re-applies
+    // its delta to the new slice, which is idempotent.
+    engine_->adopt_dir_slice(msg.shard, system_.shard_map(),
+                             std::move(msg.owners));
+    system_.stats().counter("dsm.placement.shard_adoptions")++;
+    return;
+  }
+  // Drop instruction for the old holder: authority moved to msg.new_holder.
+  ANOW_CHECK_MSG(msg.owners.empty(),
+                 "shard move with contents delivered to old holder " << uid_);
+  engine_->drop_dir_slice(msg.shard);
 }
 
 void DsmProcess::handle_diff_request(const DiffRequest& req, Uid /*src*/) {
@@ -893,11 +935,9 @@ void DsmProcess::run_task(const ForkMsg& fork) {
   // New construct: past exclusive write declarations are settled.
   engine_->begin_construct();
   apply_team(fork.team);
-  if (auto* slice = engine_->dir_slice()) {
-    // Queued ownership transfers (leave protocol) riding the fork; GC
-    // entries were already applied at the prepare.
-    slice->apply_delta(fork.owner_delta);
-  }
+  // Queued ownership transfers (leave protocol) riding the fork; GC
+  // entries were already applied at the prepare.
+  engine_->apply_delta_to_slices(fork.owner_delta);
   engine_->integrate(fork.intervals);
   if (fork.gc_commit) {
     engine_->gc_commit_node(fork.owner_delta);
@@ -925,7 +965,7 @@ void DsmProcess::slave_main() {
       continue;
     }
     if (auto* gp = std::get_if<GcPrepare>(&m)) {
-      if (auto* slice = engine_->dir_slice()) slice->apply_delta(gp->owners);
+      engine_->apply_delta_to_slices(gp->owners);
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);

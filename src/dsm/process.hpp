@@ -120,6 +120,9 @@ class DsmProcess {
   void handle_owner_query(const OwnerQuery& query, Uid src);
   void handle_owner_update(const OwnerUpdate& msg);
   void handle_dir_delta_request(const DirDeltaRequest& req, Uid src);
+  // Adaptive placement (DESIGN.md §9), node side.
+  void handle_home_move(const HomeMove& msg);
+  void handle_shard_move(ShardMove msg);
   void deliver_reply(std::uint64_t cookie, Segment seg,
                      bool shared_envelope);
   /// Schedules the current envelope's batched page replies: one envelope

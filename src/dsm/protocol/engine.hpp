@@ -111,10 +111,23 @@ class ConsistencyEngine {
                    const std::vector<Protocol>& protocol,
                    util::StatsRegistry& stats, const NodeDirInit& dir);
 
-  /// The authoritative owner slice this node holds (null for non-holders
-  /// and for the master, whose slices live in the master-side directory).
-  DirSlice* dir_slice() { return dir_slice_.get(); }
-  const DirSlice* dir_slice() const { return dir_slice_.get(); }
+  /// The authoritative owner slice of `shard`, if this node holds it
+  /// (null otherwise; the master's slices live in the master-side
+  /// directory).  A node starts with at most its own default shard but can
+  /// adopt more through placement ShardMoves (DESIGN.md §9).
+  DirSlice* dir_slice(int shard);
+  const DirSlice* dir_slice(int shard) const;
+  bool holds_slices() const { return !dir_slices_.empty(); }
+
+  /// Applies a GC/commit delta to every slice this node holds (each slice
+  /// filters to its own range; idempotent).
+  void apply_delta_to_slices(const OwnerDelta& delta);
+  /// Placement ShardMove, new-holder side: installs the authoritative
+  /// contents of a shard moved to this node.
+  void adopt_dir_slice(int shard, const ShardMap& map,
+                       std::vector<Uid> owners);
+  /// Placement ShardMove, old-holder side: drops the moved-away slice.
+  void drop_dir_slice(int shard);
 
   /// Checkpoint-restore collapse of a sharded directory (pre-fork only):
   /// drops this node's slice and seeded copies and points every hint back
@@ -281,6 +294,16 @@ class ConsistencyEngine {
   /// shards the caller collapses the directory first.
   void reset_owners_to_master();
 
+  /// Adaptive placement (DESIGN.md §9): stages policy-decided page
+  /// re-homes so they ride the next GC round's atomic OwnerDelta commit —
+  /// validated at the prepare phase exactly like first-touch assignments.
+  /// Returns the subset actually staged (entries whose page already has a
+  /// pending assignment this round, is still first-touch territory, or
+  /// already lives at the target are skipped) — the planner sends the new
+  /// homes their adoption notices from it.  Only the home-based engine
+  /// owns page homes; the base implementation rejects non-empty lists.
+  virtual OwnerDelta stage_owner_moves(const OwnerDelta& moves);
+
   // --- GC policy + pending commit ----------------------------------------
   void request_gc() { gc_requested_ = true; }
   /// Whether a GC should run at this barrier, given the largest
@@ -341,8 +364,9 @@ class ConsistencyEngine {
   std::int64_t archive_bytes_ = 0;
   std::int64_t twin_bytes_ = 0;
   std::int64_t pending_count_ = 0;
-  /// Authoritative owner slice when this node is a shard holder.
-  std::unique_ptr<DirSlice> dir_slice_;
+  /// Authoritative owner slices this node holds (its own default shard at
+  /// start; placement ShardMoves adopt/drop more at GC rounds).
+  std::vector<std::unique_ptr<DirSlice>> dir_slices_;
 
   // Master-side state.
   DirectoryShards dir_;

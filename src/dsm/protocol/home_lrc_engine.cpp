@@ -381,6 +381,37 @@ void HomeLrcEngine::assign_homes(
   }
 }
 
+OwnerDelta HomeLrcEngine::stage_owner_moves(const OwnerDelta& moves) {
+  OwnerDelta staged;
+  if (moves.empty()) return staged;
+  // A whole hotspot rotation can re-home hundreds of pages in one round:
+  // the already-staged check must not rescan pending_delta_ per entry.
+  std::vector<std::uint8_t> pending_page(
+      static_cast<std::size_t>(dir_.map().num_pages), 0);
+  for (const auto& [q, owner] : pending_delta_) {
+    (void)owner;
+    pending_page[static_cast<std::size_t>(q)] = 1;
+  }
+  for (const auto& [p, home] : moves) {
+    // First-touch territory (still at its default home) belongs to
+    // assign_homes — the policy only migrates established homes.
+    if (home_assignable(p)) continue;
+    if (pending_page[static_cast<std::size_t>(p)]) continue;
+    if (dir_.is_held_page(p) && dir_.local_owner_of(p) == home) continue;
+    // Mirror assign_homes: held slices update at stage time (gc_finish
+    // re-applies the delta, idempotent); remote slices adopt when their
+    // holder processes the GcPrepare carrying this delta.
+    if (dir_.is_held_page(p)) dir_.set_local_owner(p, home);
+    off_default_[static_cast<std::size_t>(p)] =
+        home == dir_.map().default_holder_of_page(p) ? 0 : 1;
+    pending_delta_.emplace_back(p, home);
+    pending_page[static_cast<std::size_t>(p)] = 1;
+    stats_->counter("dsm.placement.home_moves")++;
+    staged.emplace_back(p, home);
+  }
+  return staged;
+}
+
 void HomeLrcEngine::log_epoch(std::vector<Interval> intervals) {
   const std::int64_t stamp = directory_.next_stamp();
   std::vector<std::pair<PageId, Uid>> touched;
@@ -433,9 +464,13 @@ bool HomeLrcEngine::gc_should_run(std::int64_t max_consistency_bytes) const {
 
 OwnerDelta HomeLrcEngine::gc_begin(
     std::vector<std::pair<int, OwnerDelta>> remote_partials) {
-  // Home-based GC never records writes, so no DirDeltaRequests are planned
-  // and no partials can arrive.
-  ANOW_CHECK(remote_partials.empty());
+  // Home-based GC never records writes, so every partial must be empty —
+  // the only DirDeltaRequests a home-engine GC sends are the placement
+  // planner's slice fetches (want_slice, no records).
+  for (const auto& [shard, partial] : remote_partials) {
+    (void)shard;
+    ANOW_CHECK(partial.empty());
+  }
   gc_requested_ = false;
   // The delta is just the staged home assignments; there is no last-writer
   // recomputation because homes *are* the owners.

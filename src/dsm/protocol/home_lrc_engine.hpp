@@ -76,6 +76,11 @@ class HomeLrcEngine final : public ConsistencyEngine {
   /// Also fires whenever home assignments are staged: they commit through
   /// the validated two-phase round, never as bare hints.
   bool gc_should_run(std::int64_t max_consistency_bytes) const override;
+  /// Adaptive placement re-homes (DESIGN.md §9): staged into the same
+  /// pending delta first-touch assignments use, so they ride the next GC
+  /// round's atomic commit with prepare-phase validation (the chosen home
+  /// fetches a full copy from the old home before any hint flips).
+  OwnerDelta stage_owner_moves(const OwnerDelta& moves) override;
   OwnerDelta gc_begin(
       std::vector<std::pair<int, OwnerDelta>> remote_partials) override;
   void gc_finish(const OwnerDelta& delta) override;

@@ -8,7 +8,7 @@
 namespace anow::dsm {
 
 DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
-    : cluster_(cluster), config_(config) {
+    : cluster_(cluster), config_(config), policy_(config_) {
   ANOW_CHECK(config_.heap_bytes > 0);
   ANOW_CHECK_MSG(config_.heap_bytes % static_cast<std::int64_t>(kPageSize) ==
                      0,
@@ -29,6 +29,13 @@ DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
   ctr_lookups_master_ = &stats.counter("dsm.owner_lookups.master_inbound");
   ctr_lookups_shard_ = &stats.counter("dsm.owner_lookups.shard_inbound");
   shard_map_ = protocol::ShardMap(num_pages(), 1);
+  placement_adaptive_ = config_.placement == PlacementMode::kAdaptive;
+  // The subsystem's own guarantee: static runs never execute placement
+  // code — not even the per-page table allocations here.
+  if (placement_adaptive_) {
+    monitor_.attach(num_pages());
+    policy_.configure(shard_map_);
+  }
 }
 
 DsmSystem::~DsmSystem() = default;
@@ -119,6 +126,7 @@ void DsmSystem::start(int nprocs) {
       std::min(std::max(config_.dir_shards, 1), nprocs);
   shard_map_ = protocol::ShardMap(num_pages(), shards);
   engine_->configure_directory(shard_map_);
+  if (placement_adaptive_) policy_.configure(shard_map_);
   initial_team_end_ = static_cast<Uid>(nprocs);
   while (cluster_.num_hosts() < nprocs) cluster_.add_host();
   for (int i = 0; i < nprocs; ++i) {
@@ -216,8 +224,24 @@ void DsmSystem::expel(Uid uid) {
   if (dir.sharded()) {
     for (int s = 0; s < dir.map().shards; ++s) {
       if (dir.holder_of(s) != uid) continue;
-      dir.fold(s, shard_slice(s));
-      stats().counter("dsm.dir.folds")++;
+      std::vector<Uid> owners = shard_slice(s);
+      // Adaptive placement re-homes the folded slice to a surviving
+      // holder (the least-loaded one) instead of re-concentrating
+      // authority at the master; the ShardMove departs before the
+      // terminate below, and per-pair FIFO makes any later query or
+      // delta round to the new holder see the adopted slice.
+      const Uid target = placement_adaptive_
+                             ? policy_.pick_leave_target(monitor_, team_, uid)
+                             : kMasterUid;
+      if (target != kMasterUid && is_alive(target)) {
+        channel(kMasterUid).send(target,
+                                 ShardMove{s, target, std::move(owners)});
+        dir.move_holder(s, target);
+        stats().counter("dsm.placement.shard_moves")++;
+      } else {
+        dir.fold(s, std::move(owners));
+        stats().counter("dsm.dir.folds")++;
+      }
     }
   }
   switch (config_.pid_strategy) {
@@ -264,8 +288,8 @@ std::vector<Uid> DsmSystem::shard_slice(int shard) {
   }
   // Not inside the simulation (post-run inspection): read the holder's
   // slice directly — no protocol traffic exists or is charged here.
-  const auto* slice = processes_[holder]->engine().dir_slice();
-  ANOW_CHECK_MSG(slice != nullptr && slice->shard() == shard,
+  const auto* slice = processes_[holder]->engine().dir_slice(shard);
+  ANOW_CHECK_MSG(slice != nullptr,
                  "shard " << shard << " holder " << holder
                           << " has no authoritative slice");
   return slice->owners();
@@ -340,7 +364,8 @@ void DsmSystem::push_owner_update(PageId page, Uid owner) {
   }
   // Outside the run (test setup / post-run surgery): write the slice
   // directly.
-  auto* slice = processes_[holder]->engine().dir_slice();
+  auto* slice =
+      processes_[holder]->engine().dir_slice(dir.map().shard_of(page));
   ANOW_CHECK(slice != nullptr);
   slice->set_owner(page, owner);
 }
@@ -349,11 +374,13 @@ void DsmSystem::set_owner(PageId page, Uid owner) {
   ANOW_CHECK(page >= 0 && page < num_pages());
   engine_->set_owner(page, owner);
   push_owner_update(page, owner);
+  if (placement_adaptive_) policy_.note_owner_delta({{page, owner}});
 }
 
 void DsmSystem::queue_owner_update(PageId page, Uid owner) {
   engine_->queue_owner_update(page, owner);
   push_owner_update(page, owner);
+  if (placement_adaptive_) policy_.note_owner_delta({{page, owner}});
 }
 
 // ---------------------------------------------------------------------------
@@ -372,7 +399,10 @@ void DsmSystem::close_master_interval() {
   DsmProcess& master = process(kMasterUid);
   Interval iv = master.engine().finish_interval();
   master.flush_homes();
-  if (iv.iseq != 0) engine_->log_release(std::move(iv));
+  if (iv.iseq != 0) {
+    if (placement_adaptive_) placement_note_interval(iv);
+    engine_->log_release(std::move(iv));
+  }
 }
 
 void DsmSystem::run_parallel(std::int32_t task_id,
@@ -454,8 +484,15 @@ void DsmSystem::on_barrier_arrive(const BarrierArrive& msg) {
 
 void DsmSystem::barrier_complete() {
   stats().counter("dsm.barriers")++;
+  if (placement_adaptive_) {
+    for (const auto& iv : pending_intervals_) placement_note_interval(iv);
+  }
   engine_->log_epoch(std::move(pending_intervals_));
   pending_intervals_.clear();
+
+  // The placement window rolls at every barrier; a non-empty decision
+  // requests a GC so the moves ride this barrier's commit round.
+  if (placement_adaptive_) evaluate_placement();
 
   if (engine_->gc_should_run(max_consistency_bytes_)) {
     gc_resume_ = GcResume::kBarrierRelease;
@@ -502,18 +539,61 @@ void DsmSystem::release_barrier() {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive placement (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+void DsmSystem::placement_note_interval(const Interval& interval) {
+  if (interval.iseq == 0) return;
+  for (const auto& wn : interval.notices) {
+    monitor_.record_write(wn.page, interval.creator);
+  }
+}
+
+void DsmSystem::evaluate_placement() {
+  monitor_.end_window(static_cast<std::uint32_t>(
+      std::max(1, config_.placement_min_writes)));
+  if (planner_.has_work()) return;  // a round is already armed
+  auto decision =
+      policy_.decide(monitor_, engine_->dir(), team_,
+                     config_.engine == EngineKind::kHomeLrc);
+  if (decision.empty()) return;
+  stats().counter("dsm.placement.decisions")++;
+  planner_.set_decision(std::move(decision));
+  // The moves ride this very barrier's GC round (gc_should_run sees the
+  // request below); no extra message exists outside that round.
+  engine_->request_gc();
+}
+
+void DsmSystem::placement_note_gc_commit(const OwnerDelta& delta) {
+  if (!placement_adaptive_) return;
+  policy_.note_owner_delta(delta);
+  planner_.clear();
+  gc_home_moves_.clear();
+}
+
+// ---------------------------------------------------------------------------
 // GC choreography (protocol data lives in the engine)
 // ---------------------------------------------------------------------------
 
 void DsmSystem::begin_gc_at_barrier() {
   stats().counter("dsm.gc_runs")++;
   gc_in_progress_ = true;
+  // Placement page re-homes join the engine's pending commit delta now,
+  // before the delta is assembled, so they ride the same atomic commit as
+  // first-touch assignments (DESIGN.md §9).
+  if (placement_adaptive_ && planner_.has_work()) {
+    gc_home_moves_ = engine_->stage_owner_moves(planner_.decision().home_moves);
+  }
   // Sharded delta collection first (event context, so the fan-out to the
   // shard holders is asynchronous; on_dir_delta_reply resumes the GC once
   // every partial is in).  With an unsharded directory or no remote write
   // records the delta is computed locally and the prepare fan-out starts
-  // at once — the historical single-step path.
+  // at once — the historical single-step path.  Shards slated to move get
+  // their authoritative contents fetched on the same round (want_slice).
   auto requests = engine_->plan_dir_delta_requests();
+  if (placement_adaptive_ && planner_.has_work()) {
+    planner_.add_slice_requests(requests, engine_->dir());
+  }
   if (requests.empty()) {
     start_gc_prepare(engine_->gc_begin({}));
     return;
@@ -529,6 +609,7 @@ void DsmSystem::begin_gc_at_barrier() {
 
 void DsmSystem::on_dir_delta_reply(DirDeltaReply msg) {
   ANOW_CHECK(gc_in_progress_ && dir_partials_outstanding_ > 0);
+  if (!msg.slice.empty()) planner_.note_slice(msg.shard, std::move(msg.slice));
   dir_partials_.emplace_back(msg.shard, std::move(msg.delta));
   if (--dir_partials_outstanding_ > 0) return;
   auto partials = std::move(dir_partials_);
@@ -538,6 +619,15 @@ void DsmSystem::on_dir_delta_reply(DirDeltaReply msg) {
 
 void DsmSystem::start_gc_prepare(OwnerDelta delta) {
   gc_delta_ = std::move(delta);
+  // Placement moves ride the prepare fan-out: ShardMove (adopt/drop) and
+  // HomeMove segments staged here depart inside — or, unbuffered,
+  // immediately before — each target's GcPrepare envelope below.  The
+  // GcAcks that already gate the commit double as the adoption barrier.
+  if (placement_adaptive_ && (planner_.has_work() || !gc_home_moves_.empty())) {
+    planner_.stage_moves(engine_->dir(), channel(kMasterUid), gc_delta_,
+                         gc_home_moves_,
+                         [this](Uid u) { return is_alive(u); }, stats());
+  }
   gc_acks_outstanding_ = static_cast<int>(team_.size());
   for (Uid uid : team_) {
     GcPrepare gp;
@@ -549,6 +639,9 @@ void DsmSystem::start_gc_prepare(OwnerDelta delta) {
 
 OwnerDelta DsmSystem::collect_gc_delta() {
   auto requests = engine_->plan_dir_delta_requests();
+  if (placement_adaptive_ && planner_.has_work()) {
+    planner_.add_slice_requests(requests, engine_->dir());
+  }
   std::vector<std::pair<int, OwnerDelta>> partials;
   if (!requests.empty()) {
     stats().counter("dsm.dir.delta_rounds")++;
@@ -570,8 +663,11 @@ OwnerDelta DsmSystem::collect_gc_delta() {
       if (!pr->ready) {
         cluster_.sim().wait(pr->wp, "dir delta reply");
       }
-      partials.emplace_back(
-          shard, std::move(std::get<DirDeltaReply>(pr->seg).delta));
+      auto& reply = std::get<DirDeltaReply>(pr->seg);
+      if (!reply.slice.empty()) {
+        planner_.note_slice(reply.shard, std::move(reply.slice));
+      }
+      partials.emplace_back(shard, std::move(reply.delta));
       master.erase_reply(cookie);
     }
   }
@@ -586,6 +682,7 @@ void DsmSystem::on_gc_ack(const GcAck& /*msg*/) {
   // The master-side commit (owner map + log reset) happens now; the
   // processes commit when the release/fork delivers gc_commit=true.
   engine_->gc_finish(gc_delta_);
+  placement_note_gc_commit(gc_delta_);
   switch (gc_resume_) {
     case GcResume::kBarrierRelease:
       release_barrier();
@@ -611,6 +708,9 @@ void DsmSystem::gc_at_fork() {
   close_master_interval();
 
   stats().counter("dsm.gc_runs")++;
+  if (placement_adaptive_ && planner_.has_work()) {
+    gc_home_moves_ = engine_->stage_owner_moves(planner_.decision().home_moves);
+  }
   OwnerDelta delta = collect_gc_delta();
 
   // Deliver pending intervals + validate at the master first (fiber
@@ -622,6 +722,11 @@ void DsmSystem::gc_at_fork() {
   gc_in_progress_ = true;
   gc_delta_ = delta;
   gc_resume_ = GcResume::kForkHook;
+  if (placement_adaptive_ && (planner_.has_work() || !gc_home_moves_.empty())) {
+    planner_.stage_moves(engine_->dir(), channel(kMasterUid), gc_delta_,
+                         gc_home_moves_,
+                         [this](Uid u) { return is_alive(u); }, stats());
+  }
   gc_acks_outstanding_ = static_cast<int>(team_.size()) - 1;
   if (gc_acks_outstanding_ > 0) {
     // A slave parked at the join barrier with a staged release gets
@@ -642,6 +747,7 @@ void DsmSystem::gc_at_fork() {
   } else {
     gc_in_progress_ = false;
     engine_->gc_finish(delta);
+    placement_note_gc_commit(delta);
     gc_resume_ = GcResume::kNone;
   }
   // The master's local (node-side) commit happens immediately; slaves
@@ -685,6 +791,9 @@ void DsmSystem::on_lock_release(const LockReleaseMsg& msg) {
   LockState& ls = lock_state(msg.lock_id);
   ANOW_CHECK_MSG(ls.holder == msg.releaser,
                  "lock " << msg.lock_id << " released by non-holder");
+  if (placement_adaptive_ && msg.interval.iseq != 0) {
+    placement_note_interval(msg.interval);
+  }
   engine_->log_release(msg.interval);
   if (ls.queue.empty()) {
     ls.holder = kNoUid;
@@ -735,6 +844,12 @@ void DsmSystem::restore_master_region(const std::vector<std::uint8_t>& region,
   std::copy(region.begin(), region.end(), master.region_.begin());
   heap_brk_ = heap_brk;
   engine_->reset_owners_to_master();
+  if (placement_adaptive_) {
+    monitor_.reset();
+    policy_.reset(shard_map_);
+    planner_.clear();
+    gc_home_moves_.clear();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -800,6 +915,20 @@ void DsmSystem::send_envelope(Uid to, Envelope env) {
     if (k == SegmentKind::kPageRequest || k == SegmentKind::kOwnerQuery ||
         k == SegmentKind::kDirDeltaRequest) {
       (*(to == kMasterUid ? ctr_lookups_master_ : ctr_lookups_shard_))++;
+      if (placement_adaptive_) monitor_.record_lookup(to);
+    }
+    // Placement monitoring (DESIGN.md §9): the central transport walk is
+    // the one place every fault fetch and home flush already passes, so
+    // the AccessMonitor taps it here — O(1) per segment, adaptive only.
+    if (placement_adaptive_) {
+      if (k == SegmentKind::kPageRequest) {
+        monitor_.record_fetch(std::get<PageRequest>(seg).page);
+      } else if (k == SegmentKind::kHomeFlush) {
+        for (const auto& fp : std::get<HomeFlush>(seg).pages) {
+          monitor_.record_flush(fp.page,
+                                static_cast<std::int64_t>(fp.diff.size()));
+        }
+      }
     }
   }
   // wire_bytes() must be taken before the capture moves env (argument

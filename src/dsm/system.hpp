@@ -19,6 +19,9 @@
 #include "dsm/channel.hpp"
 #include "dsm/config.hpp"
 #include "dsm/msg.hpp"
+#include "dsm/placement/access_monitor.hpp"
+#include "dsm/placement/planner.hpp"
+#include "dsm/placement/policy.hpp"
 #include "dsm/process.hpp"
 #include "dsm/protocol/engine.hpp"
 #include "dsm/types.hpp"
@@ -183,6 +186,17 @@ class DsmSystem {
 
   void barrier_complete();
   void release_barrier();
+  // --- adaptive placement (DESIGN.md §9; all no-ops under --placement
+  // static, which is byte-identical to the pre-placement protocol) --------
+  /// Rolls the monitoring window at a barrier and, when the policy wants
+  /// moves, arms the planner and requests a GC so the moves ride this very
+  /// barrier's commit round.
+  void evaluate_placement();
+  /// Feeds a logged interval's write notices to the monitor.
+  void placement_note_interval(const Interval& interval);
+  /// Keeps the policy's owner shadow exact across every delta the master
+  /// commits, and closes the planner's round after a GC.
+  void placement_note_gc_commit(const OwnerDelta& delta);
   /// Closes and logs the master's open sequential-section interval (fork
   /// and gc_at_fork are release points for the master).  No-op when every
   /// master write was exclusivity-covered (the unsharded layout pre-fork).
@@ -229,6 +243,17 @@ class DsmSystem {
   /// Master-side consistency engine: interval log, delivery matrix, owner
   /// map, last-writer tracking, GC policy (DESIGN.md §5).
   std::unique_ptr<protocol::ConsistencyEngine> engine_;
+
+  /// Adaptive placement (DESIGN.md §9): traffic monitoring, the migration
+  /// policy, and the planner that executes its decisions at GC rounds.
+  /// Inert under --placement static (placement_adaptive_ gates every hook).
+  bool placement_adaptive_ = false;
+  placement::AccessMonitor monitor_;
+  placement::PlacementPolicy policy_;
+  placement::MigrationPlanner planner_;
+  /// Page re-homes staged into the current GC round's pending delta (the
+  /// subset of the policy's decision the engine accepted).
+  OwnerDelta gc_home_moves_;
 
   /// Cached per-segment-kind traffic counters (send_envelope is the
   /// hottest accounting site; no map lookups there).

@@ -26,6 +26,7 @@ RunResult run_workload(const RunConfig& config,
   dsm_cfg.engine = config.engine;
   dsm_cfg.piggyback = config.piggyback;
   dsm_cfg.dir_shards = config.dir_shards;
+  dsm_cfg.placement = config.placement;
   dsm_cfg.pid_strategy = config.pid_strategy;
   dsm::DsmSystem system(cluster, dsm_cfg);
   ompx::Runtime rt(system);

@@ -31,6 +31,8 @@ struct RunConfig {
   dsm::PiggybackMode piggyback = dsm::piggyback_mode_from_env();
   /// Owner-directory shards (--dir-shards / ANOW_DIR_SHARDS; DESIGN.md §8).
   int dir_shards = dsm::dir_shards_from_env();
+  /// Adaptive placement (--placement / ANOW_PLACEMENT; DESIGN.md §9).
+  dsm::PlacementMode placement = dsm::placement_mode_from_env();
   dsm::PidStrategy pid_strategy = dsm::PidStrategy::kShift;
   bool gc_before_adapt = true;
   sim::CostModel cost{};

@@ -1,0 +1,420 @@
+// Adaptive placement subsystem (DESIGN.md §9): AccessMonitor window/streak
+// hysteresis, PlacementPolicy decision properties, the static-is-baseline
+// property (--placement static emits zero placement segments and zero
+// moves; adaptive runs compute the same checksums), the home-migration win
+// on a rotating-dominant-writer workload, and migration racing leave/join
+// adaptation points — all over engine × piggyback × dir-shards × placement.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/hotspot.hpp"
+#include "dsm/placement/access_monitor.hpp"
+#include "dsm/placement/policy.hpp"
+#include "dsm/system.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/cluster.hpp"
+
+namespace anow::dsm {
+namespace {
+
+using placement::AccessMonitor;
+using placement::PlacementPolicy;
+
+// ---------------------------------------------------------------------------
+// AccessMonitor: window folding + streak hysteresis
+// ---------------------------------------------------------------------------
+
+TEST(AccessMonitor, SoleWriterBuildsStreakAndMixedWindowResetsIt) {
+  AccessMonitor mon;
+  mon.attach(8);
+  for (int w = 0; w < 3; ++w) {
+    mon.record_write(3, 2);
+    mon.record_write(3, 2);
+    mon.end_window(/*min_writes=*/1);
+    EXPECT_EQ(mon.page(3).streak_writer, 2);
+    EXPECT_EQ(mon.page(3).streak, w + 1);
+    EXPECT_TRUE(mon.page(3).fresh);
+  }
+  // A concurrent second writer kills the streak outright.
+  mon.record_write(3, 2);
+  mon.record_write(3, 1);
+  mon.end_window(1);
+  EXPECT_EQ(mon.page(3).streak, 0);
+  EXPECT_FALSE(mon.page(3).fresh);
+  // An idle window neither extends nor resets (idleness is not evidence),
+  // and a new sole writer restarts at 1.
+  mon.record_write(3, 1);
+  mon.end_window(1);
+  EXPECT_EQ(mon.page(3).streak_writer, 1);
+  EXPECT_EQ(mon.page(3).streak, 1);
+}
+
+TEST(AccessMonitor, LookupLoadsRollPerWindow) {
+  AccessMonitor mon;
+  mon.attach(4);
+  mon.record_lookup(1);
+  mon.record_lookup(1);
+  mon.record_lookup(2);
+  mon.end_window(1);
+  ASSERT_GE(mon.last_window_lookups().size(), 3u);
+  EXPECT_EQ(mon.last_window_lookups()[1], 2);
+  EXPECT_EQ(mon.last_window_lookups()[2], 1);
+  EXPECT_EQ(mon.last_window_lookup_total(), 3);
+  mon.end_window(1);
+  EXPECT_EQ(mon.last_window_lookup_total(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// PlacementPolicy: hysteresis-gated home moves + leave-target pick
+// ---------------------------------------------------------------------------
+
+TEST(PlacementPolicy, ReHomesOnlyEstablishedPagesAfterHysteresis) {
+  DsmConfig cfg;
+  cfg.placement_hysteresis = 2;
+  protocol::ShardMap map(16, 1);
+  protocol::DirectoryShards dir;
+  dir.init(16);
+  dir.configure(map);
+  AccessMonitor mon;
+  mon.attach(16);
+  PlacementPolicy policy(cfg);
+  policy.configure(map);
+  const std::vector<Uid> team = {0, 1, 2};
+
+  // Page 3 established at uid 1 (first touch happened long ago); page 5
+  // still at its default (the master) — first-touch territory.
+  policy.note_owner_delta({{3, 1}});
+
+  mon.record_write(3, 2);
+  mon.record_write(5, 2);
+  mon.end_window(1);
+  // One qualifying window < hysteresis: nothing moves.
+  EXPECT_TRUE(policy.decide(mon, dir, team, /*home_engine=*/true).empty());
+
+  mon.record_write(3, 2);
+  mon.record_write(5, 2);
+  mon.end_window(1);
+  const auto decision = policy.decide(mon, dir, team, true);
+  ASSERT_EQ(decision.home_moves.size(), 1u);
+  EXPECT_EQ(decision.home_moves[0], (std::pair<PageId, Uid>{3, 2}));
+  // Not for the LRC engine (owners already track last writers there).
+  EXPECT_TRUE(policy.decide(mon, dir, team, false).home_moves.empty());
+}
+
+TEST(PlacementPolicy, LeaveTargetIsLeastLoadedSurvivorNeverTheLeaver) {
+  DsmConfig cfg;
+  protocol::ShardMap map(16, 4);
+  AccessMonitor mon;
+  mon.attach(16);
+  PlacementPolicy policy(cfg);
+  policy.configure(map);
+  mon.record_lookup(2);
+  mon.record_lookup(2);
+  mon.record_lookup(3);
+  mon.end_window(1);
+  const std::vector<Uid> team = {0, 1, 2, 3};
+  EXPECT_EQ(policy.pick_leave_target(mon, team, 1), 3);  // 3 lighter than 2
+  EXPECT_EQ(policy.pick_leave_target(mon, team, 3), 1);  // 1 has no load
+  // Master only as the last resort.
+  EXPECT_EQ(policy.pick_leave_target(mon, {0, 1}, 1), kMasterUid);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end grid: rotating dominant writer under engine × piggyback ×
+// dir-shards × placement.  Static must be byte-quiet (zero placement
+// segments/moves); adaptive must agree on the result and, under the home
+// engine, convert its moves into a consistency-traffic win.
+// ---------------------------------------------------------------------------
+
+struct RotOutcome {
+  std::int64_t sum = 0;
+  std::int64_t messages = 0;
+  std::int64_t consistency_bytes = 0;
+  std::int64_t placement_segments = 0;
+  std::int64_t home_moves = 0;
+  std::int64_t shard_moves = 0;
+  std::int64_t decisions = 0;
+};
+
+RotOutcome run_rotating_workload(EngineKind engine, PiggybackMode mode,
+                                 int shards, PlacementMode placement) {
+  sim::Cluster cluster({}, 4);
+  DsmConfig cfg;
+  cfg.heap_bytes = 1 << 20;
+  cfg.engine = engine;
+  cfg.piggyback = mode;
+  cfg.dir_shards = shards;
+  cfg.placement = placement;
+  DsmSystem sys(cluster, cfg);
+  constexpr std::int64_t kBlocks = 8;
+  constexpr std::int64_t kBlockWords = 2 * 512;  // 2 pages of int64
+  constexpr int kIters = 18;
+  constexpr int kRotate = 6;
+  struct Args {
+    GAddr addr;
+    std::int64_t iter;
+  };
+  auto task = sys.register_task(
+      "rotate", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        Args args;
+        std::memcpy(&args, a.data(), sizeof(args));
+        for (std::int64_t b = 0; b < kBlocks; ++b) {
+          if ((b + args.iter / kRotate) % p.nprocs() != p.pid()) continue;
+          const GAddr lo = args.addr + b * kBlockWords * 8;
+          p.write_range(lo, kBlockWords * 8);
+          auto* d = p.ptr<std::int64_t>(lo);
+          for (std::int64_t i = 0; i < kBlockWords; ++i) {
+            d[i] += args.iter + 1;
+          }
+        }
+        p.barrier(1);
+      });
+  RotOutcome out;
+  sys.start(4);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(kBlocks * kBlockWords * 8);
+    for (int it = 0; it < kIters; ++it) {
+      Args args{addr, it};
+      std::vector<std::uint8_t> packed(sizeof(args));
+      std::memcpy(packed.data(), &args, sizeof(args));
+      sys.run_parallel(task, packed);
+    }
+    master.read_range(addr, kBlocks * kBlockWords * 8);
+    const auto* d = master.cptr<std::int64_t>(addr);
+    for (std::int64_t i = 0; i < kBlocks * kBlockWords; ++i) out.sum += d[i];
+  });
+  const auto& stats = sys.stats();
+  out.messages = stats.counter_value("net.messages");
+  out.consistency_bytes =
+      stats.counter_value("dsm.consistency_traffic_bytes");
+  out.placement_segments = stats.counter_value("dsm.seg.home_move.msgs") +
+                           stats.counter_value("dsm.seg.shard_move.msgs");
+  out.home_moves = stats.counter_value("dsm.placement.home_moves");
+  out.shard_moves = stats.counter_value("dsm.placement.shard_moves");
+  out.decisions = stats.counter_value("dsm.placement.decisions");
+  return out;
+}
+
+using GridParam = std::tuple<EngineKind, PiggybackMode, int>;
+
+class PlacementGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(PlacementGridTest, StaticIsQuietAndAdaptiveMatchesItsResults) {
+  const auto [engine, mode, shards] = GetParam();
+  const RotOutcome st =
+      run_rotating_workload(engine, mode, shards, PlacementMode::kStatic);
+  const RotOutcome ad =
+      run_rotating_workload(engine, mode, shards, PlacementMode::kAdaptive);
+
+  // --placement static: not one placement segment, move, or decision.
+  EXPECT_EQ(st.placement_segments, 0);
+  EXPECT_EQ(st.home_moves, 0);
+  EXPECT_EQ(st.shard_moves, 0);
+  EXPECT_EQ(st.decisions, 0);
+
+  // Same answer either way.
+  EXPECT_EQ(ad.sum, st.sum);
+
+  if (engine == EngineKind::kHomeLrc) {
+    // The rotating dominant writer must trigger re-homes, and the moves
+    // must pay off as less consistency traffic than the frozen homes.
+    EXPECT_GT(ad.home_moves, 0);
+    EXPECT_LT(ad.consistency_bytes, st.consistency_bytes);
+  } else {
+    // LRC owners already follow last writers; the conservative policy
+    // decides nothing on this workload, so the runs are identical.
+    EXPECT_EQ(ad.home_moves, 0);
+    EXPECT_EQ(ad.messages, st.messages);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlacementGridTest,
+    ::testing::Combine(::testing::Values(EngineKind::kLrc,
+                                         EngineKind::kHomeLrc),
+                       ::testing::Values(PiggybackMode::kOff,
+                                         PiggybackMode::kRelease,
+                                         PiggybackMode::kAggressive),
+                       ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return std::string(engine_kind_name(std::get<0>(info.param))) + "_" +
+             piggyback_mode_name(std::get<1>(info.param)) + "_shards" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// GC-round shard rebalancing: with the overload thresholds floored, the
+// policy must move shards off their holders through the full ShardMove
+// choreography — want_slice fetch on the delta round (LRC) or a
+// records-free slice fetch (home engine), adopt/drop at the prepare, the
+// master-side holder table rerouted — without changing results.
+// ---------------------------------------------------------------------------
+
+class PlacementShardMoveTest
+    : public ::testing::TestWithParam<std::tuple<EngineKind, PiggybackMode>> {
+};
+
+TEST_P(PlacementShardMoveTest, FlooredThresholdsForceMovesAndKeepResults) {
+  const auto [engine, mode] = GetParam();
+  auto run = [&](PlacementMode placement) {
+    sim::Cluster cluster({}, 4);
+    DsmConfig cfg;
+    cfg.heap_bytes = 1 << 20;
+    cfg.engine = engine;
+    cfg.piggyback = mode;
+    cfg.dir_shards = 4;
+    cfg.placement = placement;
+    // Every lookup "overloads": any holder with the most load moves a
+    // shard every round the hysteresis allows.
+    cfg.placement_min_lookups = 1;
+    cfg.placement_overload_factor = 0.0;
+    cfg.placement_hysteresis = 1;
+    cfg.gc_threshold_bytes = 32 << 10;  // frequent GC rounds
+    DsmSystem sys(cluster, cfg);
+    constexpr std::int64_t kN = 24 * 512;
+    struct Args {
+      GAddr addr;
+    };
+    auto task = sys.register_task(
+        "mix", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+          Args args;
+          std::memcpy(&args, a.data(), sizeof(args));
+          p.read_range(args.addr, kN * 8);
+          p.write_range(args.addr, kN * 8);
+          auto* d = p.ptr<std::int64_t>(args.addr);
+          for (std::int64_t i = p.pid(); i < kN; i += p.nprocs()) d[i] += i;
+          p.barrier(1);
+        });
+    std::int64_t sum = 0;
+    sys.start(4);
+    sys.run([&](DsmProcess& master) {
+      const GAddr addr = sys.shared_malloc(kN * 8);
+      Args args{addr};
+      std::vector<std::uint8_t> packed(sizeof(args));
+      std::memcpy(packed.data(), &args, sizeof(args));
+      for (int round = 0; round < 6; ++round) sys.run_parallel(task, packed);
+      master.read_range(addr, kN * 8);
+      const auto* d = master.cptr<std::int64_t>(addr);
+      for (std::int64_t i = 0; i < kN; ++i) sum += d[i];
+    });
+    return std::pair<std::int64_t, std::int64_t>(
+        sum, sys.stats().counter_value("dsm.placement.shard_moves"));
+  };
+  const auto [static_sum, static_moves] = run(PlacementMode::kStatic);
+  const auto [adaptive_sum, adaptive_moves] = run(PlacementMode::kAdaptive);
+  EXPECT_EQ(static_moves, 0);
+  EXPECT_EQ(adaptive_sum, static_sum);
+  EXPECT_GE(adaptive_moves, 1)
+      << "floored thresholds must force GC-round shard moves";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlacementShardMoveTest,
+    ::testing::Combine(::testing::Values(EngineKind::kLrc,
+                                         EngineKind::kHomeLrc),
+                       ::testing::Values(PiggybackMode::kOff,
+                                         PiggybackMode::kRelease,
+                                         PiggybackMode::kAggressive)),
+    [](const ::testing::TestParamInfo<std::tuple<EngineKind, PiggybackMode>>&
+           info) {
+      return std::string(engine_kind_name(std::get<0>(info.param))) + "_" +
+             piggyback_mode_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Migration racing leave/join: a shard holder leaves (adaptive placement
+// re-homes its slice to a survivor; static folds it to the master) while a
+// joiner is adopted, with a GC at every adaptation point.  Checksums must
+// match the static baseline over the whole grid.
+// ---------------------------------------------------------------------------
+
+using AdaptParam = std::tuple<EngineKind, PiggybackMode, int, PlacementMode>;
+
+class PlacementAdaptTest : public ::testing::TestWithParam<AdaptParam> {};
+
+TEST_P(PlacementAdaptTest, LeaveJoinRacesKeepStaticChecksums) {
+  const auto [engine, mode, shards, placement] = GetParam();
+
+  harness::RunConfig cfg;
+  cfg.app = "jacobi";
+  cfg.size = apps::Size::kTest;
+  cfg.nprocs = 4;
+  cfg.engine = engine;
+  cfg.piggyback = mode;
+  cfg.dir_shards = shards;
+  cfg.placement = PlacementMode::kStatic;
+  cfg.adaptive = false;
+  const harness::RunResult baseline = harness::run_workload(cfg);
+
+  // Host 1 carries uid 1 — a shard holder whenever shards > 1.
+  cfg.placement = placement;
+  cfg.adaptive = true;
+  cfg.spare_hosts = 1;
+  cfg.events = harness::alternating_leave_join(
+      sim::from_seconds(baseline.seconds * 0.25),
+      sim::from_seconds(baseline.seconds * 0.2), /*leave_host=*/1,
+      /*pairs=*/1);
+  const harness::RunResult adapted = harness::run_workload(cfg);
+
+  EXPECT_EQ(adapted.checksum, baseline.checksum);
+  EXPECT_GE(adapted.leaves, 1);
+  if (placement == PlacementMode::kStatic) {
+    EXPECT_EQ(adapted.stats.counter("dsm.seg.home_move.msgs") +
+                  adapted.stats.counter("dsm.seg.shard_move.msgs"),
+              0);
+    EXPECT_EQ(adapted.stats.counter("dsm.placement.shard_moves"), 0);
+    if (shards > 1) {
+      EXPECT_GE(adapted.stats.counter("dsm.dir.folds"), 1);
+    }
+  } else if (shards > 1) {
+    // The departing holder's slice re-homed to a survivor, not the master.
+    EXPECT_GE(adapted.stats.counter("dsm.placement.shard_moves"), 1);
+    EXPECT_EQ(adapted.stats.counter("dsm.dir.folds"), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlacementAdaptTest,
+    ::testing::Combine(::testing::Values(EngineKind::kLrc,
+                                         EngineKind::kHomeLrc),
+                       ::testing::Values(PiggybackMode::kOff,
+                                         PiggybackMode::kRelease,
+                                         PiggybackMode::kAggressive),
+                       ::testing::Values(1, 4),
+                       ::testing::Values(PlacementMode::kStatic,
+                                         PlacementMode::kAdaptive)),
+    [](const ::testing::TestParamInfo<AdaptParam>& info) {
+      return std::string(engine_kind_name(std::get<0>(info.param))) + "_" +
+             piggyback_mode_name(std::get<1>(info.param)) + "_shards" +
+             std::to_string(std::get<2>(info.param)) + "_" +
+             placement_mode_name(std::get<3>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// The hotspot workload itself: rotation math + closed-form checksum.
+// ---------------------------------------------------------------------------
+
+TEST(HotspotWorkload, ChecksumMatchesClosedFormAcrossPlacements) {
+  for (const auto placement :
+       {PlacementMode::kStatic, PlacementMode::kAdaptive}) {
+    harness::RunConfig cfg;
+    cfg.app = "hotspot";
+    cfg.size = apps::Size::kTest;
+    cfg.nprocs = 4;
+    cfg.engine = EngineKind::kHomeLrc;
+    cfg.placement = placement;
+    cfg.adaptive = false;
+    const auto run = harness::run_workload(cfg);
+    EXPECT_DOUBLE_EQ(run.checksum,
+                     apps::Hotspot::expected_checksum(
+                         apps::Hotspot::Params::preset(apps::Size::kTest)));
+  }
+}
+
+}  // namespace
+}  // namespace anow::dsm
