@@ -9,8 +9,10 @@
 // shard counts (--dir-shards, DESIGN.md §8: 1 = the master-held directory,
 // N = page ranges spread across the first N processes).
 //
-// Results go to stdout and to BENCH_protocols.json (schema 4): per
-// (engine, dir-shards, piggyback) virtual runtime, message/envelope count,
+// Results go to stdout and to BENCH_protocols.json (schema 5): per
+// (engine, dir-shards, piggyback) virtual runtime, host wall-clock
+// (`wall_seconds` — the simulator's own cost, the raw-speed trajectory
+// the hot-path passes optimize), message/envelope count,
 // envelope fill, total bytes, the consistency-traffic metric, the
 // master-inbound vs shard-inbound owner-lookup split, the per-segment-kind
 // message histogram, and the batched-vs-unbatched delta — plus, per
@@ -29,6 +31,7 @@
 // raise the message count on the steady-state (non-shifting) workloads;
 // and on the shifting-hotspot workload the home engine's adaptive leg must
 // reduce consistency traffic (messages or bytes) below the static one.
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -43,6 +46,7 @@ namespace {
 struct ModeResult {
   bool ok = false;
   std::string error;
+  double wall_seconds = 0.0;  // host time spent simulating this leg
   anow::harness::RunResult run;
   std::int64_t segments = 0;
   std::int64_t consistency_bytes = 0;
@@ -112,7 +116,7 @@ int main(int argc, char** argv) {
   util::JsonWriter json;
   json.begin_object();
   json.field("bench", "protocols");
-  json.field("schema_version", 4);
+  json.field("schema_version", 5);
   json.field("size", apps::size_name(size));
   json.field("nodes", nodes);
   json.begin_object("workloads");
@@ -157,12 +161,16 @@ int main(int argc, char** argv) {
           cfg.placement = placement;
           cfg.adaptive = false;
           ModeResult r;
+          const auto wall0 = std::chrono::steady_clock::now();
           try {
             r.run = harness::run_workload(cfg);
             r.ok = true;
           } catch (const std::exception& e) {
             r.error = e.what();
           }
+          r.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - wall0)
+                               .count();
           const std::string leg = app + "/" +
                                   dsm::engine_kind_name(engine) + "/shards" +
                                   std::to_string(shards) + "/" + leg_name;
@@ -213,6 +221,7 @@ int main(int argc, char** argv) {
           row.add(static_cast<double>(r.consistency_bytes) / 1024.0, 1);
 
           json.field("seconds", r.run.seconds);
+          json.field("wall_seconds", r.wall_seconds);
           json.field("messages", r.run.messages);
           json.field("segments", r.segments);
           json.field("fill", fill);

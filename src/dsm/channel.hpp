@@ -47,7 +47,7 @@ class Channel {
   /// Queues `seg` for the next envelope to `to`.  kOff: departs immediately.
   void stage(Uid to, Segment seg) {
     if (!buffered()) {
-      emit(to, &seg, 1);
+      emit_one(to, std::move(seg));
       return;
     }
     buffer(to).push_back(std::move(seg));
@@ -56,28 +56,28 @@ class Channel {
   /// Sends one envelope to `to`: everything staged for it, then `seg`.
   void send(Uid to, Segment seg) {
     if (!buffered()) {
-      emit(to, &seg, 1);
+      emit_one(to, std::move(seg));
       return;
     }
     buffer(to).push_back(std::move(seg));
     flush(to);
   }
 
-  /// Sends everything staged for `to` (no-op when nothing is).
+  /// Sends everything staged for `to` (no-op when nothing is).  The staged
+  /// vector itself becomes the envelope payload — zero-copy handoff to
+  /// deliver, no per-segment move into a fresh buffer (DESIGN.md §10).
   void flush(Uid to) {
     auto* staged = find_buffer(to);
     if (staged == nullptr || staged->empty()) return;
-    std::vector<Segment> out;
-    out.swap(*staged);
-    emit(to, out.data(), out.size());
+    emit(to, std::move(*staged));
+    staged->clear();
   }
 
   void flush_all() {
     for (auto& [to, staged] : buffers_) {
       if (staged.empty()) continue;
-      std::vector<Segment> out;
-      out.swap(staged);
-      emit(to, out.data(), out.size());
+      emit(to, std::move(staged));
+      staged.clear();
     }
   }
 
@@ -89,14 +89,18 @@ class Channel {
   }
 
  private:
-  void emit(Uid to, Segment* segs, std::size_t count) {
+  void emit(Uid to, std::vector<Segment> segs) {
     Envelope env;
     env.src = self_;
-    env.segments.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      env.segments.push_back(std::move(segs[i]));
-    }
+    env.segments = std::move(segs);
     sink_(to, std::move(env));
+  }
+
+  void emit_one(Uid to, Segment seg) {
+    std::vector<Segment> one;
+    one.reserve(1);
+    one.push_back(std::move(seg));
+    emit(to, std::move(one));
   }
 
   std::vector<Segment>* find_buffer(Uid to) {

@@ -169,6 +169,7 @@ void DsmProcess::fetch_page_copy(PageId page, bool must_cover_pending) {
   ANOW_CHECK(pr.data.size() == kPageSize);
   engine_->install_copy(page, pr.data.data(), pr.applied,
                         must_cover_pending);
+  system_.release_page_buffer(std::move(pr.data));
   // `src` is the first hop; a forwarded request is served elsewhere
   // (replies carry no sender, so the trace names the hop, not the server).
   ANOW_PTRACE(page, "fetched full copy via " << src << " val="
@@ -274,6 +275,7 @@ void DsmProcess::fault_in_range(PageId first, PageId last) {
       }
       engine_->install_copy(w.page, reply.data.data(), reply.applied,
                             engine_->full_copy_covers_pending());
+      system_.release_page_buffer(std::move(reply.data));
       ANOW_PTRACE(w.page, "fetched full copy (batched) val="
                               << *cptr<std::int64_t>(page_base(w.page)));
     }
@@ -691,8 +693,11 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
   PageReply reply;
   reply.page = req.page;
   reply.cookie = req.cookie;
-  reply.data.assign(region_.begin() + page_base(req.page),
-                    region_.begin() + page_base(req.page) + kPageSize);
+  // Recycled buffer (DESIGN.md §10): the requester hands it back to the
+  // pool after install_copy, so steady-state serving allocates nothing.
+  reply.data = system_.acquire_page_buffer();
+  std::memcpy(reply.data.data(), region_.data() + page_base(req.page),
+              kPageSize);
   reply.applied = engine_->page(req.page).applied;
   // Queued per requester; flush_reply_batches schedules the departure
   // after the summed service cost once the whole inbound envelope is

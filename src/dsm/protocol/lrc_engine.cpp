@@ -48,20 +48,22 @@ void LrcEngine::on_attach_master() {}
 void LrcEngine::materialize_diff(PageId p) {
   PageMeta& pm = page(p);
   ANOW_CHECK(pm.twin != nullptr && !pm.dirty && pm.twin_iseq > 0);
-  DiffBytes diff = make_diff(pm.twin.get(), region_ + page_base(p));
+  // Encoded straight into the per-generation arena: no vector round trip,
+  // and GC frees the whole archive with one reset (DESIGN.md §10).
   // Creation cost is a handler-side scan; charged as elapsed time by the
   // caller because materialization happens in both fiber and handler
   // contexts.
-  archive_bytes_ += static_cast<std::int64_t>(diff.size());
-  own_diffs_[static_cast<std::size_t>(p)].push_back(
-      {pm.twin_iseq, std::move(diff)});
+  const DiffView diff =
+      make_diff_arena(pm.twin.get(), region_ + page_base(p), diff_arena_);
+  archive_bytes_ += static_cast<std::int64_t>(diff.size);
+  own_diffs_[static_cast<std::size_t>(p)].push_back({pm.twin_iseq, diff});
   pm.twin.reset();
   pm.twin_iseq = 0;
   twin_bytes_ -= static_cast<std::int64_t>(kPageSize);
   (*ctr_diffs_created_)++;
 }
 
-const DiffBytes& LrcEngine::archived_diff(PageId p, std::int32_t iseq) const {
+DiffView LrcEngine::archived_diff(PageId p, std::int32_t iseq) const {
   const auto& archive = own_diffs_[static_cast<std::size_t>(p)];
   const auto it = std::lower_bound(
       archive.begin(), archive.end(), iseq,
@@ -257,7 +259,10 @@ int LrcEngine::collect_diffs(const std::vector<DiffPageRequest>& pages,
     DiffPageReply pg;
     pg.page = req.page;
     for (std::int32_t iseq : req.iseqs) {
-      pg.diffs.emplace_back(iseq, archived_diff(req.page, iseq));
+      // The reply needs owned bytes (it outlives any GC of this archive);
+      // copy out of the arena-backed view.
+      const DiffView d = archived_diff(req.page, iseq);
+      pg.diffs.emplace_back(iseq, DiffBytes(d.data, d.data + d.size));
     }
     *ctr_diff_fetches_ += static_cast<std::int64_t>(pg.diffs.size());
     out.push_back(std::move(pg));
@@ -402,6 +407,7 @@ void LrcEngine::gc_commit_node(const OwnerDelta& delta) {
   }
   pending_count_ = 0;
   for (auto& archive : own_diffs_) archive.clear();
+  diff_arena_.reset();  // frees every archived diff's bytes wholesale
   archive_bytes_ = 0;
 }
 

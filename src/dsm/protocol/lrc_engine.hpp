@@ -9,6 +9,7 @@
 
 #include "dsm/protocol/engine.hpp"
 #include "dsm/protocol/interval_directory.hpp"
+#include "util/arena.hpp"
 
 namespace anow::dsm::protocol {
 
@@ -59,21 +60,26 @@ class LrcEngine final : public ConsistencyEngine {
  private:
   /// Per-page archive of this node's own diffs, appended in iseq order
   /// (a page has at most one lazy twin at a time, so materialization order
-  /// follows interval order).
+  /// follows interval order).  The encoded bytes live in diff_arena_ — one
+  /// bump allocation per diff, freed wholesale when GC clears the archive
+  /// (DESIGN.md §10).
   struct ArchivedDiff {
     std::int32_t iseq = 0;
-    DiffBytes bytes;
+    DiffView bytes;
   };
 
   /// Converts the page's lazy twin into an archived diff.
   void materialize_diff(PageId p);
-  const DiffBytes& archived_diff(PageId p, std::int32_t iseq) const;
+  DiffView archived_diff(PageId p, std::int32_t iseq) const;
   /// Records the interval's write notices in the sharded directory's
   /// last-writer buffers and logs the interval under its stamp.
   void log_interval(Interval interval);
 
   // Node side.
   std::vector<std::vector<ArchivedDiff>> own_diffs_;
+  /// Backs every archived diff of the current GC generation; reset (all
+  /// chunks recycled at once) in gc_commit_node when the archives clear.
+  util::Arena diff_arena_;
   std::int64_t* ctr_diffs_created_ = nullptr;
   std::int64_t* ctr_intervals_ = nullptr;
   std::int64_t* ctr_diff_fetches_ = nullptr;

@@ -876,6 +876,22 @@ std::int64_t DsmSystem::master_collect_all_pages() {
 
 util::StatsRegistry& DsmSystem::stats() { return cluster_.stats(); }
 
+std::vector<std::uint8_t> DsmSystem::acquire_page_buffer() {
+  if (page_buf_pool_.empty()) {
+    return std::vector<std::uint8_t>(kPageSize);
+  }
+  std::vector<std::uint8_t> buf = std::move(page_buf_pool_.back());
+  page_buf_pool_.pop_back();
+  return buf;
+}
+
+void DsmSystem::release_page_buffer(std::vector<std::uint8_t> buf) {
+  // Only full-page buffers recycle (the pool invariant acquire relies on);
+  // the cap bounds the footprint if a burst of replies lands at once.
+  if (buf.size() != kPageSize || page_buf_pool_.size() >= 64) return;
+  page_buf_pool_.push_back(std::move(buf));
+}
+
 sim::HostId DsmSystem::host_of(Uid uid) const {
   return processes_[uid]->host();
 }

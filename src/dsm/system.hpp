@@ -145,6 +145,13 @@ class DsmSystem {
 
   util::StatsRegistry& stats();
 
+  /// Page-payload buffer recycling (DESIGN.md §10): PageReply::data buffers
+  /// cycle serve → install → back here instead of being allocated per
+  /// fetch.  Buffers are always exactly kPageSize (the wire accounting
+  /// depends only on that size, so recycling changes no byte counts).
+  std::vector<std::uint8_t> acquire_page_buffer();
+  void release_page_buffer(std::vector<std::uint8_t> buf);
+
   /// Text name of a task (diagnostics).
   const std::string& task_name(std::int32_t id) const;
 
@@ -299,6 +306,10 @@ class DsmSystem {
 
   // Joiners ready for adoption.
   std::vector<Uid> ready_joiners_;
+
+  /// Free list for acquire/release_page_buffer, bounded by the number of
+  /// in-flight page replies (capped as a backstop).
+  std::vector<std::vector<std::uint8_t>> page_buf_pool_;
 
   std::function<void()> fork_hook_;
 };

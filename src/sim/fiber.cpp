@@ -18,16 +18,12 @@ Fiber::~Fiber() {
 
 void Fiber::thread_main() {
   // Wait for the first resume().
-  {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return run_flag_; });
-    run_flag_ = false;
-    if (killed_) {
-      done_ = true;
-      parked_ = true;
-      cv_.notify_all();
-      return;
-    }
+  run_sem_.acquire();
+  if (killed_) {
+    done_ = true;
+    parked_ = true;
+    idle_sem_.release();
+    return;
   }
   try {
     body_();
@@ -36,42 +32,33 @@ void Fiber::thread_main() {
   } catch (...) {
     error_ = std::current_exception();
   }
-  std::unique_lock lock(mutex_);
   done_ = true;
   parked_ = true;
-  cv_.notify_all();
+  idle_sem_.release();
 }
 
 void Fiber::resume() {
-  std::unique_lock lock(mutex_);
-  ANOW_CHECK_MSG(parked_ && !done_, "resume of fiber '" << name_
-                                                        << "' that is not parked");
+  ANOW_CHECK_MSG(parked_ && !done_, "resume of fiber '"
+                                        << name_ << "' that is not parked");
   parked_ = false;
-  run_flag_ = true;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return parked_; });
+  run_sem_.release();
+  idle_sem_.acquire();
 }
 
 void Fiber::park() {
-  std::unique_lock lock(mutex_);
   parked_ = true;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return run_flag_; });
-  run_flag_ = false;
+  idle_sem_.release();
+  run_sem_.acquire();
   if (killed_) {
     throw Killed{};
   }
 }
 
 void Fiber::kill_and_join() {
-  {
-    std::unique_lock lock(mutex_);
-    if (!done_) {
-      killed_ = true;
-      run_flag_ = true;
-      cv_.notify_all();
-      cv_.wait(lock, [this] { return done_; });
-    }
+  if (!done_) {
+    killed_ = true;
+    run_sem_.release();
+    idle_sem_.acquire();
   }
   thread_.join();
 }

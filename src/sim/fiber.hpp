@@ -6,12 +6,19 @@
 // programming model (page faults, barriers, locks simply park the fiber)
 // while keeping the whole simulation logically single-threaded and therefore
 // deterministic.
+//
+// The handoff is a pair of binary semaphores (run_sem_ gates the fiber,
+// idle_sem_ gates the scheduler) instead of a mutex + condvar: one release
+// + one acquire per switch direction, no lock round trips, no spurious
+// wakeups to re-check predicates.  The strict alternation the semaphores
+// enforce is also what makes the plain bool flags safe: each side only
+// reads flags after acquiring the semaphore the other side released after
+// writing them.
 #pragma once
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
+#include <semaphore>
 #include <string>
 #include <thread>
 
@@ -58,10 +65,9 @@ class Fiber {
   Body body_;
   std::string wait_tag_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool run_flag_ = false;    // fiber may proceed
-  bool parked_ = true;       // fiber is parked (or not yet started)
+  std::binary_semaphore run_sem_{0};   // released by scheduler: fiber runs
+  std::binary_semaphore idle_sem_{0};  // released by fiber: scheduler runs
+  bool parked_ = true;  // fiber is parked (or not yet started)
   bool killed_ = false;
   bool done_ = false;
   std::exception_ptr error_;

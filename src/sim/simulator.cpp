@@ -15,7 +15,40 @@ Simulator::~Simulator() {
 
 void Simulator::at(Time t, std::function<void()> fn) {
   ANOW_CHECK_MSG(t >= now_, "scheduling into the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  if (t == now_) {
+    // Immediate event: the FIFO stays (t, seq)-sorted because now_ only
+    // advances and seq only grows — no heap traffic on the hot path.
+    fifo_.push_back(Event{t, next_seq_++, std::move(fn)});
+    return;
+  }
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+}
+
+const Simulator::Event& Simulator::peek_next() const {
+  if (fifo_.empty()) return heap_.front();
+  if (heap_.empty()) return fifo_.front();
+  const Event& f = fifo_.front();
+  const Event& h = heap_.front();
+  // EventLater(a, b) == a runs after b.
+  return EventLater{}(f, h) ? h : f;
+}
+
+void Simulator::pop_heap_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+  heap_.pop_back();
+}
+
+Simulator::Event Simulator::pop_next() {
+  if (fifo_.empty() ||
+      (!heap_.empty() && EventLater{}(fifo_.front(), heap_.front()))) {
+    Event ev = std::move(heap_.front());
+    pop_heap_top();
+    return ev;
+  }
+  Event ev = std::move(fifo_.front());
+  fifo_.pop_front();
+  return ev;
 }
 
 void Simulator::after(Time dt, std::function<void()> fn) {
@@ -46,9 +79,8 @@ void Simulator::resume_fiber(Fiber& f) {
 
 void Simulator::run() {
   ANOW_CHECK_MSG(!in_fiber(), "run() called from fiber context");
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!queue_empty()) {
+    Event ev = pop_next();
     ANOW_CHECK(ev.t >= now_);
     now_ = ev.t;
     ++events_executed_;
@@ -58,9 +90,8 @@ void Simulator::run() {
 
 void Simulator::run_until(Time t) {
   ANOW_CHECK_MSG(!in_fiber(), "run_until() called from fiber context");
-  while (!queue_.empty() && queue_.top().t <= t) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!queue_empty() && peek_next().t <= t) {
+    Event ev = pop_next();
     now_ = ev.t;
     ++events_executed_;
     ev.fn();

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -32,7 +32,7 @@ struct WaitPoint {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() { heap_.reserve(256); }
   ~Simulator();
 
   Simulator(const Simulator&) = delete;
@@ -100,10 +100,24 @@ class Simulator {
 
   void resume_fiber(Fiber& f);
 
+  // --- event queue --------------------------------------------------------
+  // Split queue (DESIGN.md §10): events scheduled for the current instant
+  // (signal() resumes, spawn kickoffs — the bulk of all events) go to a
+  // plain FIFO, which stays globally (t, seq)-sorted for free because now_
+  // and seq are both monotone; only genuine timers pay for the binary heap.
+  // The global minimum is whichever of {FIFO front, heap top} has the
+  // smaller (t, seq), so execution order is identical to one big heap.
+  bool queue_empty() const { return fifo_.empty() && heap_.empty(); }
+  /// (t, seq) of the next event; queue must not be empty.
+  const Event& peek_next() const;
+  Event pop_next();
+  void pop_heap_top();
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::deque<Event> fifo_;    // events with t == now_ at scheduling time
+  std::vector<Event> heap_;   // min-heap on (t, seq) for future events
   std::vector<std::unique_ptr<Fiber>> fibers_;
   Fiber* current_ = nullptr;
 };

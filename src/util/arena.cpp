@@ -1,0 +1,68 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace anow::util {
+
+namespace {
+constexpr std::size_t kAlign = 8;
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes) {
+  ANOW_CHECK(chunk_bytes_ > 0);
+}
+
+std::uint8_t* Arena::alloc(std::size_t n) {
+  if (static_cast<std::size_t>(end_ - cur_) < n) [[unlikely]] {
+    add_chunk(n);
+  }
+  std::uint8_t* out = cur_;
+  cur_ += (n + (kAlign - 1)) & ~(kAlign - 1);
+  if (cur_ > end_) cur_ = end_;  // padding may overshoot the chunk tail
+  bytes_allocated_ += n;
+  return out;
+}
+
+void Arena::add_chunk(std::size_t n) {
+  if (next_chunk_ < chunks_.size() && chunks_[next_chunk_].size >= n) {
+    // reset() left a chunk big enough; reuse it.
+  } else {
+    // Geometric growth keeps the chunk count logarithmic in the total
+    // footprint: each new chunk doubles the largest so far (floored at the
+    // configured chunk size, raised to n for oversized one-off payloads).
+    std::size_t want = chunk_bytes_;
+    for (const Chunk& c : chunks_) want = std::max(want, c.size * 2);
+    want = std::max(want, n);
+    Chunk c;
+    c.data = std::make_unique<std::uint8_t[]>(want);
+    c.size = want;
+    bytes_reserved_ += want;
+    chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(next_chunk_),
+                   std::move(c));
+  }
+  Chunk& chunk = chunks_[next_chunk_];
+  ++next_chunk_;
+  cur_ = chunk.data.get();
+  end_ = cur_ + chunk.size;
+}
+
+void Arena::reset() {
+  next_chunk_ = 0;
+  cur_ = nullptr;
+  end_ = nullptr;
+  bytes_allocated_ = 0;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  chunks_.shrink_to_fit();
+  next_chunk_ = 0;
+  cur_ = nullptr;
+  end_ = nullptr;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace anow::util

@@ -1,9 +1,14 @@
-// Unit tests for the utility layer: checks, rng, stats, table, options.
+// Unit tests for the utility layer: checks, rng, stats, table, options,
+// and the bump arena behind the hot-path payloads (DESIGN.md §10).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <set>
+#include <vector>
 
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -209,6 +214,66 @@ TEST(Options, AllowOnlyCatchesTypos) {
   const char* argv[] = {"prog", "--nodse=8"};
   Options o(2, argv);
   EXPECT_THROW(o.allow_only({"nodes"}), CheckError);
+}
+
+TEST(Arena, AllocationsAreAlignedDisjointAndWritable) {
+  Arena a;
+  std::vector<std::pair<std::uint8_t*, std::size_t>> blocks;
+  std::size_t sizes[] = {1, 7, 8, 9, 64, 1000, 4096};
+  std::uint8_t fill = 1;
+  for (std::size_t n : sizes) {
+    std::uint8_t* p = a.alloc(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    std::memset(p, fill, n);
+    blocks.emplace_back(p, n);
+    ++fill;
+  }
+  // Every block still holds its fill byte: blocks never overlapped.
+  fill = 1;
+  for (const auto& [p, n] : blocks) {
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(p[i], fill);
+    ++fill;
+  }
+  std::size_t total = 0;
+  for (std::size_t n : sizes) total += n;
+  EXPECT_EQ(a.bytes_allocated(), total);
+  EXPECT_GE(a.bytes_reserved(), total);
+}
+
+TEST(Arena, ResetRecyclesChunksWithoutFreeing) {
+  Arena a(/*chunk_bytes=*/256);
+  for (int i = 0; i < 10; ++i) a.alloc(100);
+  const std::size_t reserved = a.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  a.reset();
+  EXPECT_EQ(a.bytes_allocated(), 0u);
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+  // The second generation fits in the recycled chunks: no new reservation.
+  for (int i = 0; i < 10; ++i) a.alloc(100);
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+}
+
+TEST(Arena, OversizedAllocationGetsItsOwnChunk) {
+  Arena a(/*chunk_bytes=*/64);
+  std::uint8_t* p = a.alloc(10000);  // far beyond the configured chunk size
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xEE, 10000);
+  EXPECT_EQ(p[9999], 0xEE);
+  EXPECT_GE(a.bytes_reserved(), 10000u);
+}
+
+TEST(Arena, ReleaseDropsAllStorage) {
+  Arena a;
+  a.alloc(500);
+  EXPECT_GT(a.bytes_reserved(), 0u);
+  a.release();
+  EXPECT_EQ(a.bytes_allocated(), 0u);
+  EXPECT_EQ(a.bytes_reserved(), 0u);
+  // Still usable afterwards.
+  std::uint8_t* p = a.alloc(16);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 16);
 }
 
 TEST(Options, BooleanSpellings) {
