@@ -55,6 +55,18 @@ inline dsm::PlacementMode placement_from_options(const util::Options& opts) {
       dsm::placement_mode_name(dsm::placement_mode_from_env())));
 }
 
+/// --trace FILE: Chrome trace-event JSON output (DESIGN.md §11; defaults
+/// to ANOW_TRACE, else off).  Open the file at https://ui.perfetto.dev.
+inline std::string trace_file_from_options(const util::Options& opts) {
+  return opts.get_string("trace", dsm::trace_file_from_env());
+}
+
+/// --time-breakdown: print the per-process virtual-time attribution table
+/// (compute/barrier/lock/fault/GC/idle buckets; DESIGN.md §11).
+inline bool time_breakdown_from_options(const util::Options& opts) {
+  return opts.get_bool("time-breakdown", false);
+}
+
 inline void print_header(const std::string& title, const std::string& what) {
   std::cout << "\n=== " << title << " ===\n" << what << "\n\n";
 }

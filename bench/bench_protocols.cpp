@@ -9,18 +9,27 @@
 // shard counts (--dir-shards, DESIGN.md §8: 1 = the master-held directory,
 // N = page ranges spread across the first N processes).
 //
-// Results go to stdout and to BENCH_protocols.json (schema 5): per
+// Results go to stdout and to BENCH_protocols.json (schema 6): per
 // (engine, dir-shards, piggyback) virtual runtime, host wall-clock
 // (`wall_seconds` — the simulator's own cost, the raw-speed trajectory
 // the hot-path passes optimize), message/envelope count,
 // envelope fill, total bytes, the consistency-traffic metric, the
 // master-inbound vs shard-inbound owner-lookup split, the per-segment-kind
-// message histogram, and the batched-vs-unbatched delta — plus, per
-// (engine, dir-shards), one `--placement adaptive` leg (release mode) with
-// the dsm.placement.{home_moves,shard_moves} counters (DESIGN.md §9).  A
-// leg that crashes mid-run is recorded as {"failed": true, "error": ...}
-// and the sweep continues — the JSON is always written, so the perf
-// trajectory is never empty after a crashed bench.
+// message histogram, the virtual-time attribution breakdown
+// (`time_breakdown`: compute/barrier/lock/fault/gc/idle bucket totals that
+// sum exactly to the total runtime; DESIGN.md §11), the per-barrier-epoch
+// timeline (`epochs`, capped at 32 entries plus `epochs_total`: per-process
+// stall, message/byte deltas, placement moves), and the batched-vs-unbatched
+// delta — plus, per (engine, dir-shards), one `--placement adaptive` leg
+// (release mode) with the dsm.placement.{home_moves,shard_moves} counters
+// (DESIGN.md §9), and, at the first shard count, a traced-vs-untraced pair
+// of release-mode legs (`trace_check`: the untraced rerun must carry zero
+// obs.* stats and identical counters, the fully-traced rerun writes
+// `--trace` (default BENCH_trace.json) and reports `trace_overhead_pct`
+// host wall-clock overhead).  A leg that crashes mid-run is recorded as
+// {"failed": true, "error": ...} and the sweep continues — the JSON is
+// always written, so the perf trajectory is never empty after a crashed
+// bench.
 //
 // --check-batching turns the acceptance properties into an exit code: for
 // every workload, engine, and shard count, batching must never increase the
@@ -29,8 +38,11 @@
 // sharding must not increase master-inbound owner lookups (CI smoke); no
 // static leg may emit a placement segment; adaptive placement must never
 // raise the message count on the steady-state (non-shifting) workloads;
-// and on the shifting-hotspot workload the home engine's adaptive leg must
-// reduce consistency traffic (messages or bytes) below the static one.
+// on the shifting-hotspot workload the home engine's adaptive leg must
+// reduce consistency traffic (messages or bytes) below the static one;
+// every attributed leg's time buckets must conserve its runtime exactly;
+// and tracing must be free — the untraced and traced reruns must match the
+// release leg's virtual time, messages, bytes, and checksum.
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -74,11 +86,13 @@ std::vector<std::string> split_list(const std::string& list) {
 int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
-  opts.allow_only(
-      {"size", "full", "nodes", "apps", "dir-shards", "check-batching"});
+  opts.allow_only({"size", "full", "nodes", "apps", "dir-shards",
+                   "check-batching", "trace"});
   const apps::Size size = bench::size_from_options(opts);
   const int nodes = static_cast<int>(opts.get_int("nodes", 8));
   const bool check_batching = opts.get_bool("check-batching", false);
+  const std::string trace_path =
+      opts.get_string("trace", "BENCH_trace.json");
 
   std::vector<std::string> apps = bench::table1_apps();
   apps.push_back("hotspot");  // the shifting-dominant-writer placement leg
@@ -116,7 +130,7 @@ int main(int argc, char** argv) {
   util::JsonWriter json;
   json.begin_object();
   json.field("bench", "protocols");
-  json.field("schema_version", 5);
+  json.field("schema_version", 6);
   json.field("size", apps::size_name(size));
   json.field("nodes", nodes);
   json.begin_object("workloads");
@@ -150,7 +164,9 @@ int main(int argc, char** argv) {
         // "release", "aggressive" for the static piggyback sweep,
         // "adaptive" for the placement rerun of release mode).
         auto run_leg = [&](const char* leg_name, dsm::PiggybackMode mode,
-                           dsm::PlacementMode placement) {
+                           dsm::PlacementMode placement,
+                           bool attribution = true,
+                           const std::string& trace_file = std::string()) {
           harness::RunConfig cfg;
           cfg.app = app;
           cfg.size = size;
@@ -160,6 +176,10 @@ int main(int argc, char** argv) {
           cfg.dir_shards = shards;
           cfg.placement = placement;
           cfg.adaptive = false;
+          // Explicit per-leg tracing config (never the ambient ANOW_TRACE:
+          // the untraced leg must really be untraced).
+          cfg.time_attribution = attribution;
+          cfg.trace_file = trace_file;
           ModeResult r;
           const auto wall0 = std::chrono::steady_clock::now();
           try {
@@ -241,6 +261,47 @@ int main(int argc, char** argv) {
           json.field("placement_home_moves", r.home_moves);
           json.field("placement_shard_moves", r.shard_moves);
           json.field("checksum", r.run.checksum);
+          if (r.run.trace.has_value()) {
+            const obs::Report& rep = *r.run.trace;
+            if (!rep.conserved()) {
+              fail(leg + ": time-attribution buckets do not sum to the "
+                         "runtime (conservation invariant)");
+            }
+            json.begin_object("time_breakdown");
+            json.field("total_s", sim::to_seconds(rep.total_runtime()));
+            for (int b = 0; b < obs::kNumBuckets; ++b) {
+              json.field(obs::bucket_name(static_cast<obs::Bucket>(b)),
+                         sim::to_seconds(
+                             rep.total_bucket(static_cast<obs::Bucket>(b))));
+            }
+            json.end_object();
+            // Per-barrier-epoch timeline, capped so huge runs stay readable.
+            constexpr std::size_t kMaxEpochs = 32;
+            json.field("epochs_total",
+                       static_cast<std::int64_t>(rep.epochs.size()));
+            json.begin_array("epochs");
+            for (std::size_t i = 0;
+                 i < rep.epochs.size() && i < kMaxEpochs; ++i) {
+              const obs::EpochRecord& e = rep.epochs[i];
+              json.begin_object();
+              json.field("epoch", e.epoch);
+              json.field("release_s", sim::to_seconds(e.release_ts));
+              json.field("msgs", e.msgs);
+              json.field("bytes", e.bytes);
+              json.field("home_moves", e.home_moves);
+              json.field("shard_moves", e.shard_moves);
+              json.begin_array("stalls");
+              for (const auto& [proc, stall] : e.stalls) {
+                json.begin_object();
+                json.field("proc", proc);
+                json.field("stall_s", sim::to_seconds(stall));
+                json.end_object();
+              }
+              json.end_array();
+              json.end_object();
+            }
+            json.end_array();
+          }
           json.begin_object("segment_msgs");
           for (int k = 0; k < dsm::kNumSegmentKinds; ++k) {
             const char* name =
@@ -330,6 +391,61 @@ int main(int argc, char** argv) {
                          : 0.0);
           json.end_object();
         }
+        // Tracing-freeness acceptance (DESIGN.md §11), at the first shard
+        // count only: rerun release mode once with no recorder at all and
+        // once fully traced (event rings + Chrome JSON export).  Both must
+        // be event-for-event identical to the attributed release leg, and
+        // the wall-clock delta is the recorder's host-side overhead.
+        if (shards == shard_counts.front()) {
+          const std::string leg = app + "/" +
+                                  dsm::engine_kind_name(engine) + "/shards" +
+                                  std::to_string(shards);
+          const ModeResult untraced =
+              run_leg("untraced", dsm::PiggybackMode::kRelease,
+                      dsm::PlacementMode::kStatic, /*attribution=*/false);
+          const ModeResult traced =
+              run_leg("traced", dsm::PiggybackMode::kRelease,
+                      dsm::PlacementMode::kStatic, /*attribution=*/true,
+                      trace_path);
+          if (untraced.ok) {
+            for (const auto& [name, value] : untraced.run.stats.counters) {
+              if (name.rfind("obs.", 0) == 0 && value != 0) {
+                fail(leg + "/untraced emitted nonzero " + name +
+                     " — an untraced run must carry no obs.* stats");
+              }
+            }
+            for (const auto& [name, value] : untraced.run.stats.accums) {
+              if (name.rfind("obs.", 0) == 0 && value != 0.0) {
+                fail(leg + "/untraced emitted nonzero accum " + name +
+                     " — an untraced run must carry no obs.* stats");
+              }
+            }
+          }
+          auto identical = [&](const ModeResult& r, const char* which) {
+            if (!r.ok || !release.ok) return;
+            if (r.run.seconds != release.run.seconds ||
+                r.run.messages != release.run.messages ||
+                r.run.bytes != release.run.bytes ||
+                r.run.checksum != release.run.checksum) {
+              fail(leg + "/" + which +
+                   " diverged from the release leg (time/messages/bytes/"
+                   "checksum) — tracing must not perturb the run");
+            }
+          };
+          identical(untraced, "untraced");
+          identical(traced, "traced");
+          if (untraced.ok && traced.ok && untraced.wall_seconds > 0.0) {
+            json.begin_object("trace_check");
+            json.field("untraced_wall_seconds", untraced.wall_seconds);
+            json.field("traced_wall_seconds", traced.wall_seconds);
+            json.field(
+                "trace_overhead_pct",
+                100.0 * (traced.wall_seconds - untraced.wall_seconds) /
+                    untraced.wall_seconds);
+            json.field("trace_file", trace_path);
+            json.end_object();
+          }
+        }
         json.end_object();
         if (release.ok) release_by_shards.emplace_back(shards, release);
       }
@@ -364,8 +480,10 @@ int main(int argc, char** argv) {
                        "message count, checksums agree across engines, "
                        "modes, shard counts, and placement, sharding shed "
                        "master-inbound lookups, static placement emitted "
-                       "zero placement segments, and adaptive placement "
-                       "never raised steady-state message counts\n"
+                       "zero placement segments, adaptive placement never "
+                       "raised steady-state message counts, time buckets "
+                       "conserve runtime on every leg, and tracing left "
+                       "every run untouched\n"
                      : "check-batching: FAILED\n");
     return ok ? 0 : 1;
   }

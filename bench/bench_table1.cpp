@@ -14,12 +14,14 @@ int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
   opts.allow_only({"size", "full", "nodes", "engine", "piggyback",
-                   "dir-shards", "placement"});
+                   "dir-shards", "placement", "trace", "time-breakdown"});
   const apps::Size size = bench::size_from_options(opts);
   const dsm::EngineKind engine = bench::engine_from_options(opts);
   const dsm::PiggybackMode piggyback = bench::piggyback_from_options(opts);
   const int dir_shards = bench::dir_shards_from_options(opts);
   const dsm::PlacementMode placement = bench::placement_from_options(opts);
+  const std::string trace_file = bench::trace_file_from_options(opts);
+  const bool time_breakdown = bench::time_breakdown_from_options(opts);
 
   bench::print_header(
       "Table 1 — execution times and network traffic, no adapt events",
@@ -61,7 +63,8 @@ int main(int argc, char** argv) {
     node_counts = {static_cast<int>(opts.get_int("nodes", 8))};
   }
 
-  for (const auto& app : bench::table1_apps()) {
+  const std::vector<std::string> t1_apps = bench::table1_apps();
+  for (const auto& app : t1_apps) {
     t.separator();
     for (int nodes : node_counts) {
       harness::RunConfig cfg;
@@ -72,11 +75,27 @@ int main(int argc, char** argv) {
       cfg.piggyback = piggyback;
       cfg.dir_shards = dir_shards;
       cfg.placement = placement;
+      cfg.time_attribution = time_breakdown;
+      // --trace records the last standard-system run of the sweep (one
+      // file, so one designated run).
+      const bool traced = !trace_file.empty() && app == t1_apps.back() &&
+                          nodes == node_counts.back();
+      cfg.trace_file = traced ? trace_file : std::string();
 
       cfg.adaptive = false;
       auto std_run = harness::run_workload(cfg);
       cfg.adaptive = true;
+      cfg.trace_file.clear();  // the adaptive rerun is never traced
       auto adp_run = harness::run_workload(cfg);
+      if (traced) {
+        std::cout << "wrote " << trace_file << " (" << app << ", "
+                  << nodes << " nodes) — open at https://ui.perfetto.dev\n";
+      }
+      if (time_breakdown && std_run.trace.has_value()) {
+        std::cout << "\nTime breakdown — " << app << ", " << nodes
+                  << " nodes (standard system):\n";
+        obs::breakdown_table(*std_run.trace).print(std::cout);
+      }
 
       // The headline properties must hold structurally.
       if (std_run.bytes != adp_run.bytes ||

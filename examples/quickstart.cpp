@@ -1,17 +1,25 @@
 // Quickstart: run an OpenMP-style parallel program on a simulated NOW and
 // watch it transparently absorb a joining workstation and survive a leave.
 //
-//   ./examples/quickstart [--engine {lrc,home}]
+//   ./examples/quickstart [--engine {lrc,home}] [--trace out.json]
 //
 // The program is a small Jacobi relaxation.  The key thing to notice is
 // that the application code never mentions joins or leaves: the iteration
 // partition is recomputed from (pid, nprocs) inside every parallel
 // construct, so the adaptive runtime can change the team between constructs.
+//
+// --trace writes a Chrome trace-event JSON file of the whole run (spans on
+// every process, message flows, per-epoch counters; DESIGN.md §11).  To
+// view it, open https://ui.perfetto.dev and use "Open trace file" (or load
+// it in chrome://tracing): each simulated process is one track — compute
+// slices alternate with barrier_wait, and the flow arrows show the barrier
+// fan-in/fan-out and page traffic that the join/leave disturb.
 #include <cstring>
 #include <iostream>
 
 #include "core/adapt.hpp"
 #include "dsm/system.hpp"
+#include "obs/trace.hpp"
 #include "ompx/runtime.hpp"
 #include "sim/cluster.hpp"
 #include "util/options.hpp"
@@ -33,7 +41,7 @@ constexpr int kIters = 120;
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
-  opts.allow_only({"engine"});
+  opts.allow_only({"engine", "trace"});
   // A NOW with 4 workstations; one more becomes available later.
   sim::Cluster cluster({}, 5);
   dsm::DsmConfig config;
@@ -41,6 +49,7 @@ int main(int argc, char** argv) {
   config.engine = dsm::parse_engine_kind(opts.get_choice(
       "engine", {"lrc", "home"},
       dsm::engine_kind_name(dsm::engine_kind_from_env())));
+  config.trace_file = opts.get_string("trace", dsm::trace_file_from_env());
   std::cout << "consistency engine: " << dsm::engine_kind_name(config.engine)
             << "\n";
   dsm::DsmSystem dsm(cluster, config);
@@ -119,5 +128,12 @@ int main(int argc, char** argv) {
               << " diffs=" << dsm.stats().counter_value("dsm.diff_fetches")
               << "\n";
   });
+  if (cluster.trace() != nullptr) {
+    std::cout << "\nVirtual-time breakdown (per process, seconds):\n";
+    cluster.trace()->breakdown_table().print(std::cout);
+    std::cout << "wrote " << config.trace_file
+              << " — open it at https://ui.perfetto.dev (\"Open trace "
+                 "file\") or chrome://tracing\n";
+  }
   return 0;
 }

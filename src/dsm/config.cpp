@@ -89,6 +89,14 @@ PlacementMode placement_mode_from_env() {
   return mode;
 }
 
+std::string trace_file_from_env() {
+  static const std::string path = [] {
+    const char* env = std::getenv("ANOW_TRACE");
+    return std::string(env != nullptr ? env : "");
+  }();
+  return path;
+}
+
 EngineKind engine_kind_from_env() {
   static const EngineKind kind = [] {
     const char* env = std::getenv("ANOW_ENGINE");

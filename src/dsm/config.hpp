@@ -82,6 +82,11 @@ PlacementMode parse_placement_mode(const std::string& name);
 /// without touching every DsmConfig construction site.
 PlacementMode placement_mode_from_env();
 
+/// Default trace output path: the ANOW_TRACE environment variable, else ""
+/// (tracing off).  Non-empty enables full event recording (DESIGN.md §11)
+/// and a Chrome trace-event JSON dump at the end of the run.
+std::string trace_file_from_env();
+
 /// How pids are reassigned when processes leave (paper §5.4 lists "the
 /// process id reassignment algorithm" among the cost factors; Figure 3 shows
 /// why it matters).
@@ -145,6 +150,11 @@ struct DsmConfig {
   std::int64_t private_image_bytes = 4ll << 20;
 
   PidStrategy pid_strategy = PidStrategy::kShift;
+
+  /// When non-empty, DsmSystem enables the cluster's TraceRecorder in full
+  /// event-recording mode and writes a Chrome trace-event JSON file here
+  /// after run() (DESIGN.md §11).  Defaults to ANOW_TRACE, else off.
+  std::string trace_file = trace_file_from_env();
 };
 
 }  // namespace anow::dsm

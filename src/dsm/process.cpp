@@ -6,6 +6,7 @@
 
 #include "dsm/debug.hpp"
 #include "dsm/system.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -42,6 +43,25 @@ DsmProcess::DsmProcess(DsmSystem& system, Uid uid, sim::HostId host)
   engine_->attach_node(uid_, region_.data(), system_.num_pages(),
                        system_.protocol_table(), system_.stats(),
                        system_.node_dir_init_for(uid_));
+  // The recorder (if any) was enabled before this process was constructed
+  // (DsmSystem's constructor runs first), so the cached pointer is stable
+  // for the process's lifetime.
+  tracer_ = system_.cluster().trace();
+  if (tracer_ != nullptr) tracer_->attach_process(uid_);
+  // Hot-path counters are interned once: the fault/sync/flush paths bump
+  // them per event and must not pay a map lookup each time.
+  auto& stats = system_.stats();
+  ctr_faults_read_ = stats.handle("dsm.faults.read");
+  ctr_faults_write_ = stats.handle("dsm.faults.write");
+  ctr_page_fetches_ = stats.handle("dsm.page_fetches");
+  ctr_page_forwards_ = stats.handle("dsm.page_forwards");
+  ctr_consistency_bytes_ = stats.handle("dsm.consistency_traffic_bytes");
+  ctr_barrier_waits_ = stats.handle("dsm.barrier_waits");
+  ctr_lock_acquires_ = stats.handle("dsm.lock_acquires");
+  ctr_home_flushes_ = stats.handle("dsm.home_flushes");
+  ctr_home_flushes_pb_ = stats.handle("dsm.home_flushes_piggybacked");
+  ctr_gc_validation_faults_ = stats.handle("dsm.gc_validation_faults");
+  ctr_home_validation_faults_ = stats.handle("dsm.home_validation_faults");
 }
 
 DsmProcess::~DsmProcess() = default;
@@ -71,7 +91,7 @@ void DsmProcess::read_range(GAddr addr, std::size_t len) {
   }
   for (PageId p = first; p < last; ++p) {
     if (!engine_->page(p).is_valid()) {
-      system_.stats().counter("dsm.faults.read")++;
+      (*ctr_faults_read_)++;
       fault_in(p);
     }
   }
@@ -93,7 +113,7 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
   }
   for (PageId p = first; p < last; ++p) {
     if (!engine_->page(p).is_valid()) {
-      system_.stats().counter("dsm.faults.read")++;
+      (*ctr_faults_read_)++;
       fault_in(p);
     }
     if (engine_->page(p).dirty) continue;  // already writable this interval
@@ -106,7 +126,7 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
       ANOW_PTRACE(p, "exclusive write declare, val="
                          << *cptr<std::int64_t>(page_base(p)));
       if (!engine_->page(p).exclusive_rw) {
-        system_.stats().counter("dsm.faults.write")++;
+        (*ctr_faults_write_)++;
         // compute() parks the fiber; a page-request handler may revoke
         // exclusivity (and even dirty the page) while we sleep, so the
         // state must be re-checked afterwards.
@@ -126,7 +146,7 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
     }
 
     if (!trap_charged) {
-      system_.stats().counter("dsm.faults.write")++;
+      (*ctr_faults_write_)++;
       compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
     }
     if (engine_->flush_lazy_twin(p)) {
@@ -161,7 +181,7 @@ void DsmProcess::fetch_page_copy(PageId page, bool must_cover_pending) {
       kEnvelopeHeaderBytes + segment_wire_bytes(req);
   Segment reply = rpc(src, std::move(req), cookie);
   if (resolves_invalidation) {
-    system_.stats().counter("dsm.consistency_traffic_bytes") +=
+    *ctr_consistency_bytes_ +=
         req_wire + kEnvelopeHeaderBytes + segment_wire_bytes(reply);
   }
   auto& pr = std::get<PageReply>(reply);
@@ -177,6 +197,7 @@ void DsmProcess::fetch_page_copy(PageId page, bool must_cover_pending) {
 }
 
 void DsmProcess::fault_in(PageId page) {
+  obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kFaultService);
   ++accessed_since_fork_;
   // SIGSEGV dispatch + mprotect + bookkeeping on the faulting node.
   compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
@@ -194,6 +215,7 @@ void DsmProcess::fault_in(PageId page) {
 }
 
 void DsmProcess::fault_in_range(PageId first, PageId last) {
+  obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kFaultService);
   // Collect the range's invalid pages up front so their full-page fetches
   // can share envelopes (one request envelope per source, replies
   // overlapped) and their diff fetches can share rounds (one request per
@@ -201,7 +223,7 @@ void DsmProcess::fault_in_range(PageId first, PageId last) {
   std::vector<PageId> need;
   for (PageId p = first; p < last; ++p) {
     if (engine_->page(p).is_valid()) continue;
-    system_.stats().counter("dsm.faults.read")++;
+    (*ctr_faults_read_)++;
     ++accessed_since_fork_;
     compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
     need.push_back(p);
@@ -226,8 +248,7 @@ void DsmProcess::fault_in_range(PageId first, PageId last) {
       return a.page < b.page;
     });
     flush_cpu();
-    auto& consistency =
-        system_.stats().counter("dsm.consistency_traffic_bytes");
+    auto& consistency = *ctr_consistency_bytes_;
     for (std::size_t i = 0; i < wants.size(); ++i) {
       Want& w = wants[i];
       ANOW_CHECK_MSG(w.src != uid_, "page " << w.page
@@ -305,20 +326,26 @@ std::int64_t DsmProcess::resolve_multi_writer_pending(
   if (pages.empty()) return 0;
   // Our own un-diffed intervals must be captured before remote diffs are
   // merged (they would otherwise leak into our diffs).
-  for (PageId p : pages) {
-    if (engine_->flush_lazy_twin(p)) {
-      compute(sim::to_seconds(
-          system_.cluster().cost().diff_create_time(kPageSize)));
+  {
+    obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kDiffMake);
+    for (PageId p : pages) {
+      if (engine_->flush_lazy_twin(p)) {
+        compute(sim::to_seconds(
+            system_.cluster().cost().diff_create_time(kPageSize)));
+      }
     }
   }
   const auto plans = engine_->plan_diff_fetches(pages.data(), pages.size());
   const auto replies = fetch_diffs(plans);
   std::int64_t applied_bytes = 0;
-  for (PageId p : pages) {
-    applied_bytes += engine_->apply_fetched_diffs(p, replies);
+  {
+    obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kDiffApply);
+    for (PageId p : pages) {
+      applied_bytes += engine_->apply_fetched_diffs(p, replies);
+    }
+    compute(sim::to_seconds(
+        system_.cluster().cost().diff_apply_time(applied_bytes)));
   }
-  compute(sim::to_seconds(
-      system_.cluster().cost().diff_apply_time(applied_bytes)));
   return static_cast<std::int64_t>(plans.size());
 }
 
@@ -358,6 +385,7 @@ void DsmProcess::apply_pending_diffs(PageId page) {
   // Our own un-diffed interval must be captured before remote diffs are
   // merged into the local copy (they would otherwise leak into our diff).
   if (engine_->flush_lazy_twin(page)) {
+    obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kDiffMake);
     compute(sim::to_seconds(
         system_.cluster().cost().diff_create_time(kPageSize)));
   }
@@ -373,6 +401,7 @@ void DsmProcess::apply_pending_diffs(PageId page) {
   // request per creator, issued in parallel.
   const auto plans = engine_->plan_diff_fetches(&page, 1);
   const auto replies = fetch_diffs(plans);
+  obs::ScopedSpan apply_span(tracer_, uid_, obs::SpanKind::kDiffApply);
   const std::int64_t applied_bytes =
       engine_->apply_fetched_diffs(page, replies);
   compute(sim::to_seconds(
@@ -384,7 +413,7 @@ void DsmProcess::apply_owner_hints(const OwnerDelta& delta) {
   // re-validates from the old home *before* the hints flip (its own hint
   // still names the old home, which keeps a complete copy).
   for (PageId p : engine_->pages_to_validate_before_delta(delta)) {
-    system_.stats().counter("dsm.home_validation_faults")++;
+    (*ctr_home_validation_faults_)++;
     fault_in(p);
   }
   for (const auto& [page, owner] : delta) {
@@ -404,12 +433,14 @@ void DsmProcess::flush_homes() {
   for (const auto& plan : plans) {
     pages += static_cast<std::int64_t>(plan.pages.size());
   }
-  compute(static_cast<double>(pages) *
-          sim::to_seconds(system_.cluster().cost().diff_create_time(
-              kPageSize)));
-  flush_cpu();
-  system_.stats().counter("dsm.home_flushes") +=
-      static_cast<std::int64_t>(plans.size());
+  {
+    obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kDiffMake);
+    compute(static_cast<double>(pages) *
+            sim::to_seconds(system_.cluster().cost().diff_create_time(
+                kPageSize)));
+    flush_cpu();
+  }
+  *ctr_home_flushes_ += static_cast<std::int64_t>(plans.size());
   // One batched flush per home, issued in parallel; the acks gate the
   // release announcement (no write notice may precede its data's arrival
   // at the home).  The master-homed batch is the exception under a
@@ -440,7 +471,7 @@ void DsmProcess::flush_homes() {
       staged_service += system_.cluster().cost().diff_service_fixed +
                         system_.cluster().cost().diff_apply_time(flush_bytes);
       channel_.stage(kMasterUid, std::move(flush));
-      system_.stats().counter("dsm.home_flushes_piggybacked")++;
+      (*ctr_home_flushes_pb_)++;
       continue;
     }
     const std::uint64_t cookie = new_cookie();
@@ -462,8 +493,9 @@ void DsmProcess::flush_homes() {
 }
 
 void DsmProcess::barrier(std::int32_t barrier_id) {
+  obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kBarrierWait);
   flush_cpu();
-  system_.stats().counter("dsm.barrier_waits")++;
+  (*ctr_barrier_waits_)++;
   Interval iv = engine_->finish_interval();
   flush_homes();
   // channel_.send drains the flush staged for the master (if any): the
@@ -474,6 +506,7 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
   while (true) {
     Segment m = next_instruction("barrier");
     if (auto* gp = std::get_if<GcPrepare>(&m)) {
+      obs::ScopedSpan gc_span(tracer_, uid_, obs::SpanKind::kGcPrepare);
       // A shard holder's authoritative slices adopt the delta at the
       // prepare phase: by the time the master's gc_finish runs (all acks
       // in), every slice already answers queries with post-GC owners.
@@ -500,8 +533,9 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
 }
 
 void DsmProcess::lock_acquire(std::int32_t lock_id) {
+  obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kLockStall);
   flush_cpu();
-  system_.stats().counter("dsm.lock_acquires")++;
+  (*ctr_lock_acquires_)++;
   channel_.send(kMasterUid, LockAcquireReq{uid_, lock_id});
   system_.cluster().sim().wait(lock_wp_, "lock grant");
   ANOW_CHECK(lock_granted_);
@@ -511,6 +545,7 @@ void DsmProcess::lock_acquire(std::int32_t lock_id) {
 }
 
 void DsmProcess::lock_release(std::int32_t lock_id) {
+  obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kLockRelease);
   flush_cpu();
   Interval iv = engine_->finish_interval();
   flush_homes();
@@ -532,6 +567,9 @@ void DsmProcess::flush_cpu() {
   if (deferred_cpu_ <= 0.0) return;
   const double amount = deferred_cpu_;
   deferred_cpu_ = 0.0;
+  // All application/protocol CPU burns inside this span; coalesced trap
+  // charges ride it too (innermost-wins attribution, DESIGN.md §11).
+  obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kCompute);
   system_.cluster().host(host_).cpu().consume(amount, this);
 }
 
@@ -561,8 +599,10 @@ void DsmProcess::gc_validate(const OwnerDelta& owners) {
     }
   }
   if (!batchable.empty()) {
-    for (PageId p : batchable) {
-      system_.stats().counter("dsm.gc_validation_faults")++;
+    // One trap charge per batched page; charged in a loop so the deferred
+    // CPU flushes at exactly the same points as the unbatched path.
+    for (std::size_t i = 0; i < batchable.size(); ++i) {
+      (*ctr_gc_validation_faults_)++;
       ++accessed_since_fork_;
       compute(sim::to_seconds(system_.cluster().cost().fault_fixed));
     }
@@ -573,7 +613,7 @@ void DsmProcess::gc_validate(const OwnerDelta& owners) {
     }
   }
   for (PageId p : rest) {
-    system_.stats().counter("dsm.gc_validation_faults")++;
+    (*ctr_gc_validation_faults_)++;
     fault_in(p);
   }
 }
@@ -680,7 +720,7 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
     ANOW_CHECK_MSG(req.forward_hops < 16, "page request forwarding loop");
     const Uid next = engine_->pick_page_source(req.page);
     ANOW_CHECK(next != uid_);
-    system_.stats().counter("dsm.page_forwards")++;
+    (*ctr_page_forwards_)++;
     PageRequest f = req;
     f.forward_hops++;
     channel_.send(next, f);
@@ -689,7 +729,7 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
   ANOW_PTRACE(req.page, "serving page to " << req.requester << " val="
                             << *cptr<std::int64_t>(page_base(req.page)));
   engine_->record_serve(req.page);
-  system_.stats().counter("dsm.page_fetches")++;
+  (*ctr_page_fetches_)++;
   PageReply reply;
   reply.page = req.page;
   reply.cookie = req.cookie;
@@ -970,6 +1010,7 @@ void DsmProcess::slave_main() {
       continue;
     }
     if (auto* gp = std::get_if<GcPrepare>(&m)) {
+      obs::ScopedSpan gc_span(tracer_, uid_, obs::SpanKind::kGcPrepare);
       engine_->apply_delta_to_slices(gp->owners);
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);

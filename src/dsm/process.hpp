@@ -184,6 +184,22 @@ class DsmProcess {
   bool alive_ = true;
   bool announce_join_ = false;  // joiner: run connection setup + JoinReady
 
+  /// The cluster's TraceRecorder, cached at construction (null = off).
+  obs::TraceRecorder* tracer_ = nullptr;
+  /// Hot-path counters, interned once here: the fault/barrier/lock/flush
+  /// paths bump these per event and must not pay a map lookup each time.
+  std::int64_t* ctr_faults_read_ = nullptr;
+  std::int64_t* ctr_faults_write_ = nullptr;
+  std::int64_t* ctr_page_fetches_ = nullptr;
+  std::int64_t* ctr_page_forwards_ = nullptr;
+  std::int64_t* ctr_consistency_bytes_ = nullptr;
+  std::int64_t* ctr_barrier_waits_ = nullptr;
+  std::int64_t* ctr_lock_acquires_ = nullptr;
+  std::int64_t* ctr_home_flushes_ = nullptr;
+  std::int64_t* ctr_home_flushes_pb_ = nullptr;
+  std::int64_t* ctr_gc_validation_faults_ = nullptr;
+  std::int64_t* ctr_home_validation_faults_ = nullptr;
+
   std::vector<std::uint8_t> region_;
   std::unique_ptr<protocol::ConsistencyEngine> engine_;
   /// Outbound transport: all sends depart through here (DESIGN.md §7).

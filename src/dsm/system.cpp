@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -21,13 +22,23 @@ DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
   auto& stats = cluster_.stats();
   for (int k = 0; k < kNumSegmentKinds; ++k) {
     const std::string name = segment_kind_name(static_cast<SegmentKind>(k));
-    seg_msgs_[k] = &stats.counter("dsm.seg." + name + ".msgs");
-    seg_bytes_[k] = &stats.counter("dsm.seg." + name + ".bytes");
+    seg_msgs_[k] = stats.handle("dsm.seg." + name + ".msgs");
+    seg_bytes_[k] = stats.handle("dsm.seg." + name + ".bytes");
   }
-  ctr_segments_ = &stats.counter("dsm.segments");
-  ctr_consistency_bytes_ = &stats.counter("dsm.consistency_traffic_bytes");
-  ctr_lookups_master_ = &stats.counter("dsm.owner_lookups.master_inbound");
-  ctr_lookups_shard_ = &stats.counter("dsm.owner_lookups.shard_inbound");
+  ctr_segments_ = stats.handle("dsm.segments");
+  ctr_consistency_bytes_ = stats.handle("dsm.consistency_traffic_bytes");
+  ctr_lookups_master_ = stats.handle("dsm.owner_lookups.master_inbound");
+  ctr_lookups_shard_ = stats.handle("dsm.owner_lookups.shard_inbound");
+  // Tracing (DESIGN.md §11): a --trace/ANOW_TRACE path requests full event
+  // recording; otherwise the recorder (if any) was enabled by the harness.
+  // Either way processes cache the pointer at construction, so the recorder
+  // must exist before start().
+  if (!config_.trace_file.empty() && cluster_.trace() == nullptr) {
+    obs::TraceOptions topts;
+    topts.record_events = true;
+    cluster_.enable_trace(topts);
+  }
+  tracer_ = cluster_.trace();
   shard_map_ = protocol::ShardMap(num_pages(), 1);
   placement_adaptive_ = config_.placement == PlacementMode::kAdaptive;
   // The subsystem's own guarantee: static runs never execute placement
@@ -167,6 +178,12 @@ void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
   ANOW_CHECK_MSG(cluster_.sim().all_fibers_done(),
                  "deadlock: fibers still parked:\n"
                      << cluster_.sim().parked_fiber_report());
+  if (tracer_ != nullptr && !tracer_->finalized()) {
+    tracer_->finalize();
+    if (!config_.trace_file.empty()) {
+      tracer_->write_chrome_trace(config_.trace_file);
+    }
+  }
 }
 
 DsmProcess& DsmSystem::process(Uid uid) {
@@ -474,6 +491,7 @@ void DsmSystem::on_barrier_arrive(const BarrierArrive& msg) {
   ANOW_CHECK(std::find(barrier_arrived_.begin(), barrier_arrived_.end(),
                        msg.uid) == barrier_arrived_.end());
   barrier_arrived_.push_back(msg.uid);
+  if (tracer_ != nullptr) tracer_->note_barrier_arrive(msg.uid);
   max_consistency_bytes_ = std::max(max_consistency_bytes_,
                                     msg.consistency_bytes);
   pending_intervals_.push_back(msg.interval);
@@ -503,6 +521,10 @@ void DsmSystem::barrier_complete() {
 }
 
 void DsmSystem::release_barrier() {
+  // The epoch timeline closes here: per-process stall is release minus
+  // arrival, and the traffic deltas cover everything since the previous
+  // release (including any GC round that ran between complete and release).
+  if (tracer_ != nullptr) tracer_->note_barrier_release();
   const auto commit = engine_->take_pending_commit(
       /*include_queued_updates=*/false);
 
@@ -558,6 +580,11 @@ void DsmSystem::evaluate_placement() {
                      config_.engine == EngineKind::kHomeLrc);
   if (decision.empty()) return;
   stats().counter("dsm.placement.decisions")++;
+  if (tracer_ != nullptr) {
+    tracer_->instant(kMasterUid, "placement_round",
+                     static_cast<std::int64_t>(decision.home_moves.size() +
+                                               decision.shard_moves.size()));
+  }
   planner_.set_decision(std::move(decision));
   // The moves ride this very barrier's GC round (gc_should_run sees the
   // request below); no extra message exists outside that round.
@@ -715,9 +742,12 @@ void DsmSystem::gc_at_fork() {
 
   // Deliver pending intervals + validate at the master first (fiber
   // context), then at the slaves (parked in Tmk_wait).
-  master.engine().note_gc_prepare();
-  master.engine().integrate(engine_->collect_undelivered(kMasterUid));
-  master.gc_validate(delta);
+  {
+    obs::ScopedSpan span(tracer_, kMasterUid, obs::SpanKind::kGcPrepare);
+    master.engine().note_gc_prepare();
+    master.engine().integrate(engine_->collect_undelivered(kMasterUid));
+    master.gc_validate(delta);
+  }
 
   gc_in_progress_ = true;
   gc_delta_ = delta;
@@ -741,6 +771,7 @@ void DsmSystem::gc_at_fork() {
       gp.intervals = engine_->collect_undelivered(uid);
       channel(kMasterUid).send(uid, std::move(gp));
     }
+    obs::ScopedSpan span(tracer_, kMasterUid, obs::SpanKind::kGcCommit);
     cluster_.sim().wait(gc_fork_wp_, "gc acks");
     // on_gc_ack performed the master-side gc_finish (the pending commit now
     // rides on the next ForkMsg).
@@ -950,10 +981,23 @@ void DsmSystem::send_envelope(Uid to, Envelope env) {
   // wire_bytes() must be taken before the capture moves env (argument
   // evaluation order would otherwise be unspecified).
   const std::int64_t wire = env.wire_bytes();
-  cluster_.net().send(host_of(env.src), host_of(to), wire,
-                      [target, env = std::move(env)]() mutable {
-                        target->handle(std::move(env));
-                      });
+  // Causal flow pairing (DESIGN.md §11): every envelope departs through
+  // here and Network::send returns its arrival time, so both flow
+  // endpoints are recorded at send time — pairing is structural, not
+  // matched after the fact.  The label is the leading segment's kind.
+  std::uint64_t flow = 0;
+  const char* flow_label = nullptr;
+  if (tracer_ != nullptr && tracer_->events_enabled()) {
+    flow_label = segment_kind_name(segment_kind(env.segments.front()));
+    flow = tracer_->flow_begin(env.src, flow_label, wire);
+  }
+  const Uid src = env.src;
+  const sim::Time arrival =
+      cluster_.net().send(host_of(src), host_of(to), wire,
+                          [target, env = std::move(env)]() mutable {
+                            target->handle(std::move(env));
+                          });
+  if (flow != 0) tracer_->flow_end(flow, to, arrival, flow_label);
 }
 
 }  // namespace anow::dsm

@@ -262,6 +262,10 @@ class DsmSystem {
   /// subset of the policy's decision the engine accepted).
   OwnerDelta gc_home_moves_;
 
+  /// The cluster's TraceRecorder, cached at construction (null = tracing
+  /// off; every hook is a pointer test, DESIGN.md §11).
+  obs::TraceRecorder* tracer_ = nullptr;
+
   /// Cached per-segment-kind traffic counters (send_envelope is the
   /// hottest accounting site; no map lookups there).
   std::int64_t* seg_msgs_[kNumSegmentKinds] = {};

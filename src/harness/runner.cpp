@@ -22,12 +22,20 @@ RunResult run_workload(const RunConfig& config,
                        std::unique_ptr<apps::Workload> workload) {
   sim::Cluster cluster(config.cost, config.nprocs + config.spare_hosts,
                        config.seed);
+  // The recorder must exist before the DsmSystem (and its processes, which
+  // cache the pointer) is constructed.
+  if (!config.trace_file.empty() || config.time_attribution) {
+    obs::TraceOptions topts;
+    topts.record_events = !config.trace_file.empty();
+    cluster.enable_trace(topts);
+  }
   dsm::DsmConfig dsm_cfg = workload->dsm_config();
   dsm_cfg.engine = config.engine;
   dsm_cfg.piggyback = config.piggyback;
   dsm_cfg.dir_shards = config.dir_shards;
   dsm_cfg.placement = config.placement;
   dsm_cfg.pid_strategy = config.pid_strategy;
+  dsm_cfg.trace_file = config.trace_file;
   dsm::DsmSystem system(cluster, dsm_cfg);
   ompx::Runtime rt(system);
   workload->setup(rt);
@@ -95,6 +103,9 @@ RunResult run_workload(const RunConfig& config,
       result.seconds > 0.0 ? node_seconds / result.seconds
                            : static_cast<double>(config.nprocs);
   result.stats = stats.snapshot();
+  if (cluster.trace() != nullptr) {
+    result.trace = cluster.trace()->report();
+  }
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/adapt.hpp"
 #include "core/events.hpp"
 #include "dsm/config.hpp"
+#include "obs/trace.hpp"
 #include "sim/cost_model.hpp"
 #include "util/stats.hpp"
 
@@ -39,6 +40,12 @@ struct RunConfig {
   std::uint64_t seed = 1;
   /// Extra hosts beyond nprocs available for joins.
   int spare_hosts = 0;
+  /// Non-empty: record full trace events and write a Chrome trace-event
+  /// JSON file here after the run (--trace / ANOW_TRACE; DESIGN.md §11).
+  std::string trace_file = dsm::trace_file_from_env();
+  /// Record the per-bucket virtual-time attribution report (span
+  /// bookkeeping only, no event ring) even without a trace file.
+  bool time_attribution = false;
 };
 
 struct RunResult {
@@ -70,6 +77,10 @@ struct RunResult {
   std::int64_t shared_mb() const;
 
   util::StatsRegistry::Snapshot stats;
+
+  /// Time-attribution report (set when the run traced: trace_file non-empty
+  /// or time_attribution true).  Buckets sum exactly to per-process runtime.
+  std::optional<obs::Report> trace;
 };
 
 RunResult run_workload(const RunConfig& config);

@@ -1,5 +1,6 @@
 #include "sim/cluster.hpp"
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace anow::sim {
@@ -10,6 +11,19 @@ Cluster::Cluster(CostModel cost, int initial_hosts, std::uint64_t seed)
   for (int i = 0; i < initial_hosts; ++i) {
     add_host();
   }
+}
+
+Cluster::~Cluster() = default;
+
+obs::TraceRecorder& Cluster::enable_trace(const obs::TraceOptions& opts) {
+  if (!trace_) {
+    trace_ = std::make_unique<obs::TraceRecorder>(sim_, stats_, opts);
+  }
+  return *trace_;
+}
+
+obs::TraceRecorder& Cluster::enable_trace() {
+  return enable_trace(obs::TraceOptions{});
 }
 
 HostId Cluster::add_host(double speed_factor) {

@@ -17,6 +17,11 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace anow::obs {
+class TraceRecorder;
+struct TraceOptions;
+}  // namespace anow::obs
+
 namespace anow::sim {
 
 class Host {
@@ -37,6 +42,7 @@ class Cluster {
  public:
   explicit Cluster(CostModel cost = {}, int initial_hosts = 0,
                    std::uint64_t seed = 1);
+  ~Cluster();
 
   Simulator& sim() { return sim_; }
   Network& net() { return *net_; }
@@ -58,6 +64,13 @@ class Cluster {
   int freeze_all();
   void unfreeze_all(int frozen_hosts = -1);
 
+  /// Observability (DESIGN.md §11).  No recorder exists by default — the
+  /// trace hooks all test this pointer, so an untraced run pays nothing.
+  /// Enable before constructing a DsmSystem; processes cache the pointer.
+  obs::TraceRecorder& enable_trace(const obs::TraceOptions& opts);
+  obs::TraceRecorder& enable_trace();
+  obs::TraceRecorder* trace() { return trace_.get(); }
+
  private:
   CostModel cost_;
   Simulator sim_;
@@ -65,6 +78,7 @@ class Cluster {
   util::Rng rng_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
 };
 
 }  // namespace anow::sim

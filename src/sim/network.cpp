@@ -8,7 +8,11 @@ namespace anow::sim {
 
 Network::Network(Simulator& sim, const CostModel& cost,
                  util::StatsRegistry& stats, int num_hosts)
-    : sim_(sim), cost_(cost), stats_(stats) {
+    : sim_(sim),
+      cost_(cost),
+      stats_(stats),
+      ctr_messages_(stats.handle("net.messages")),
+      ctr_bytes_(stats.handle("net.bytes")) {
   ensure_hosts(num_hosts);
 }
 
@@ -32,8 +36,8 @@ Time Network::send(HostId src, HostId dst, std::int64_t payload_bytes,
   ANOW_CHECK(src >= 0 && src < num_hosts());
   ANOW_CHECK(dst >= 0 && dst < num_hosts());
 
-  stats_.counter("net.messages")++;
-  stats_.counter("net.bytes") += payload_bytes + cost_.header_bytes;
+  ++*ctr_messages_;
+  *ctr_bytes_ += payload_bytes + cost_.header_bytes;
 
   if (src == dst) {
     // Multiplexed processes on one host: loopback, no link traffic.

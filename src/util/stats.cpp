@@ -17,8 +17,10 @@ double StatsRegistry::accum_value(const std::string& name) const {
 }
 
 void StatsRegistry::clear() {
-  counters_.clear();
-  accums_.clear();
+  // Zero in place rather than erase: hot paths hold handle() pointers into
+  // the map nodes, and those must survive a mid-run reset.
+  for (auto& [name, value] : counters_) value = 0;
+  for (auto& [name, value] : accums_) value = 0.0;
 }
 
 StatsRegistry::Snapshot StatsRegistry::snapshot() const {

@@ -20,9 +20,18 @@ class StatsRegistry {
   std::int64_t& counter(const std::string& name) { return counters_[name]; }
   double& accum(const std::string& name) { return accums_[name]; }
 
+  /// Pre-interned counter handle for hot paths: one name lookup at setup,
+  /// then plain pointer increments.  Handles stay valid for the registry's
+  /// lifetime — including across clear(), which zeroes values in place
+  /// instead of erasing the nodes.
+  std::int64_t* handle(const std::string& name) { return &counters_[name]; }
+  double* accum_handle(const std::string& name) { return &accums_[name]; }
+
   std::int64_t counter_value(const std::string& name) const;
   double accum_value(const std::string& name) const;
 
+  /// Zeroes every counter and accumulator in place; names (and therefore
+  /// outstanding handle() pointers) survive.
   void clear();
 
   /// A point-in-time copy; subtract two snapshots to get deltas over a

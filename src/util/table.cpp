@@ -125,33 +125,63 @@ std::string json_escape(const std::string& s) {
 JsonWriter::JsonWriter() = default;
 
 void JsonWriter::comma() {
-  ANOW_CHECK_MSG(!has_members_.empty(), "field outside any object");
-  if (has_members_.back()) out_ += ",";
-  has_members_.back() = true;
+  ANOW_CHECK_MSG(!frames_.empty(), "field outside any object");
+  if (frames_.back().has_members) out_ += ",";
+  frames_.back().has_members = true;
 }
 
 void JsonWriter::open_key(const std::string& key) {
+  ANOW_CHECK_MSG(!frames_.empty() && !frames_.back().array,
+                 "keyed field inside an array");
   comma();
   out_ += "\"" + json_escape(key) + "\":";
 }
 
-JsonWriter& JsonWriter::begin_object(const std::string& key) {
-  if (has_members_.empty()) {
+void JsonWriter::open_container(const std::string& key, char open,
+                                bool array) {
+  if (frames_.empty()) {
     ANOW_CHECK_MSG(key.empty() && out_.empty(),
-                   "root object must be unnamed and unique");
+                   "root container must be unnamed and unique");
+  } else if (frames_.back().array) {
+    ANOW_CHECK_MSG(key.empty(), "array elements are anonymous");
+    comma();
   } else {
     open_key(key);
   }
-  out_ += "{";
-  has_members_.push_back(false);
+  out_ += open;
+  frames_.push_back(Frame{array, false});
+}
+
+JsonWriter& JsonWriter::begin_object(const std::string& key) {
+  open_container(key, '{', /*array=*/false);
   return *this;
 }
 
 JsonWriter& JsonWriter::end_object() {
-  ANOW_CHECK_MSG(!has_members_.empty(), "end_object without begin_object");
-  has_members_.pop_back();
+  ANOW_CHECK_MSG(!frames_.empty() && !frames_.back().array,
+                 "end_object without begin_object");
+  frames_.pop_back();
   out_ += "}";
   return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  open_container(key, '[', /*array=*/true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  ANOW_CHECK_MSG(!frames_.empty() && frames_.back().array,
+                 "end_array without begin_array");
+  frames_.pop_back();
+  out_ += "]";
+  return *this;
+}
+
+std::string JsonWriter::number(double value) const {
+  std::ostringstream os;
+  os << std::setprecision(12) << value;
+  return os.str();
 }
 
 JsonWriter& JsonWriter::field(const std::string& key,
@@ -163,9 +193,7 @@ JsonWriter& JsonWriter::field(const std::string& key,
 
 JsonWriter& JsonWriter::field(const std::string& key, double value) {
   open_key(key);
-  std::ostringstream os;
-  os << std::setprecision(12) << value;
-  out_ += os.str();
+  out_ += number(value);
   return *this;
 }
 
@@ -175,8 +203,32 @@ JsonWriter& JsonWriter::field(const std::string& key, std::int64_t value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value(const std::string& v) {
+  ANOW_CHECK_MSG(!frames_.empty() && frames_.back().array,
+                 "scalar value outside any array");
+  comma();
+  out_ += "\"" + json_escape(v) + "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  ANOW_CHECK_MSG(!frames_.empty() && frames_.back().array,
+                 "scalar value outside any array");
+  comma();
+  out_ += number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  ANOW_CHECK_MSG(!frames_.empty() && frames_.back().array,
+                 "scalar value outside any array");
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
 std::string JsonWriter::str() const {
-  ANOW_CHECK_MSG(has_members_.empty(), "unclosed JSON object");
+  ANOW_CHECK_MSG(frames_.empty(), "unclosed JSON object");
   return out_;
 }
 

@@ -48,16 +48,21 @@ class Table {
 };
 
 /// Minimal JSON emitter for machine-readable bench artifacts
-/// (BENCH_*.json): nested objects and scalar fields, emitted in insertion
-/// order.  Enough for flat perf records; not a general serializer.
+/// (BENCH_*.json) and Chrome trace-event files: nested objects, arrays, and
+/// scalar fields, emitted in insertion order.  Not a general serializer.
 class JsonWriter {
  public:
   JsonWriter();
 
   /// Opens a nested object; at the top level `key` must be empty exactly
-  /// once (the root), elsewhere it names the member.
+  /// once (the root), elsewhere it names the member.  Inside an array the
+  /// key must be empty (anonymous element).
   JsonWriter& begin_object(const std::string& key = "");
   JsonWriter& end_object();
+
+  /// Opens a nested array; same key rules as begin_object.
+  JsonWriter& begin_array(const std::string& key = "");
+  JsonWriter& end_array();
 
   JsonWriter& field(const std::string& key, const std::string& value);
   JsonWriter& field(const std::string& key, const char* value) {
@@ -69,16 +74,30 @@ class JsonWriter {
     return field(key, static_cast<std::int64_t>(value));
   }
 
-  /// The serialized document; all objects must be closed.
+  /// Scalar array elements; only legal inside an open array.
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// The serialized document; all objects/arrays must be closed.
   std::string str() const;
   void write_file(const std::string& path) const;
 
  private:
   void comma();
   void open_key(const std::string& key);
+  void open_container(const std::string& key, char open, bool array);
+  std::string number(double value) const;
+
+  struct Frame {
+    bool array = false;
+    bool has_members = false;
+  };
 
   std::string out_;
-  std::vector<bool> has_members_;  // per open object
+  std::vector<Frame> frames_;  // per open object/array
 };
 
 /// Formats a byte count as "123.45" megabytes (the unit Table 1 uses).

@@ -121,11 +121,45 @@ TEST(Stats, SnapshotDelta) {
   EXPECT_EQ(delta.counter("missing"), 0);
 }
 
+TEST(Stats, SnapshotDeltaCoversAccums) {
+  StatsRegistry s;
+  s.accum("t") = 1.5;
+  auto before = s.snapshot();
+  s.accum("t") += 2.0;
+  s.accum("u") = 0.25;
+  auto delta = s.snapshot().delta_since(before);
+  EXPECT_DOUBLE_EQ(delta.accum("t"), 2.0);
+  EXPECT_DOUBLE_EQ(delta.accum("u"), 0.25);
+  EXPECT_DOUBLE_EQ(delta.accum("missing"), 0.0);
+}
+
 TEST(Stats, ClearResets) {
   StatsRegistry s;
   s.counter("a") = 1;
+  s.accum("t") = 2.5;
   s.clear();
   EXPECT_EQ(s.counter_value("a"), 0);
+  EXPECT_DOUBLE_EQ(s.accum_value("t"), 0.0);
+}
+
+TEST(Stats, HandlesSurviveClearAndStayInterned) {
+  StatsRegistry s;
+  std::int64_t* h = s.handle("hot");
+  double* a = s.accum_handle("warm");
+  *h += 3;
+  *a += 1.5;
+  EXPECT_EQ(s.counter_value("hot"), 3);
+  EXPECT_DOUBLE_EQ(s.accum_value("warm"), 1.5);
+  s.clear();  // zeroes in place; the map nodes (and handles) survive
+  EXPECT_EQ(*h, 0);
+  EXPECT_DOUBLE_EQ(*a, 0.0);
+  *h += 7;
+  *a += 0.5;
+  EXPECT_EQ(s.counter_value("hot"), 7);
+  EXPECT_DOUBLE_EQ(s.accum_value("warm"), 0.5);
+  // handle() is interning: the same name always yields the same address.
+  EXPECT_EQ(s.handle("hot"), h);
+  EXPECT_EQ(s.accum_handle("warm"), a);
 }
 
 TEST(Summary, MeanMinMaxStddev) {
@@ -170,6 +204,57 @@ TEST(Table, TooManyCellsThrows) {
   Table t({"only"});
   t.row().add("x");
   EXPECT_THROW(t.add("y"), CheckError);
+}
+
+TEST(Json, ObjectsAndFields) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("name", "jacobi");
+  j.field("nodes", 8);
+  j.begin_object("inner").field("x", 1.5).end_object();
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            "{\"name\":\"jacobi\",\"nodes\":8,\"inner\":{\"x\":1.5}}");
+}
+
+TEST(Json, ArraysOfScalarsAndObjects) {
+  JsonWriter j;
+  j.begin_object();
+  j.begin_array("xs").value(1).value(2.5).value("three").end_array();
+  j.begin_array("objs");
+  j.begin_object().field("a", 1).end_object();
+  j.begin_object().field("b", 2).end_object();
+  j.end_array();
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            "{\"xs\":[1,2.5,\"three\"],\"objs\":[{\"a\":1},{\"b\":2}]}");
+}
+
+TEST(Json, RootArrayAndNestedArrays) {
+  JsonWriter j;
+  j.begin_array();
+  j.begin_array().value(1).value(2).end_array();
+  j.begin_array().end_array();
+  j.end_array();
+  EXPECT_EQ(j.str(), "[[1,2],[]]");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    JsonWriter j;
+    j.begin_object();
+    EXPECT_THROW(j.value(1), CheckError);  // scalar element outside an array
+  }
+  {
+    JsonWriter j;
+    j.begin_array();
+    EXPECT_THROW(j.field("k", 1), CheckError);  // keyed field inside array
+  }
+  {
+    JsonWriter j;
+    j.begin_object();
+    EXPECT_THROW(j.str(), CheckError);  // unclosed container
+  }
 }
 
 TEST(Options, ParsesKeyEqualsValue) {

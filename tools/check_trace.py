@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Structural checker for Chrome trace-event JSON written by --trace.
+
+Validates the invariants the obs layer promises (DESIGN.md §11):
+
+  * the file is a single JSON object with a traceEvents array;
+  * every flow-start ("s") id has exactly one matching flow-finish ("f")
+    and vice versa — the exporter culls unpaired flows, so any leftover
+    is a bug;
+  * complete ("X") events nest properly per (pid, tid) track: two spans
+    on one track either contain one another or are disjoint;
+  * counter ("C") events carry a numeric args payload;
+  * timestamps and durations are non-negative.
+
+Exit status 0 with a one-line summary on success, 1 with a diagnostic on
+the first violated invariant.  Usage: check_trace.py <trace.json>
+"""
+
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def fail(msg):
+    print("check_trace: FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level is not an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty")
+
+    spans = defaultdict(list)  # (pid, tid) -> [(ts, dur, name)]
+    flow_starts = Counter()
+    flow_ends = Counter()
+    counts = Counter()
+    for ev in events:
+        ph = ev.get("ph")
+        counts[ph] += 1
+        ts = ev.get("ts", 0)
+        if ts < 0:
+            fail("negative ts in %r" % ev)
+        if ph == "X":
+            dur = ev.get("dur", 0)
+            if dur < 0:
+                fail("negative dur in %r" % ev)
+            spans[(ev.get("pid"), ev.get("tid"))].append(
+                (ts, dur, ev.get("name", "?")))
+        elif ph == "s":
+            flow_starts[ev["id"]] += 1
+        elif ph == "f":
+            if ev.get("bp") != "e":
+                fail("flow-finish without bp=e: %r" % ev)
+            flow_ends[ev["id"]] += 1
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                    isinstance(v, (int, float)) for v in args.values()):
+                fail("counter event without numeric args: %r" % ev)
+
+    for fid, n in flow_starts.items():
+        if n != 1:
+            fail("flow id %d started %d times" % (fid, n))
+        if flow_ends.get(fid, 0) != 1:
+            fail("flow id %d has %d finishes" % (fid, flow_ends.get(fid, 0)))
+    for fid in flow_ends:
+        if fid not in flow_starts:
+            fail("flow id %d finishes but never starts" % fid)
+
+    # Proper nesting per track: sweep spans in (ts, -dur) order with a
+    # stack of open intervals.  A span must close before its parent does.
+    # Timestamps are microseconds rounded from integer nanoseconds, so
+    # allow a rounding slop well below the 1e-3 µs quantum.
+    eps = 2e-3
+    for track, ivs in spans.items():
+        ivs.sort(key=lambda e: (e[0], -e[1]))
+        stack = []
+        for ts, dur, name in ivs:
+            while stack and ts >= stack[-1][1] - eps:
+                stack.pop()
+            if stack and ts + dur > stack[-1][1] + eps:
+                fail("span %r [%g, %g] overlaps %r ending at %g on track %s"
+                     % (name, ts, ts + dur, stack[-1][2], stack[-1][1], track))
+            stack.append((ts, ts + dur, name))
+
+    print("check_trace: OK — %d events (%d spans, %d/%d flow s/f, "
+          "%d counter samples, %d metadata) across %d tracks"
+          % (len(events), counts["X"], counts["s"], counts["f"],
+             counts["C"], counts["M"], len(spans)))
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: check_trace.py <trace.json>")
+        sys.exit(2)
+    main(sys.argv[1])
