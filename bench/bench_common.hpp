@@ -55,6 +55,21 @@ inline dsm::PlacementMode placement_from_options(const util::Options& opts) {
       dsm::placement_mode_name(dsm::placement_mode_from_env())));
 }
 
+/// --topology {flat,tree}: control-plane topology for barriers, GC, and
+/// owner-delta broadcast (defaults to ANOW_TOPOLOGY, else flat —
+/// DESIGN.md §12).
+inline dsm::TopologyKind topology_from_options(const util::Options& opts) {
+  return dsm::parse_topology_kind(opts.get_choice(
+      "topology", {"flat", "tree"},
+      dsm::topology_kind_name(dsm::topology_kind_from_env())));
+}
+
+/// --fanout K: combining/multicast tree fan-out under --topology tree
+/// (defaults to ANOW_FANOUT, else 4).
+inline int fanout_from_options(const util::Options& opts) {
+  return static_cast<int>(opts.get_int("fanout", dsm::fanout_from_env()));
+}
+
 /// --trace FILE: Chrome trace-event JSON output (DESIGN.md §11; defaults
 /// to ANOW_TRACE, else off).  Open the file at https://ui.perfetto.dev.
 inline std::string trace_file_from_options(const util::Options& opts) {

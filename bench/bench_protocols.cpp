@@ -9,7 +9,7 @@
 // shard counts (--dir-shards, DESIGN.md §8: 1 = the master-held directory,
 // N = page ranges spread across the first N processes).
 //
-// Results go to stdout and to BENCH_protocols.json (schema 6): per
+// Results go to stdout and to BENCH_protocols.json (schema 7): per
 // (engine, dir-shards, piggyback) virtual runtime, host wall-clock
 // (`wall_seconds` — the simulator's own cost, the raw-speed trajectory
 // the hot-path passes optimize), message/envelope count,
@@ -29,7 +29,12 @@
 // host wall-clock overhead).  A leg that crashes mid-run is recorded as
 // {"failed": true, "error": ...} and the sweep continues — the JSON is
 // always written, so the perf trajectory is never empty after a crashed
-// bench.
+// bench.  A final `scaling` section sweeps --scale-nodes team sizes
+// (default 8,64,256 at Size::kTest, hotspot + jacobi) flat vs tree at
+// fanout 8 (DESIGN.md §12), reporting master-inbound control messages per
+// barrier and the flat/tree drop factor; every main leg also runs under
+// --topology/--fanout (default flat) and reports its
+// dsm.ctrl.master_{inbound,outbound} counters.
 //
 // --check-batching turns the acceptance properties into an exit code: for
 // every workload, engine, and shard count, batching must never increase the
@@ -41,8 +46,11 @@
 // on the shifting-hotspot workload the home engine's adaptive leg must
 // reduce consistency traffic (messages or bytes) below the static one;
 // every attributed leg's time buckets must conserve its runtime exactly;
-// and tracing must be free — the untraced and traced reruns must match the
-// release leg's virtual time, messages, bytes, and checksum.
+// tracing must be free — the untraced and traced reruns must match the
+// release leg's virtual time, messages, bytes, and checksum; and the
+// scaling sweep's tree legs must match the flat checksums and barrier
+// counts, strictly cut master inbound/barrier at >= 64 nodes, and cut it
+// >= 10x at 256 nodes.
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -87,12 +95,21 @@ int main(int argc, char** argv) {
   using namespace anow;
   util::Options opts(argc, argv);
   opts.allow_only({"size", "full", "nodes", "apps", "dir-shards",
-                   "check-batching", "trace"});
+                   "check-batching", "trace", "topology", "fanout",
+                   "scale-nodes"});
   const apps::Size size = bench::size_from_options(opts);
   const int nodes = static_cast<int>(opts.get_int("nodes", 8));
   const bool check_batching = opts.get_bool("check-batching", false);
   const std::string trace_path =
       opts.get_string("trace", "BENCH_trace.json");
+  // Control-plane topology of the main ablation legs (DESIGN.md §12); the
+  // scaling sweep below runs flat vs tree explicitly regardless.
+  const dsm::TopologyKind topology = bench::topology_from_options(opts);
+  const int fanout = bench::fanout_from_options(opts);
+  // --scale-nodes: team sizes for the control-plane scaling sweep (flat vs
+  // tree at fanout 8, Size::kTest, hotspot + jacobi).  "none" skips it.
+  const std::string scale_nodes_list =
+      opts.get_string("scale-nodes", "8,64,256");
 
   std::vector<std::string> apps = bench::table1_apps();
   apps.push_back("hotspot");  // the shifting-dominant-writer placement leg
@@ -130,9 +147,11 @@ int main(int argc, char** argv) {
   util::JsonWriter json;
   json.begin_object();
   json.field("bench", "protocols");
-  json.field("schema_version", 6);
+  json.field("schema_version", 7);
   json.field("size", apps::size_name(size));
   json.field("nodes", nodes);
+  json.field("topology", dsm::topology_kind_name(topology));
+  json.field("fanout", fanout);
   json.begin_object("workloads");
 
   bool ok = true;
@@ -175,6 +194,8 @@ int main(int argc, char** argv) {
           cfg.piggyback = mode;
           cfg.dir_shards = shards;
           cfg.placement = placement;
+          cfg.topology = topology;
+          cfg.fanout = fanout;
           cfg.adaptive = false;
           // Explicit per-leg tracing config (never the ambient ANOW_TRACE:
           // the untraced leg must really be untraced).
@@ -256,6 +277,10 @@ int main(int argc, char** argv) {
           json.field("home_flushes_piggybacked",
                      r.run.stats.counter("dsm.home_flushes_piggybacked"));
           json.field("gc_runs", r.run.stats.counter("dsm.gc_runs"));
+          json.field("ctrl_master_inbound",
+                     r.run.stats.counter("dsm.ctrl.master_inbound"));
+          json.field("ctrl_master_outbound",
+                     r.run.stats.counter("dsm.ctrl.master_outbound"));
           json.field("dir_delta_rounds",
                      r.run.stats.counter("dsm.dir.delta_rounds"));
           json.field("placement_home_moves", r.home_moves);
@@ -471,8 +496,141 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_object();
-  json.end_object();
   t.print(std::cout);
+
+  // -------------------------------------------------------------------
+  // Control-plane scaling sweep (DESIGN.md §12): flat vs tree (fanout 8)
+  // at growing team sizes, Size::kTest so the 256-node legs stay cheap.
+  // The headline metric is master-inbound control messages per barrier:
+  // O(N) flat, O(K) through the combining tree.
+  // -------------------------------------------------------------------
+  if (!scale_nodes_list.empty() && scale_nodes_list != "none") {
+    constexpr int kScaleFanout = 8;
+    std::vector<int> scale_nodes;
+    for (const auto& tok : split_list(scale_nodes_list)) {
+      scale_nodes.push_back(std::atoi(tok.c_str()));
+    }
+    const std::vector<std::string> scale_apps = {"hotspot", "jacobi"};
+
+    bench::print_header(
+        "Control-plane scaling — flat vs tree (fanout " +
+            std::to_string(kScaleFanout) + ")",
+        "Size preset: test.  In/barrier = master-inbound control messages "
+        "per barrier; the combining/multicast tree (DESIGN.md §12) must "
+        "hold it near the fanout while flat grows with the team.");
+
+    util::Table st({"App", "Nodes", "Topology", "Time(s)", "Barriers",
+                    "MasterIn", "MasterOut", "In/barrier"});
+
+    struct ScaleLeg {
+      bool ok = false;
+      double seconds = 0.0;
+      double checksum = 0.0;
+      std::int64_t barriers = 0;
+      std::int64_t master_in = 0;
+      std::int64_t master_out = 0;
+      double in_per_barrier = 0.0;
+    };
+    auto run_scale_leg = [&](const std::string& app, int n,
+                             dsm::TopologyKind topo) {
+      harness::RunConfig cfg;
+      cfg.app = app;
+      cfg.size = apps::Size::kTest;
+      cfg.nprocs = n;
+      cfg.engine = dsm::EngineKind::kHomeLrc;
+      cfg.piggyback = dsm::PiggybackMode::kRelease;
+      cfg.topology = topo;
+      cfg.fanout = kScaleFanout;
+      cfg.adaptive = false;
+      ScaleLeg leg;
+      try {
+        const harness::RunResult run = harness::run_workload(cfg);
+        leg.ok = true;
+        leg.seconds = run.seconds;
+        leg.checksum = run.checksum;
+        leg.barriers = run.stats.counter("dsm.barriers");
+        leg.master_in = run.stats.counter("dsm.ctrl.master_inbound");
+        leg.master_out = run.stats.counter("dsm.ctrl.master_outbound");
+        leg.in_per_barrier =
+            static_cast<double>(leg.master_in) /
+            static_cast<double>(leg.barriers > 0 ? leg.barriers : 1);
+      } catch (const std::exception& e) {
+        fail("scaling " + app + "/n" + std::to_string(n) + "/" +
+             dsm::topology_kind_name(topo) + " crashed: " + e.what());
+      }
+      const char* tname = dsm::topology_kind_name(topo);
+      json.begin_object(tname);
+      if (leg.ok) {
+        json.field("seconds", leg.seconds);
+        json.field("barriers", leg.barriers);
+        json.field("ctrl_master_inbound", leg.master_in);
+        json.field("ctrl_master_outbound", leg.master_out);
+        json.field("inbound_per_barrier", leg.in_per_barrier);
+        json.field("checksum", leg.checksum);
+        auto& row = st.row();
+        row.add(app).add(n).add(tname);
+        row.add(leg.seconds, 2);
+        row.add(leg.barriers);
+        row.add(leg.master_in);
+        row.add(leg.master_out);
+        row.add(leg.in_per_barrier, 1);
+      } else {
+        json.field("failed", true);
+      }
+      json.end_object();
+      return leg;
+    };
+
+    json.begin_object("scaling");
+    json.field("fanout", kScaleFanout);
+    for (const auto& app : scale_apps) {
+      st.separator();
+      json.begin_object(app);
+      for (const int n : scale_nodes) {
+        json.begin_object("n" + std::to_string(n));
+        const ScaleLeg flat =
+            run_scale_leg(app, n, dsm::TopologyKind::kFlat);
+        const ScaleLeg tree =
+            run_scale_leg(app, n, dsm::TopologyKind::kTree);
+        const std::string leg = "scaling " + app + "/n" + std::to_string(n);
+        if (flat.ok && tree.ok) {
+          const double drop =
+              tree.in_per_barrier > 0.0
+                  ? flat.in_per_barrier / tree.in_per_barrier
+                  : 0.0;
+          json.field("inbound_drop_factor", drop);
+          // Acceptance: same answer through the tree, and once the tree
+          // has interior nodes (n - 1 > fanout) the master's inbound load
+          // per barrier strictly drops; at 256 nodes the O(N) -> O(K)
+          // relief must be at least 10x.
+          if (tree.checksum != flat.checksum) {
+            fail(leg + ": tree checksum " + std::to_string(tree.checksum) +
+                 " != flat " + std::to_string(flat.checksum));
+          }
+          if (tree.barriers != flat.barriers) {
+            fail(leg + ": tree ran " + std::to_string(tree.barriers) +
+                 " barriers vs flat " + std::to_string(flat.barriers));
+          }
+          if (n >= 64 && tree.in_per_barrier >= flat.in_per_barrier) {
+            fail(leg + ": master inbound/barrier did not drop: tree " +
+                 std::to_string(tree.in_per_barrier) + " vs flat " +
+                 std::to_string(flat.in_per_barrier));
+          }
+          if (n >= 256 && drop < 10.0) {
+            fail(leg + ": inbound/barrier drop factor " +
+                 std::to_string(drop) + " < 10x at " + std::to_string(n) +
+                 " nodes, fanout " + std::to_string(kScaleFanout));
+          }
+        }
+        json.end_object();
+      }
+      json.end_object();
+    }
+    json.end_object();
+    st.print(std::cout);
+  }
+
+  json.end_object();
   json.write_file("BENCH_protocols.json");
   std::cout << "\nWrote BENCH_protocols.json\n";
   if (check_batching) {
@@ -482,8 +640,10 @@ int main(int argc, char** argv) {
                        "master-inbound lookups, static placement emitted "
                        "zero placement segments, adaptive placement never "
                        "raised steady-state message counts, time buckets "
-                       "conserve runtime on every leg, and tracing left "
-                       "every run untouched\n"
+                       "conserve runtime on every leg, tracing left "
+                       "every run untouched, and the combining tree cut "
+                       "master inbound/barrier at scale with matching "
+                       "checksums\n"
                      : "check-batching: FAILED\n");
     return ok ? 0 : 1;
   }

@@ -1,7 +1,8 @@
 // Quickstart: run an OpenMP-style parallel program on a simulated NOW and
 // watch it transparently absorb a joining workstation and survive a leave.
 //
-//   ./examples/quickstart [--engine {lrc,home}] [--trace out.json]
+//   ./examples/quickstart [--engine {lrc,home}] [--topology {flat,tree}]
+//                         [--fanout K] [--trace out.json]
 //
 // The program is a small Jacobi relaxation.  The key thing to notice is
 // that the application code never mentions joins or leaves: the iteration
@@ -14,6 +15,13 @@
 // it in chrome://tracing): each simulated process is one track — compute
 // slices alternate with barrier_wait, and the flow arrows show the barrier
 // fan-in/fan-out and page traffic that the join/leave disturb.
+//
+// --topology tree routes the control plane (barrier arrivals/releases,
+// GC rounds, fork/terminate) through a K-ary combining/multicast tree
+// instead of the flat master-centric star (DESIGN.md §12) — at this
+// 4-process scale the tree only matters with --fanout below 3, but the
+// same flags scale the master's inbound load as O(K·log_K N) on big
+// teams (see bench_protocols --scale-nodes).
 #include <cstring>
 #include <iostream>
 
@@ -41,7 +49,7 @@ constexpr int kIters = 120;
 
 int main(int argc, char** argv) {
   util::Options opts(argc, argv);
-  opts.allow_only({"engine", "trace"});
+  opts.allow_only({"engine", "trace", "topology", "fanout"});
   // A NOW with 4 workstations; one more becomes available later.
   sim::Cluster cluster({}, 5);
   dsm::DsmConfig config;
@@ -49,9 +57,15 @@ int main(int argc, char** argv) {
   config.engine = dsm::parse_engine_kind(opts.get_choice(
       "engine", {"lrc", "home"},
       dsm::engine_kind_name(dsm::engine_kind_from_env())));
+  config.topology = dsm::parse_topology_kind(opts.get_choice(
+      "topology", {"flat", "tree"},
+      dsm::topology_kind_name(dsm::topology_kind_from_env())));
+  config.fanout = static_cast<int>(
+      opts.get_int("fanout", dsm::fanout_from_env()));
   config.trace_file = opts.get_string("trace", dsm::trace_file_from_env());
   std::cout << "consistency engine: " << dsm::engine_kind_name(config.engine)
-            << "\n";
+            << ", control plane: "
+            << dsm::topology_kind_name(config.topology) << "\n";
   dsm::DsmSystem dsm(cluster, config);
   ompx::Runtime omp(dsm);
   core::AdaptiveRuntime adapt(dsm);

@@ -88,6 +88,20 @@ class Channel {
     return false;
   }
 
+  /// Removes and returns everything staged for `to`, in staging order.
+  /// The tree control plane (DESIGN.md §12) pulls the stage into the
+  /// destination's multicast route so the no-overtaking rule keeps holding
+  /// when a departure is tree-routed instead of direct: the staged
+  /// segments still precede the instruction, inside the route.  Empty
+  /// under kOff (nothing ever buffers).
+  std::vector<Segment> take_staged(Uid to) {
+    auto* staged = find_buffer(to);
+    if (staged == nullptr) return {};
+    std::vector<Segment> out = std::move(*staged);
+    staged->clear();
+    return out;
+  }
+
  private:
   void emit(Uid to, std::vector<Segment> segs) {
     Envelope env;

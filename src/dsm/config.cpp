@@ -89,6 +89,42 @@ PlacementMode placement_mode_from_env() {
   return mode;
 }
 
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFlat:
+      return "flat";
+    case TopologyKind::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+TopologyKind parse_topology_kind(const std::string& name) {
+  if (name == "flat") return TopologyKind::kFlat;
+  if (name == "tree") return TopologyKind::kTree;
+  ANOW_CHECK_MSG(false, "unknown topology '" << name << "' (want flat|tree)");
+}
+
+TopologyKind topology_kind_from_env() {
+  static const TopologyKind kind = [] {
+    const char* env = std::getenv("ANOW_TOPOLOGY");
+    return env != nullptr && *env != '\0' ? parse_topology_kind(env)
+                                          : TopologyKind::kFlat;
+  }();
+  return kind;
+}
+
+int fanout_from_env() {
+  static const int fanout = [] {
+    const char* env = std::getenv("ANOW_FANOUT");
+    if (env == nullptr || *env == '\0') return 4;
+    const int n = std::atoi(env);
+    ANOW_CHECK_MSG(n >= 1, "ANOW_FANOUT must be >= 1, got '" << env << "'");
+    return n;
+  }();
+  return fanout;
+}
+
 std::string trace_file_from_env() {
   static const std::string path = [] {
     const char* env = std::getenv("ANOW_TRACE");

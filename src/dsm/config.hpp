@@ -82,6 +82,32 @@ PlacementMode parse_placement_mode(const std::string& name);
 /// without touching every DsmConfig construction site.
 PlacementMode placement_mode_from_env();
 
+/// Hierarchical control plane (DESIGN.md §12): how collectives (barrier
+/// arrive/release, fork, GC prepare/ack, owner-delta broadcast, terminate)
+/// are routed between the master and the team.
+enum class TopologyKind : std::uint8_t {
+  /// Master-centric flat fan-in/fan-out — byte-identical to the
+  /// pre-topology protocol (no tree segment is ever sent).
+  kFlat,
+  /// K-ary combining/multicast tree over the live team: inbound collective
+  /// segments are merged at interior nodes on the way to the master,
+  /// outbound fan-outs are forwarded down the tree.  Degenerates to flat
+  /// routing when fanout >= team size - 1 (every slave is a root child).
+  kTree,
+};
+
+const char* topology_kind_name(TopologyKind kind);
+/// Parses "flat" / "tree"; throws on anything else.
+TopologyKind parse_topology_kind(const std::string& name);
+/// Default topology: ANOW_TOPOLOGY environment variable ("flat" / "tree"),
+/// falling back to flat.  Lets CI run the whole test suite under the tree
+/// control plane without touching every DsmConfig construction site.
+TopologyKind topology_kind_from_env();
+
+/// Default tree fanout K: ANOW_FANOUT environment variable, falling back
+/// to 4.  Only meaningful under TopologyKind::kTree.
+int fanout_from_env();
+
 /// Default trace output path: the ANOW_TRACE environment variable, else ""
 /// (tracing off).  Non-empty enables full event recording (DESIGN.md §11)
 /// and a Chrome trace-event JSON dump at the end of the run.
@@ -136,6 +162,16 @@ struct DsmConfig {
   /// placement_hysteresis consecutive windows.
   double placement_overload_factor = 2.0;
   std::int64_t placement_min_lookups = 128;
+
+  /// Control-plane topology (DESIGN.md §12): flat master-centric fan-out
+  /// (the default, byte-identical to the pre-topology protocol) or a K-ary
+  /// combining/multicast tree over the live team.
+  TopologyKind topology = topology_kind_from_env();
+
+  /// Tree fanout K (>= 1); ignored under kFlat.  The tree is recomputed on
+  /// every join/leave and degenerates to flat routing whenever
+  /// fanout >= team size - 1.
+  int fanout = fanout_from_env();
 
   /// Protocol for pages not covered by a protocol_override.
   Protocol default_protocol = Protocol::kMultiWriter;

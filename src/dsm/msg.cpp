@@ -101,6 +101,21 @@ struct WireSize {
   std::int64_t operator()(const ShardMove& m) const {
     return 8 + static_cast<std::int64_t>(m.owners.size()) * 2;
   }
+  std::int64_t operator()(const TreeArrive& m) const {
+    std::int64_t total = 4;
+    for (const auto& f : m.flushes) total += (*this)(f);
+    for (const auto& a : m.arrivals) total += (*this)(a);
+    return total;
+  }
+  std::int64_t operator()(const TreeAck&) const { return 4; }
+  std::int64_t operator()(const TreeMulticast& m) const {
+    std::int64_t total = 4;
+    for (const auto& route : m.routes) {
+      total += 6;
+      for (const auto& seg : route.segments) total += segment_wire_bytes(seg);
+    }
+    return total;
+  }
 };
 
 constexpr const char* kSegmentKindNames[kNumSegmentKinds] = {
@@ -110,7 +125,8 @@ constexpr const char* kSegmentKindNames[kNumSegmentKinds] = {
     "lock_grant",     "lock_release",   "fork",         "terminate",
     "join_ready",     "page_map",       "owner_query",  "owner_slice",
     "owner_update",   "dir_delta_request", "dir_delta_reply",
-    "home_move",      "shard_move",
+    "home_move",      "shard_move",     "tree_arrive",  "tree_ack",
+    "tree_multicast",
 };
 
 static_assert(std::variant_size_v<Segment> == kNumSegmentKinds,
@@ -133,6 +149,27 @@ bool segment_is_consistency_traffic(const Segment& seg) {
     case SegmentKind::kDiffReply:
     case SegmentKind::kHomeFlush:
     case SegmentKind::kHomeFlushAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool segment_is_control(const Segment& seg) {
+  switch (segment_kind(seg)) {
+    case SegmentKind::kBarrierArrive:
+    case SegmentKind::kBarrierRelease:
+    case SegmentKind::kGcPrepare:
+    case SegmentKind::kGcAck:
+    case SegmentKind::kFork:
+    case SegmentKind::kTerminate:
+    case SegmentKind::kJoinReady:
+    case SegmentKind::kPageMap:
+    case SegmentKind::kDirDeltaRequest:
+    case SegmentKind::kDirDeltaReply:
+    case SegmentKind::kTreeArrive:
+    case SegmentKind::kTreeAck:
+    case SegmentKind::kTreeMulticast:
       return true;
     default:
       return false;

@@ -254,6 +254,42 @@ struct ShardMove {
   std::vector<Uid> owners;  // empty = drop instruction for the old holder
 };
 
+// --- hierarchical control plane (DESIGN.md §12) ----------------------------
+// With --topology tree the collectives stop being flat master-centric
+// fan-ins/fan-outs: inbound collective segments are *combined* at interior
+// nodes of a K-ary tree over the live team, outbound instruction fan-outs
+// are *multicast* down it.  None of these segments exist under
+// --topology flat (the default), which stays byte-identical to the
+// pre-topology protocol.
+
+/// Combined barrier arrival: one envelope per subtree.  Each non-master
+/// process sends exactly one TreeArrive to its tree parent covering its
+/// whole subtree — its own arrival merged with its children's.  Flushes are
+/// the subtree's master-homed piggybacked HomeFlush segments; they are kept
+/// ordered *before* the arrivals and applied first at the master, so the
+/// ack-before-announce invariant survives routing through interior nodes
+/// that are not the flushes' home.
+struct TreeArrive {
+  std::int32_t barrier_id = 0;
+  std::vector<HomeFlush> flushes;
+  std::vector<BarrierArrive> arrivals;
+};
+
+/// Combined GC ack: count = number of GcAcks folded in (own + children's
+/// counts).  The master decrements its outstanding-ack counter by count, so
+/// the GcAck-as-adoption-barrier semantics are unchanged.
+struct TreeAck {
+  std::int32_t count = 0;
+};
+
+/// Multicast fan-out: one route per final destination, each an ordered
+/// segment list (the destination's staged channel contents — e.g. a
+/// join-barrier release — followed by the instruction).  Interior nodes
+/// forward descendant routes to the responsible child *before* processing
+/// their own route, so a terminate in the own route cannot strand the
+/// subtree.  Routes only ever originate at the master.
+struct TreeMulticast;
+
 /// One typed unit of the wire protocol.  Alternative order must match
 /// SegmentKind (segment_kind() is the variant index).
 using Segment =
@@ -262,7 +298,16 @@ using Segment =
                  GcAck, LockAcquireReq, LockGrant, LockReleaseMsg, ForkMsg,
                  TerminateMsg, JoinReady, PageMapMsg, OwnerQuery, OwnerSlice,
                  OwnerUpdate, DirDeltaRequest, DirDeltaReply, HomeMove,
-                 ShardMove>;
+                 ShardMove, TreeArrive, TreeAck, TreeMulticast>;
+
+struct TreeRoute {
+  Uid dest = kNoUid;
+  std::vector<Segment> segments;
+};
+
+struct TreeMulticast {
+  std::vector<TreeRoute> routes;
+};
 
 enum class SegmentKind : std::uint8_t {
   kPageRequest,
@@ -289,8 +334,11 @@ enum class SegmentKind : std::uint8_t {
   kDirDeltaReply,
   kHomeMove,
   kShardMove,
+  kTreeArrive,
+  kTreeAck,
+  kTreeMulticast,
 };
-constexpr int kNumSegmentKinds = 24;
+constexpr int kNumSegmentKinds = 27;
 
 inline SegmentKind segment_kind(const Segment& seg) {
   return static_cast<SegmentKind>(seg.index());
@@ -308,6 +356,16 @@ std::int64_t segment_wire_bytes(const Segment& seg);
 /// pending notices (counted at the fetch site, where the intent is known),
 /// this forms the engine-comparison consistency-traffic metric.
 bool segment_is_consistency_traffic(const Segment& seg);
+
+/// Control-plane segment kinds: the collective machinery (barrier
+/// arrive/release, fork/join, GC rounds, owner-delta broadcast, terminate,
+/// tree combining/multicast).  Drives the dsm.ctrl.master_inbound/outbound
+/// counters — "messages through the master per collective" — which the tree
+/// topology must drop from O(N) to O(K·log_K N).  Lock traffic and data
+/// traffic (page/diff fetches, home flushes) are excluded.  A combined tree
+/// segment counts once, not once per folded child segment: that is exactly
+/// the serialization relief the metric measures.
+bool segment_is_control(const Segment& seg);
 
 /// Per-envelope framing charge (type/count/length fields).  Chosen so that
 /// a single-segment envelope weighs exactly what the pre-envelope flat

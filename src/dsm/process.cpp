@@ -425,7 +425,7 @@ void DsmProcess::apply_owner_hints(const OwnerDelta& delta) {
 // Synchronization
 // ---------------------------------------------------------------------------
 
-void DsmProcess::flush_homes() {
+void DsmProcess::flush_homes(bool divert_master_to_tree) {
   auto plans = engine_->plan_home_flush();
   if (plans.empty()) return;
   // Diff creation (one page scan per flushed diff) happens on this node.
@@ -470,7 +470,15 @@ void DsmProcess::flush_homes() {
       }
       staged_service += system_.cluster().cost().diff_service_fixed +
                         system_.cluster().cost().diff_apply_time(flush_bytes);
-      channel_.stage(kMasterUid, std::move(flush));
+      if (divert_master_to_tree) {
+        // Tree barrier path: the announcement is a TreeArrive to the
+        // parent, so the flush rides inside it (ordered before the
+        // arrivals, applied first at the master) instead of the master
+        // stage — same piggyback, different vehicle (DESIGN.md §12).
+        tree_flushes_pending_.push_back(std::move(flush));
+      } else {
+        channel_.stage(kMasterUid, std::move(flush));
+      }
       (*ctr_home_flushes_pb_)++;
       continue;
     }
@@ -497,11 +505,18 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
   flush_cpu();
   (*ctr_barrier_waits_)++;
   Interval iv = engine_->finish_interval();
-  flush_homes();
-  // channel_.send drains the flush staged for the master (if any): the
-  // arrival and its home data share one envelope, data first.
-  channel_.send(kMasterUid, BarrierArrive{uid_, barrier_id, std::move(iv),
-                                          consistency_bytes()});
+  const bool tree = tree_routes_collectives();
+  flush_homes(/*divert_master_to_tree=*/tree);
+  BarrierArrive arrive{uid_, barrier_id, std::move(iv), consistency_bytes()};
+  if (tree) {
+    // The arrival climbs the tree: merged with the children's at this node,
+    // one combined envelope per subtree (DESIGN.md §12).
+    tree_post_arrive(barrier_id, std::move(arrive));
+  } else {
+    // channel_.send drains the flush staged for the master (if any): the
+    // arrival and its home data share one envelope, data first.
+    channel_.send(kMasterUid, std::move(arrive));
+  }
 
   while (true) {
     Segment m = next_instruction("barrier");
@@ -514,7 +529,11 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
-      channel_.send(kMasterUid, GcAck{uid_});
+      if (tree_routes_collectives()) {
+        tree_post_ack();
+      } else {
+        channel_.send(kMasterUid, GcAck{uid_});
+      }
       continue;
     }
     auto* rel = std::get_if<BarrierRelease>(&m);
@@ -673,10 +692,42 @@ void DsmProcess::handle_segment(Segment seg, Uid src,
         } else if constexpr (std::is_same_v<T, DirDeltaReply>) {
           if (body.cookie != 0) {
             deliver_reply(body.cookie, std::move(seg), shared_envelope);
-          } else {
-            ANOW_CHECK(is_master());
+          } else if (is_master()) {
             system_.on_dir_delta_reply(std::move(body));
+          } else {
+            // Tree barrier GC (DESIGN.md §12): a holder's cookie-0 partial
+            // climbs toward the root through this node — re-staged on our
+            // channel after the constant interior service charge.
+            ANOW_CHECK(tree_routes_collectives());
+            const Uid parent = system_.topology().parent_of(uid_);
+            system_.cluster().sim().after(
+                system_.cluster().cost().tree_combine,
+                [this, parent, reply = std::move(body)]() mutable {
+                  channel_.send(parent, std::move(reply));
+                });
           }
+        } else if constexpr (std::is_same_v<T, TreeArrive>) {
+          if (is_master()) {
+            // Root: unpack the subtree.  Flushes first — they were kept
+            // ordered ahead of the arrivals the whole way up, so the
+            // ack-before-announce invariant holds exactly as it does for
+            // a flat piggybacked envelope (DESIGN.md §7, §12).  They are
+            // all cookie-0 (writer pre-paid the apply service), so no ack.
+            engine_->apply_home_flushes(body.flushes);
+            for (const auto& arrive : body.arrivals) {
+              system_.on_barrier_arrive(arrive);
+            }
+          } else {
+            on_tree_arrive(std::move(body));
+          }
+        } else if constexpr (std::is_same_v<T, TreeAck>) {
+          if (is_master()) {
+            system_.on_tree_ack(body);
+          } else {
+            on_child_tree_ack(body);
+          }
+        } else if constexpr (std::is_same_v<T, TreeMulticast>) {
+          handle_tree_multicast(std::move(body));
         } else if constexpr (std::is_same_v<T, BarrierArrive>) {
           ANOW_CHECK(is_master());
           system_.on_barrier_arrive(body);
@@ -829,14 +880,21 @@ void DsmProcess::handle_dir_delta_request(const DirDeltaRequest& req,
   // round, so the master also needs the authoritative pre-GC contents.
   if (req.want_slice) reply.slice = slice->owners();
   reply.cookie = req.cookie;
+  // A barrier-GC round's reply (cookie 0) climbs back through the holder's
+  // parent under the tree topology — the request came down a multicast, and
+  // the partial is relayed hop by hop to the master's GC state machine
+  // (DESIGN.md §12).  Fiber rounds (nonzero cookie) stay direct to src.
+  const Uid to = (req.cookie == 0 && tree_routes_collectives())
+                     ? system_.topology().parent_of(uid_)
+                     : src;
   // Record-vs-slice comparison on the holder before the reply leaves.
   const sim::Time service =
       system_.cluster().cost().dir_service +
       system_.cluster().cost().gc_per_page *
           static_cast<sim::Time>(req.records.size());
   system_.cluster().sim().after(
-      service, [this, src, reply = std::move(reply)]() mutable {
-        channel_.send(src, std::move(reply));
+      service, [this, to, reply = std::move(reply)]() mutable {
+        channel_.send(to, std::move(reply));
       });
 }
 
@@ -892,6 +950,172 @@ void DsmProcess::handle_diff_request(const DiffRequest& req, Uid /*src*/) {
       service, [this, requester, reply = std::move(reply)]() mutable {
         channel_.send(requester, std::move(reply));
       });
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical control plane (DESIGN.md §12).  Combining (TreeArrive /
+// TreeAck) runs half in fiber context (the own contribution, posted from
+// barrier()/slave_main) and half in event context (children's combined
+// envelopes); whichever contribution completes the subtree triggers the
+// upward forward.  Multicast splitting is pure event context.
+// ---------------------------------------------------------------------------
+
+bool DsmProcess::tree_routes_collectives() const {
+  return system_.topology().active() && !is_master();
+}
+
+void DsmProcess::tree_post_arrive(std::int32_t barrier_id,
+                                  BarrierArrive arrival) {
+  if (!tree_arrive_open_) {
+    tree_arrive_open_ = true;
+    tree_barrier_id_ = barrier_id;
+  } else {
+    ANOW_CHECK_MSG(tree_barrier_id_ == barrier_id,
+                   "combining barrier " << tree_barrier_id_
+                                        << " but arrived at " << barrier_id);
+  }
+  ANOW_CHECK(!tree_self_arrived_);
+  tree_self_arrived_ = true;
+  for (auto& flush : tree_flushes_pending_) {
+    tree_flushes_.push_back(std::move(flush));
+  }
+  tree_flushes_pending_.clear();
+  tree_arrivals_.push_back(std::move(arrival));
+  maybe_forward_tree_arrive();
+}
+
+void DsmProcess::on_tree_arrive(TreeArrive msg) {
+  ANOW_CHECK_MSG(tree_routes_collectives(),
+                 "combined arrival reached flat-routing node " << uid_);
+  if (!tree_arrive_open_) {
+    tree_arrive_open_ = true;
+    tree_barrier_id_ = msg.barrier_id;
+  } else {
+    ANOW_CHECK_MSG(tree_barrier_id_ == msg.barrier_id,
+                   "combining barrier " << tree_barrier_id_
+                                        << " but child sent "
+                                        << msg.barrier_id);
+  }
+  ++tree_child_arrives_;
+  for (auto& flush : msg.flushes) tree_flushes_.push_back(std::move(flush));
+  for (auto& arrive : msg.arrivals) {
+    tree_arrivals_.push_back(std::move(arrive));
+  }
+  maybe_forward_tree_arrive();
+}
+
+void DsmProcess::maybe_forward_tree_arrive() {
+  const auto& topo = system_.topology();
+  const int children = static_cast<int>(topo.children_of(uid_).size());
+  if (!tree_self_arrived_ || tree_child_arrives_ < children) return;
+  ANOW_CHECK(tree_child_arrives_ == children);
+  TreeArrive out;
+  out.barrier_id = tree_barrier_id_;
+  out.flushes = std::move(tree_flushes_);
+  out.arrivals = std::move(tree_arrivals_);
+  tree_arrive_open_ = false;
+  tree_self_arrived_ = false;
+  tree_child_arrives_ = 0;
+  tree_flushes_.clear();
+  tree_arrivals_.clear();
+  const Uid parent = topo.parent_of(uid_);
+  ANOW_CHECK(parent != kNoUid);
+  if (children == 0) {
+    // A leaf's "combine" is just its own segment — sent immediately, the
+    // exact flat send re-aimed at the parent.
+    channel_.send(parent, std::move(out));
+    return;
+  }
+  // Interior: one constant combining charge before the merged envelope
+  // departs.  Constant, so per-pair FIFO ordering between consecutive
+  // collectives through this node is preserved.
+  system_.cluster().sim().after(
+      system_.cluster().cost().tree_combine,
+      [this, parent, out = std::move(out)]() mutable {
+        channel_.send(parent, std::move(out));
+      });
+}
+
+void DsmProcess::tree_post_ack() {
+  ANOW_CHECK(!tree_self_acked_);
+  tree_ack_open_ = true;
+  tree_self_acked_ = true;
+  ++tree_ack_count_;
+  maybe_forward_tree_ack();
+}
+
+void DsmProcess::on_child_tree_ack(const TreeAck& msg) {
+  ANOW_CHECK_MSG(tree_routes_collectives(),
+                 "combined ack reached flat-routing node " << uid_);
+  ANOW_CHECK(msg.count >= 1);
+  tree_ack_open_ = true;
+  ++tree_child_acks_;
+  tree_ack_count_ += msg.count;
+  maybe_forward_tree_ack();
+}
+
+void DsmProcess::maybe_forward_tree_ack() {
+  const auto& topo = system_.topology();
+  const int children = static_cast<int>(topo.children_of(uid_).size());
+  if (!tree_self_acked_ || tree_child_acks_ < children) return;
+  ANOW_CHECK(tree_child_acks_ == children);
+  const TreeAck out{tree_ack_count_};
+  tree_ack_open_ = false;
+  tree_self_acked_ = false;
+  tree_child_acks_ = 0;
+  tree_ack_count_ = 0;
+  const Uid parent = topo.parent_of(uid_);
+  ANOW_CHECK(parent != kNoUid);
+  if (children == 0) {
+    channel_.send(parent, out);
+    return;
+  }
+  system_.cluster().sim().after(
+      system_.cluster().cost().tree_combine,
+      [this, parent, out] { channel_.send(parent, out); });
+}
+
+void DsmProcess::handle_tree_multicast(TreeMulticast msg) {
+  ANOW_CHECK_MSG(!is_master(), "multicast route reached the root");
+  const auto& topo = system_.topology();
+  std::vector<Segment> own;
+  bool have_own = false;
+  std::vector<std::pair<Uid, TreeMulticast>> by_child;
+  for (auto& route : msg.routes) {
+    if (route.dest == uid_) {
+      ANOW_CHECK_MSG(!have_own, "duplicate own route in multicast");
+      have_own = true;
+      own = std::move(route.segments);
+      continue;
+    }
+    const Uid child = topo.next_hop_toward(uid_, route.dest);
+    auto it =
+        std::find_if(by_child.begin(), by_child.end(),
+                     [child](const auto& e) { return e.first == child; });
+    if (it == by_child.end()) {
+      by_child.emplace_back(child, TreeMulticast{});
+      it = std::prev(by_child.end());
+    }
+    it->second.routes.push_back(std::move(route));
+  }
+  // Descendant routes are scheduled before the own route is processed: if
+  // the own route carries a terminate, the subtree's forwards are already
+  // in flight when this process stops.
+  for (auto& entry : by_child) {
+    system_.cluster().sim().after(
+        system_.cluster().cost().tree_combine,
+        [this, to = entry.first, mc = std::move(entry.second)]() mutable {
+          channel_.send(to, std::move(mc));
+        });
+  }
+  // The own route replays the exact envelope a flat fan-out would have
+  // delivered: the destination's staged segments (join-barrier release,
+  // adopt/drop notices, ...) strictly before the instruction, processed
+  // in order with the master as the logical sender.
+  const bool shared = own.size() > 1;
+  for (auto& seg : own) {
+    handle_segment(std::move(seg), kMasterUid, shared);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1015,7 +1239,11 @@ void DsmProcess::slave_main() {
       engine_->note_gc_prepare();
       engine_->integrate(gp->intervals);
       gc_validate(gp->owners);
-      channel_.send(kMasterUid, GcAck{uid_});
+      if (tree_routes_collectives()) {
+        tree_post_ack();
+      } else {
+        channel_.send(kMasterUid, GcAck{uid_});
+      }
       continue;
     }
     ANOW_CHECK_MSG(std::holds_alternative<TerminateMsg>(m),

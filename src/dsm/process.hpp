@@ -46,6 +46,13 @@ class DsmProcess {
   int nprocs() const;
   bool is_master() const { return uid_ == kMasterUid; }
   bool alive() const { return alive_; }
+  /// No tree-combining state in flight (DESIGN.md §12).  Collectives never
+  /// span an adaptation point, so this holds between constructs by
+  /// construction; expel() asserts it before the leaver departs.
+  bool tree_combine_idle() const {
+    return !tree_arrive_open_ && !tree_ack_open_ &&
+           tree_flushes_pending_.empty();
+  }
   sim::HostId host() const { return host_; }
   DsmSystem& system() { return system_; }
   protocol::ConsistencyEngine& engine() { return *engine_; }
@@ -123,6 +130,34 @@ class DsmProcess {
   // Adaptive placement (DESIGN.md §9), node side.
   void handle_home_move(const HomeMove& msg);
   void handle_shard_move(ShardMove msg);
+
+  // --- hierarchical control plane (DESIGN.md §12) ----------------------------
+  /// Whether this process's collective announcements climb the tree: a
+  /// non-root member of an active tree topology.  The master (root) keeps
+  /// the flat self-send paths; flat topologies route nothing.
+  bool tree_routes_collectives() const;
+  /// Fiber side: contributes this process's own barrier arrival (plus the
+  /// master-homed flushes flush_homes diverted) to the subtree combine and
+  /// forwards the merged TreeArrive to the parent once every child subtree
+  /// has reported.
+  void tree_post_arrive(std::int32_t barrier_id, BarrierArrive arrival);
+  /// Fiber side: contributes this process's own GcAck to the subtree's
+  /// combined TreeAck.
+  void tree_post_ack();
+  /// Event side: a child subtree's combined arrival / ack landed here.
+  void on_tree_arrive(TreeArrive msg);
+  void on_child_tree_ack(const TreeAck& msg);
+  /// Event side: a multicast from above.  Descendant routes are re-grouped
+  /// by child and forwarded (after the constant interior combining charge)
+  /// *before* the own route's segments are processed, so a terminate in the
+  /// own route cannot strand the subtree.
+  void handle_tree_multicast(TreeMulticast msg);
+  /// Forwards the combined TreeArrive / TreeAck to the parent once complete
+  /// (self contributed and every child subtree reported).  Leaves send
+  /// immediately — their "combine" is just their own segment, exactly the
+  /// flat send; interior nodes charge cost().tree_combine first.
+  void maybe_forward_tree_arrive();
+  void maybe_forward_tree_ack();
   void deliver_reply(std::uint64_t cookie, Segment seg,
                      bool shared_envelope);
   /// Schedules the current envelope's batched page replies: one envelope
@@ -158,8 +193,14 @@ class DsmProcess {
   /// Home-based engines: pushes the finished interval's diffs to their
   /// homes (one batched message per home, issued in parallel) and blocks on
   /// the acks.  Must run after finish_interval and before the interval is
-  /// announced to the master.  No-op for archive-based engines.
-  void flush_homes();
+  /// announced to the master.  No-op for archive-based engines.  With
+  /// divert_master_to_tree (the barrier path of a tree-routing process),
+  /// the master-homed piggybacked batch is held in tree_flushes_pending_
+  /// instead of the master stage: the announcement it must precede is a
+  /// TreeArrive to the parent, and the flush rides inside it (ordered
+  /// before the arrivals, applied first at the master), so ack-before-
+  /// announce survives routing through interior nodes.
+  void flush_homes(bool divert_master_to_tree = false);
   /// Validates pages the engine requires (new homes), then applies the
   /// delta as owner hints.
   void apply_owner_hints(const OwnerDelta& delta);
@@ -244,6 +285,25 @@ class DsmProcess {
   sim::WaitPoint lock_wp_;
   std::vector<Interval> lock_grant_intervals_;
   bool lock_granted_ = false;
+
+  // Tree combining state (DESIGN.md §12): at most one barrier and one GC
+  // round are in flight at a time, so one accumulator each suffices.  A
+  // child subtree's contribution may land (event context) before the local
+  // fiber reaches the collective, and vice versa — whichever contribution
+  // completes the set triggers the upward forward.
+  bool tree_arrive_open_ = false;
+  std::int32_t tree_barrier_id_ = 0;
+  bool tree_self_arrived_ = false;
+  int tree_child_arrives_ = 0;  // child TreeArrive envelopes received
+  std::vector<HomeFlush> tree_flushes_;
+  std::vector<BarrierArrive> tree_arrivals_;
+  bool tree_ack_open_ = false;
+  bool tree_self_acked_ = false;
+  int tree_child_acks_ = 0;  // child TreeAck envelopes received
+  std::int32_t tree_ack_count_ = 0;
+  /// Master-homed piggybacked flushes diverted by flush_homes on the
+  /// barrier path; tree_post_arrive moves them into the combine.
+  std::vector<HomeFlush> tree_flushes_pending_;
 };
 
 }  // namespace anow::dsm

@@ -28,6 +28,12 @@
 // sent, and every operation is the plain local vector walk the unsharded
 // engine performed — byte-identical behaviour, verified by the dir-shards
 // property test and the bench_protocols acceptance gate.
+//
+// Under --topology tree (DESIGN.md §12) the GC delta round becomes
+// subtree-aware: the master's cookie-0 DirDeltaRequests multicast down the
+// tree and each holder's partial DirDeltaReply relays hop-by-hop up its
+// ancestor chain instead of straight to the master.  The slice/delta logic
+// here is untouched — only the routing of the round changes.
 #pragma once
 
 #include <cstdint>

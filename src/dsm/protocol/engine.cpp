@@ -149,6 +149,15 @@ std::int64_t ConsistencyEngine::apply_home_flush(
                                   << "flushes");
 }
 
+std::int64_t ConsistencyEngine::apply_home_flushes(
+    const std::vector<HomeFlush>& flushes) {
+  std::int64_t applied = 0;
+  for (const auto& flush : flushes) {
+    applied += apply_home_flush(flush.writer, flush.pages);
+  }
+  return applied;
+}
+
 std::vector<PageId> ConsistencyEngine::pages_owned_by(Uid uid) const {
   return owned_pages(dir_.full_owner_map(), uid);
 }

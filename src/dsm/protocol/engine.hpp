@@ -195,6 +195,11 @@ class ConsistencyEngine {
   /// Returns encoded bytes applied (for cost accounting).
   virtual std::int64_t apply_home_flush(
       Uid writer, const std::vector<HomeFlushPage>& pages);
+  /// Batch form for a combined tree arrival (DESIGN.md §12): the subtree's
+  /// piggybacked flushes, applied in envelope order before any of the
+  /// arrivals they rode with are processed.  Returns total encoded bytes
+  /// applied.
+  std::int64_t apply_home_flushes(const std::vector<HomeFlush>& flushes);
 
   // --- serve side (event context, never blocks) --------------------------
   /// Prepares serving a full-page copy: ends exclusivity (conservative twin

@@ -29,6 +29,8 @@ DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
   ctr_consistency_bytes_ = stats.handle("dsm.consistency_traffic_bytes");
   ctr_lookups_master_ = stats.handle("dsm.owner_lookups.master_inbound");
   ctr_lookups_shard_ = stats.handle("dsm.owner_lookups.shard_inbound");
+  ctr_ctrl_master_in_ = stats.handle("dsm.ctrl.master_inbound");
+  ctr_ctrl_master_out_ = stats.handle("dsm.ctrl.master_outbound");
   // Tracing (DESIGN.md §11): a --trace/ANOW_TRACE path requests full event
   // recording; otherwise the recorder (if any) was enabled by the harness.
   // Either way processes cache the pointer at construction, so the recorder
@@ -149,6 +151,7 @@ void DsmSystem::start(int nprocs) {
     processes_.push_back(std::move(proc));
     team_.push_back(uid);
   }
+  rebuild_topology();
   // Slave fibers; the master's fiber is created in run().
   for (int i = 1; i < nprocs; ++i) {
     DsmProcess* p = processes_[team_[i]].get();
@@ -167,10 +170,31 @@ void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
     // Shut down every live process — team members and joiners that were
     // spawned but never adopted.  channel().send drains any join-barrier
     // release still staged for the target, so a slave parked in its final
-    // barrier gets [release, terminate] in one envelope.
-    for (auto& proc : processes_) {
-      if (proc->uid() == kMasterUid || !proc->alive()) continue;
-      channel(kMasterUid).send(proc->uid(), TerminateMsg{});
+    // barrier gets [release, terminate] in one envelope.  Under the tree
+    // topology the team members' terminates travel as one multicast (the
+    // routes pull the staged releases, preserving the same [release,
+    // terminate] order per destination); never-adopted joiners are not in
+    // the tree and stay direct.
+    if (topology_.active()) {
+      std::vector<std::pair<Uid, Segment>> msgs;
+      for (Uid uid : team_) {
+        if (uid == kMasterUid || !processes_[uid]->alive()) continue;
+        msgs.emplace_back(uid, TerminateMsg{});
+      }
+      if (!msgs.empty()) fan_out_instructions(std::move(msgs));
+      for (auto& proc : processes_) {
+        if (proc->uid() == kMasterUid || !proc->alive()) continue;
+        if (std::find(team_.begin(), team_.end(), proc->uid()) !=
+            team_.end()) {
+          continue;
+        }
+        channel(kMasterUid).send(proc->uid(), TerminateMsg{});
+      }
+    } else {
+      for (auto& proc : processes_) {
+        if (proc->uid() == kMasterUid || !proc->alive()) continue;
+        channel(kMasterUid).send(proc->uid(), TerminateMsg{});
+      }
     }
     master->alive_ = false;
   });
@@ -225,6 +249,7 @@ void DsmSystem::adopt(Uid uid) {
   ANOW_CHECK(is_alive(uid));
   ANOW_CHECK(std::find(team_.begin(), team_.end(), uid) == team_.end());
   team_.push_back(uid);
+  rebuild_topology();
 }
 
 void DsmSystem::expel(Uid uid) {
@@ -270,6 +295,18 @@ void DsmSystem::expel(Uid uid) {
       team_.pop_back();
       break;
   }
+  // A departing *interior* node's children are promoted before the leave
+  // completes: the rebuilt tree over the compacted pid order reattaches
+  // every orphaned subtree (the control-plane analogue of the shard-holder
+  // fold above).  Expel happens only between constructs, so the leaver can
+  // hold no half-combined collective state — asserted here.
+  ANOW_CHECK_MSG(process(uid).tree_combine_idle(),
+                 "expel of uid " << uid << " with combining state in flight");
+  rebuild_topology();
+  // The terminate stays direct even under the tree topology: the send
+  // drains the leaver's staged join-barrier release, preserving the
+  // [release, terminate] envelope (drain-before-departure), and the leaver
+  // is no longer in the rebuilt tree anyway.
   channel(kMasterUid).send(uid, TerminateMsg{});
   engine_->forget_uid(uid);
 }
@@ -447,6 +484,10 @@ void DsmSystem::run_parallel(std::int32_t task_id,
 
   // channel().send drains the join-barrier release staged for each slave
   // (PiggybackMode::kRelease), so release + fork share one envelope.
+  // Under the tree topology the fork broadcast is a multicast instead: one
+  // envelope per master child, each route carrying [staged release, fork]
+  // for its destination in the same order.
+  std::vector<std::pair<Uid, Segment>> routed;
   for (Uid uid : team_) {
     if (uid == kMasterUid) continue;
     ForkMsg fork;
@@ -456,8 +497,13 @@ void DsmSystem::run_parallel(std::int32_t task_id,
     fork.intervals = engine_->collect_undelivered(uid);
     fork.gc_commit = commit.gc_commit;
     fork.owner_delta = commit.delta;
-    channel(kMasterUid).send(uid, std::move(fork));
+    if (topology_.active()) {
+      routed.emplace_back(uid, std::move(fork));
+    } else {
+      channel(kMasterUid).send(uid, std::move(fork));
+    }
   }
+  if (!routed.empty()) fan_out_instructions(std::move(routed));
 
   // The master executes the construct too (it is part of the team), then
   // completes the Tmk_join barrier with everyone.
@@ -532,6 +578,7 @@ void DsmSystem::release_barrier() {
   const sim::Time service =
       cluster_.cost().barrier_service *
       static_cast<sim::Time>(barrier_arrived_.size());
+  std::vector<std::pair<Uid, Segment>> routed;
   for (Uid uid : team_) {
     BarrierRelease rel;
     rel.barrier_id = barrier_id_;
@@ -544,15 +591,29 @@ void DsmSystem::release_barrier() {
       // that fan-out instead of paying its own envelope.  Every
       // instruction path departs via channel().send, which drains this
       // stage first — the slave always pops the release before the
-      // instruction.  The master itself resumes through the immediate
-      // path below (it must return from barrier() to fork again), which
-      // also keeps the barrier service charge on the critical path.
+      // instruction.  Under the tree topology the instruction fan-out
+      // pulls the stage into the destination's multicast route, same
+      // order.  The master itself resumes through the immediate path
+      // below (it must return from barrier() to fork again), which also
+      // keeps the barrier service charge on the critical path.
       channel(kMasterUid).stage(uid, std::move(rel));
+      continue;
+    }
+    if (topology_.active() && uid != kMasterUid) {
+      routed.emplace_back(uid, std::move(rel));
       continue;
     }
     cluster_.sim().after(service,
                          [this, uid, rel = std::move(rel)]() mutable {
                            channel(kMasterUid).send(uid, std::move(rel));
+                         });
+  }
+  if (!routed.empty()) {
+    // One multicast per master child after the same aggregate service
+    // charge (the master still serializes over the arrivals it merged).
+    cluster_.sim().after(service,
+                         [this, routed = std::move(routed)]() mutable {
+                           fan_out_instructions(std::move(routed));
                          });
   }
   barrier_arrived_.clear();
@@ -628,6 +689,20 @@ void DsmSystem::begin_gc_at_barrier() {
   stats().counter("dsm.dir.delta_rounds")++;
   dir_partials_.clear();
   dir_partials_outstanding_ = static_cast<int>(requests.size());
+  // Under the tree topology the shard-holder round is subtree-aware: the
+  // requests ride one multicast per master child, and the cookie-0 replies
+  // climb back up through the holders' parents (handle_dir_delta_request /
+  // the relay in handle_segment).
+  if (topology_.active()) {
+    std::vector<std::pair<Uid, Segment>> routed;
+    routed.reserve(requests.size());
+    for (auto& [holder, req] : requests) {
+      req.cookie = 0;  // route the reply to on_dir_delta_reply
+      routed.emplace_back(holder, std::move(req));
+    }
+    fan_out_instructions(std::move(routed));
+    return;
+  }
   for (auto& [holder, req] : requests) {
     req.cookie = 0;  // route the reply to on_dir_delta_reply
     channel(kMasterUid).send(holder, std::move(req));
@@ -656,12 +731,22 @@ void DsmSystem::start_gc_prepare(OwnerDelta delta) {
                          [this](Uid u) { return is_alive(u); }, stats());
   }
   gc_acks_outstanding_ = static_cast<int>(team_.size());
+  std::vector<std::pair<Uid, Segment>> routed;
   for (Uid uid : team_) {
     GcPrepare gp;
     gp.owners = gc_delta_;
     gp.intervals = engine_->collect_undelivered(uid);
-    channel(kMasterUid).send(uid, std::move(gp));
+    // Tree topology: the prepare fan-out is a multicast (the routes also
+    // pull any staged HomeMove/ShardMove ahead of each prepare, keeping
+    // the adopt-before-prepare order).  The master's own prepare stays a
+    // direct self-send — it is the root.
+    if (topology_.active() && uid != kMasterUid) {
+      routed.emplace_back(uid, std::move(gp));
+    } else {
+      channel(kMasterUid).send(uid, std::move(gp));
+    }
   }
+  if (!routed.empty()) fan_out_instructions(std::move(routed));
 }
 
 OwnerDelta DsmSystem::collect_gc_delta() {
@@ -723,6 +808,16 @@ void DsmSystem::on_gc_ack(const GcAck& /*msg*/) {
   gc_resume_ = GcResume::kNone;
 }
 
+void DsmSystem::on_tree_ack(const TreeAck& msg) {
+  ANOW_CHECK(gc_in_progress_);
+  ANOW_CHECK_MSG(msg.count >= 1 && msg.count <= gc_acks_outstanding_,
+                 "combined ack count " << msg.count << " vs "
+                                       << gc_acks_outstanding_
+                                       << " outstanding");
+  gc_acks_outstanding_ -= msg.count - 1;
+  on_gc_ack(GcAck{});
+}
+
 void DsmSystem::gc_at_fork() {
   DsmProcess& master = process(kMasterUid);
   ANOW_CHECK_MSG(cluster_.sim().current_fiber() == master.fiber_,
@@ -764,13 +859,19 @@ void DsmSystem::gc_at_fork() {
     // barrier()), then handles the prepare from Tmk_wait — the same
     // integrate order as the unstaged path, so validation still sees
     // every write notice that exists at this point.
+    std::vector<std::pair<Uid, Segment>> routed;
     for (Uid uid : team_) {
       if (uid == kMasterUid) continue;
       GcPrepare gp;
       gp.owners = delta;
       gp.intervals = engine_->collect_undelivered(uid);
-      channel(kMasterUid).send(uid, std::move(gp));
+      if (topology_.active()) {
+        routed.emplace_back(uid, std::move(gp));
+      } else {
+        channel(kMasterUid).send(uid, std::move(gp));
+      }
     }
+    if (!routed.empty()) fan_out_instructions(std::move(routed));
     obs::ScopedSpan span(tracer_, kMasterUid, obs::SpanKind::kGcCommit);
     cluster_.sim().wait(gc_fork_wp_, "gc acks");
     // on_gc_ack performed the master-side gc_finish (the pending commit now
@@ -927,6 +1028,49 @@ sim::HostId DsmSystem::host_of(Uid uid) const {
   return processes_[uid]->host();
 }
 
+void DsmSystem::rebuild_topology() {
+  topology_.rebuild(team_, config_.topology, std::max(1, config_.fanout));
+}
+
+void DsmSystem::fan_out_instructions(
+    std::vector<std::pair<Uid, Segment>> msgs) {
+  ANOW_CHECK(topology_.active());
+  // One multicast per master child; routes grouped by which child's
+  // subtree holds the destination.  Pulling the stage here (not at a
+  // direct send) keeps the no-overtaking rule: the staged segments still
+  // precede the instruction inside the route, and nothing for this
+  // destination is left behind to be overtaken.
+  std::vector<std::pair<Uid, TreeMulticast>> by_child;
+  for (auto& [dest, seg] : msgs) {
+    ANOW_CHECK_MSG(dest != kMasterUid, "multicast route to the root");
+    const Uid child = topology_.next_hop_toward(kMasterUid, dest);
+    auto it = std::find_if(by_child.begin(), by_child.end(),
+                           [child](const auto& e) { return e.first == child; });
+    if (it == by_child.end()) {
+      by_child.emplace_back(child, TreeMulticast{});
+      it = std::prev(by_child.end());
+    }
+    // One route per destination: consecutive segments for the same dest
+    // (e.g. the delta requests of two shards held by one process) merge
+    // into its existing route, in batch order — the same envelope the flat
+    // path's stage+send would have produced.
+    auto& routes = it->second.routes;
+    auto rit = std::find_if(routes.begin(), routes.end(),
+                            [d = dest](const auto& r) { return r.dest == d; });
+    if (rit == routes.end()) {
+      TreeRoute route;
+      route.dest = dest;
+      route.segments = channel(kMasterUid).take_staged(dest);
+      routes.push_back(std::move(route));
+      rit = std::prev(routes.end());
+    }
+    rit->segments.push_back(std::move(seg));
+  }
+  for (auto& [child, mc] : by_child) {
+    channel(kMasterUid).send(child, std::move(mc));
+  }
+}
+
 Channel& DsmSystem::channel(Uid from) {
   ANOW_CHECK_MSG(from >= 0 && from < static_cast<Uid>(processes_.size()),
                  "channel of unknown uid " << from);
@@ -954,6 +1098,12 @@ void DsmSystem::send_envelope(Uid to, Envelope env) {
     *seg_bytes_[kind] += bytes;
     if (segment_is_consistency_traffic(seg)) {
       *ctr_consistency_bytes_ += bytes + (solo ? kEnvelopeHeaderBytes : 0);
+    }
+    // Control-plane load through the master (DESIGN.md §12): the
+    // per-collective serialization the tree topology exists to shrink.
+    if (segment_is_control(seg)) {
+      if (to == kMasterUid) (*ctr_ctrl_master_in_)++;
+      if (env.src == kMasterUid) (*ctr_ctrl_master_out_)++;
     }
     // Owner-lookup load by destination: page-location requests and
     // directory rounds landing on the master are the serialisation point

@@ -24,6 +24,7 @@
 #include "dsm/placement/policy.hpp"
 #include "dsm/process.hpp"
 #include "dsm/protocol/engine.hpp"
+#include "dsm/topology/topology.hpp"
 #include "dsm/types.hpp"
 #include "sim/cluster.hpp"
 
@@ -168,6 +169,12 @@ class DsmSystem {
   /// DsmConfig::dir_shards > 1; clamped to nprocs).
   const protocol::ShardMap& shard_map() const { return shard_map_; }
 
+  /// The control-plane tree over the live team (DESIGN.md §12), rebuilt at
+  /// start() and after every adopt/expel.  active() is false under
+  /// --topology flat (and for degenerate trees), in which case every
+  /// collective uses the flat master-centric path unchanged.
+  const topology::Topology& topology() const { return topology_; }
+
   /// Directory attachment parameters for a process's node-side engine:
   /// seeded page range, initial owner hints, authoritative slice (if the
   /// uid is a shard holder of the initial team).
@@ -187,6 +194,10 @@ class DsmSystem {
   void on_lock_acquire(const LockAcquireReq& msg);
   void on_lock_release(const LockReleaseMsg& msg);
   void on_gc_ack(const GcAck& msg);
+  /// A combined GC ack from a master-child subtree: count folded acks at
+  /// once.  The commit still waits for the exact team total, so the
+  /// GcAck-as-adoption-barrier semantics are unchanged.
+  void on_tree_ack(const TreeAck& msg);
   void on_join_ready(const JoinReady& msg);
   /// A shard holder's partial GC delta arrived (barrier-GC path).
   void on_dir_delta_reply(DirDeltaReply msg);
@@ -227,6 +238,20 @@ class DsmSystem {
   /// (leave-protocol transfers, explicit set_owner).
   void push_owner_update(PageId page, Uid owner);
   bool on_master_fiber() const;
+
+  /// Recomputes the control-plane tree from the current team (after every
+  /// team mutation).  Rebuilding is what "promotes" a departed interior
+  /// node's children: the heap layout over the compacted pid order
+  /// reattaches every orphaned subtree.
+  void rebuild_topology();
+  /// Tree multicast (DESIGN.md §12): wraps one segment per destination team
+  /// member into per-destination routes — each prefixed with everything
+  /// staged on the master channel for that destination, preserving the
+  /// no-overtaking rule (a staged join-barrier release still precedes the
+  /// instruction, inside the route) — groups the routes by master child and
+  /// sends one TreeMulticast envelope per child.  Only called when
+  /// topology_.active(); destinations must not include the master.
+  void fan_out_instructions(std::vector<std::pair<Uid, Segment>> msgs);
 
   sim::Cluster& cluster_;
   DsmConfig config_;
@@ -277,11 +302,22 @@ class DsmSystem {
   /// sharded layout exists to shrink (DESIGN.md §8).
   std::int64_t* ctr_lookups_master_ = nullptr;
   std::int64_t* ctr_lookups_shard_ = nullptr;
+  /// Control-plane segments through the master per direction (DESIGN.md
+  /// §12): the serialization the tree topology must drop from O(N) to
+  /// O(K·log_K N) per collective.  Counted per top-level segment — a
+  /// combined tree segment counts once, which is exactly the relief being
+  /// measured.
+  std::int64_t* ctr_ctrl_master_in_ = nullptr;
+  std::int64_t* ctr_ctrl_master_out_ = nullptr;
 
   /// Directory shard layout (fixed at start) and the first uid that is not
   /// an initial team member (joiners are never shard holders).
   protocol::ShardMap shard_map_;
   Uid initial_team_end_ = 0;
+
+  /// Control-plane tree geometry (DESIGN.md §12), a pure function of
+  /// (team_, config_.topology, config_.fanout).
+  topology::Topology topology_;
 
   // Master: barrier state.
   std::int32_t barrier_id_ = -1;

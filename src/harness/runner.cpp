@@ -34,6 +34,8 @@ RunResult run_workload(const RunConfig& config,
   dsm_cfg.piggyback = config.piggyback;
   dsm_cfg.dir_shards = config.dir_shards;
   dsm_cfg.placement = config.placement;
+  dsm_cfg.topology = config.topology;
+  dsm_cfg.fanout = config.fanout;
   dsm_cfg.pid_strategy = config.pid_strategy;
   dsm_cfg.trace_file = config.trace_file;
   dsm::DsmSystem system(cluster, dsm_cfg);

@@ -34,6 +34,10 @@ struct RunConfig {
   int dir_shards = dsm::dir_shards_from_env();
   /// Adaptive placement (--placement / ANOW_PLACEMENT; DESIGN.md §9).
   dsm::PlacementMode placement = dsm::placement_mode_from_env();
+  /// Control-plane topology (--topology / ANOW_TOPOLOGY; DESIGN.md §12).
+  dsm::TopologyKind topology = dsm::topology_kind_from_env();
+  /// K-ary tree fan-out under --topology tree (--fanout / ANOW_FANOUT).
+  int fanout = dsm::fanout_from_env();
   dsm::PidStrategy pid_strategy = dsm::PidStrategy::kShift;
   bool gc_before_adapt = true;
   sim::CostModel cost{};

@@ -64,6 +64,13 @@ struct CostModel {
   /// partial-delta computation) before the reply leaves.  Only charged
   /// when the owner directory is sharded (DESIGN.md §8).
   Time dir_service = 25 * kUsec;
+  /// Interior-node service of the tree control plane (DESIGN.md §12):
+  /// merging child segments into one combined envelope upward, or
+  /// splitting a multicast's routes per child downward.  Charged once per
+  /// forwarded envelope — constant, so per-pair FIFO ordering between
+  /// consecutive collectives through the same interior node is preserved.
+  /// Only charged under --topology tree.
+  Time tree_combine = 10 * kUsec;
 
   // --- adaptation ------------------------------------------------------------
   /// Remote process creation (paper: "approximately 0.6 to 0.8 seconds").

@@ -165,6 +165,39 @@ struct SegmentEq {
     return a.shard == b.shard && a.new_holder == b.new_holder &&
            a.owners == b.owners;
   }
+  static bool eq(const TreeArrive& a, const TreeArrive& b) {
+    if (a.barrier_id != b.barrier_id ||
+        a.flushes.size() != b.flushes.size() ||
+        a.arrivals.size() != b.arrivals.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.flushes.size(); ++i) {
+      if (!eq(a.flushes[i], b.flushes[i])) return false;
+    }
+    for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+      if (!eq(a.arrivals[i], b.arrivals[i])) return false;
+    }
+    return true;
+  }
+  static bool eq(const TreeAck& a, const TreeAck& b) {
+    return a.count == b.count;
+  }
+  static bool eq(const TreeMulticast& a, const TreeMulticast& b) {
+    if (a.routes.size() != b.routes.size()) return false;
+    for (std::size_t i = 0; i < a.routes.size(); ++i) {
+      if (a.routes[i].dest != b.routes[i].dest ||
+          a.routes[i].segments.size() != b.routes[i].segments.size()) {
+        return false;
+      }
+      for (std::size_t j = 0; j < a.routes[i].segments.size(); ++j) {
+        if (!std::visit(SegmentEq{b.routes[i].segments[j]},
+                        a.routes[i].segments[j])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
 };
 
 bool segments_equal(const Segment& a, const Segment& b) {
@@ -352,7 +385,7 @@ Segment random_segment(util::Rng& rng) {
     }
     case 22:
       return HomeMove{random_delta(rng)};
-    default: {
+    case 23: {
       ShardMove m;
       m.shard = static_cast<std::int32_t>(rng.next_below(8));
       m.new_holder = static_cast<Uid>(rng.next_below(8));
@@ -361,6 +394,49 @@ Segment random_segment(util::Rng& rng) {
         m.owners.push_back(static_cast<Uid>(rng.next_below(8)));
       }
       return m;
+    }
+    case 24: {
+      TreeArrive t;
+      t.barrier_id = static_cast<std::int32_t>(rng.next_below(16));
+      const auto nf = rng.next_below(3);
+      for (std::uint64_t i = 0; i < nf; ++i) {
+        HomeFlush f;
+        f.writer = static_cast<Uid>(rng.next_below(8));
+        f.pages.push_back({static_cast<PageId>(rng.next_below(256)),
+                           static_cast<std::int32_t>(rng.next_in(1, 50)),
+                           random_bytes(rng, 128)});
+        t.flushes.push_back(std::move(f));
+      }
+      const auto na = 1 + rng.next_below(4);
+      for (std::uint64_t i = 0; i < na; ++i) {
+        t.arrivals.push_back(
+            BarrierArrive{static_cast<Uid>(rng.next_below(8)), t.barrier_id,
+                          random_interval(rng), rng.next_in(0, 1 << 20)});
+      }
+      return t;
+    }
+    case 25:
+      return TreeAck{static_cast<std::int32_t>(1 + rng.next_below(8))};
+    default: {
+      // TreeMulticast: shallow routes of non-tree segments (the runtime
+      // never nests multicasts either — routes hold staged instruction
+      // segments).
+      TreeMulticast mc;
+      const auto nr = 1 + rng.next_below(3);
+      for (std::uint64_t i = 0; i < nr; ++i) {
+        TreeRoute route;
+        route.dest = static_cast<Uid>(1 + rng.next_below(8));
+        const auto ns = 1 + rng.next_below(3);
+        for (std::uint64_t j = 0; j < ns; ++j) {
+          Segment seg = random_segment(rng);
+          while (segment_kind(seg) == SegmentKind::kTreeMulticast) {
+            seg = random_segment(rng);
+          }
+          route.segments.push_back(std::move(seg));
+        }
+        mc.routes.push_back(std::move(route));
+      }
+      return mc;
     }
   }
 }

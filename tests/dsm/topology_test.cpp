@@ -1,0 +1,331 @@
+// Hierarchical control plane (DESIGN.md §12): tree geometry properties
+// (heap layout over pid order, parent/children consistency, next-hop
+// routing, degenerate-tree deactivation), the flat-is-baseline property
+// (--topology flat sends zero tree segments; tree runs compute the same
+// checksums while cutting master inbound control traffic), GC and sharded
+// owner-delta rounds routed through the tree, and a mid-run leave of an
+// *interior* tree node whose children must be promoted by the rebuild —
+// all over engine × piggyback × topology.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dsm/system.hpp"
+#include "dsm/topology/topology.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/cluster.hpp"
+
+namespace anow::dsm {
+namespace {
+
+using topology::Topology;
+
+// ---------------------------------------------------------------------------
+// Geometry: heap layout over pid order
+// ---------------------------------------------------------------------------
+
+TEST(Topology, HeapLayoutOverPidOrderNotUidOrder) {
+  // Uids deliberately not in pid order: the tree must follow positions in
+  // `team` (pids), not uid values.
+  const std::vector<Uid> team = {0, 5, 3, 1, 4, 2, 6};
+  Topology topo;
+  topo.rebuild(team, TopologyKind::kTree, /*fanout=*/2);
+
+  ASSERT_TRUE(topo.active());
+  EXPECT_EQ(topo.parent_of(0), kNoUid);  // root
+  EXPECT_EQ(topo.depth_of(0), 0);
+  // parent of pid i is team[(i - 1) / 2].
+  EXPECT_EQ(topo.children_of(0), (std::vector<Uid>{5, 3}));
+  EXPECT_EQ(topo.children_of(5), (std::vector<Uid>{1, 4}));
+  EXPECT_EQ(topo.children_of(3), (std::vector<Uid>{2, 6}));
+  EXPECT_TRUE(topo.children_of(1).empty());
+  EXPECT_EQ(topo.parent_of(4), 5);
+  EXPECT_EQ(topo.depth_of(4), 2);
+  // Routing: next hop from the root toward a grandchild is the child whose
+  // subtree holds it; from an interior node toward its own child, the
+  // child itself.
+  EXPECT_EQ(topo.next_hop_toward(0, 6), 3);
+  EXPECT_EQ(topo.next_hop_toward(0, 4), 5);
+  EXPECT_EQ(topo.next_hop_toward(5, 1), 1);
+}
+
+TEST(Topology, NonMembersHaveNoGeometry) {
+  Topology topo;
+  topo.rebuild({0, 1, 2, 3, 4}, TopologyKind::kTree, 2);
+  EXPECT_FALSE(topo.is_member(9));
+  EXPECT_EQ(topo.parent_of(9), kNoUid);
+  EXPECT_TRUE(topo.children_of(9).empty());
+  EXPECT_EQ(topo.depth_of(9), -1);
+}
+
+TEST(Topology, FlatKindAndDegenerateTreesAreInactive) {
+  Topology topo;
+  topo.rebuild({0, 1, 2, 3, 4, 5, 6, 7}, TopologyKind::kFlat, 2);
+  EXPECT_FALSE(topo.active());
+  // fanout >= team size - 1: every slave is a direct root child, so there
+  // is no interior node and tree routing must stay off.
+  topo.rebuild({0, 1, 2, 3}, TopologyKind::kTree, 3);
+  EXPECT_FALSE(topo.active());
+  topo.rebuild({0, 1, 2, 3}, TopologyKind::kTree, 8);
+  EXPECT_FALSE(topo.active());
+  // One more member tips it over: pid 4 lands under pid 1.
+  topo.rebuild({0, 1, 2, 3, 4}, TopologyKind::kTree, 3);
+  EXPECT_TRUE(topo.active());
+  EXPECT_EQ(topo.parent_of(4), 1);
+}
+
+TEST(Topology, StructuralInvariantsAcrossSizesAndFanouts) {
+  for (int n = 2; n <= 17; ++n) {
+    std::vector<Uid> team(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) team[static_cast<std::size_t>(i)] = i;
+    for (const int fanout : {1, 2, 3, 4, 8}) {
+      Topology topo;
+      topo.rebuild(team, TopologyKind::kTree, fanout);
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " fanout=" + std::to_string(fanout));
+      EXPECT_EQ(topo.active(), n - 1 > fanout);
+      std::size_t total_children = 0;
+      for (const Uid u : team) {
+        const auto& kids = topo.children_of(u);
+        total_children += kids.size();
+        EXPECT_LE(static_cast<int>(kids.size()), fanout);
+        for (const Uid c : kids) {
+          // Parent/child tables agree, depths are consistent, and the
+          // next hop from u toward anything in c's subtree is c.
+          EXPECT_EQ(topo.parent_of(c), u);
+          EXPECT_EQ(topo.depth_of(c), topo.depth_of(u) + 1);
+          EXPECT_EQ(topo.next_hop_toward(u, c), c);
+        }
+        if (u != team[0]) {
+          // Climbing parents from any member reaches the root, and the
+          // root's next hop toward the member is the first-level ancestor
+          // on that climb.
+          Uid climb = u;
+          while (topo.parent_of(climb) != team[0]) {
+            climb = topo.parent_of(climb);
+            ASSERT_NE(climb, kNoUid);
+          }
+          EXPECT_EQ(topo.next_hop_toward(team[0], u), climb);
+        }
+      }
+      // Everyone but the root is somebody's child exactly once.
+      EXPECT_EQ(total_children, static_cast<std::size_t>(n - 1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end grid: a barrier-heavy workload under engine × piggyback,
+// flat vs tree.  Flat must not send one tree segment; tree must agree on
+// the result, run the same number of barriers, and cut the master's
+// inbound control traffic.
+// ---------------------------------------------------------------------------
+
+struct TopoOutcome {
+  std::int64_t sum = 0;
+  std::int64_t barriers = 0;
+  std::int64_t gc_runs = 0;
+  std::int64_t master_inbound = 0;
+  std::int64_t tree_segments = 0;
+};
+
+TopoOutcome run_barrier_workload(EngineKind engine, PiggybackMode mode,
+                                 TopologyKind topo, int fanout,
+                                 int dir_shards = 1,
+                                 std::int64_t gc_threshold = 0) {
+  sim::Cluster cluster({}, 8);
+  DsmConfig cfg;
+  cfg.heap_bytes = 1 << 20;
+  cfg.engine = engine;
+  cfg.piggyback = mode;
+  cfg.dir_shards = dir_shards;
+  cfg.topology = topo;
+  cfg.fanout = fanout;
+  if (gc_threshold > 0) cfg.gc_threshold_bytes = gc_threshold;
+  DsmSystem sys(cluster, cfg);
+  constexpr std::int64_t kWords = 8 * 512;  // 8 pages of int64
+  constexpr int kIters = 10;
+  struct Args {
+    GAddr addr;
+    std::int64_t iter;
+  };
+  auto task = sys.register_task(
+      "stripe", [](DsmProcess& p, const std::vector<std::uint8_t>& a) {
+        Args args;
+        std::memcpy(&args, a.data(), sizeof(args));
+        // Rotate the stripe each iteration so every process keeps
+        // faulting pages home-flushed by somebody else.
+        const std::int64_t stripe =
+            (p.pid() + args.iter) % p.nprocs();
+        const std::int64_t per = kWords / p.nprocs();
+        const GAddr lo = args.addr + stripe * per * 8;
+        p.write_range(lo, per * 8);
+        auto* d = p.ptr<std::int64_t>(lo);
+        for (std::int64_t i = 0; i < per; ++i) d[i] += args.iter + 1;
+        p.barrier(1);
+      });
+  TopoOutcome out;
+  sys.start(8);
+  sys.run([&](DsmProcess& master) {
+    const GAddr addr = sys.shared_malloc(kWords * 8);
+    for (int it = 0; it < kIters; ++it) {
+      Args args{addr, it};
+      std::vector<std::uint8_t> packed(sizeof(args));
+      std::memcpy(packed.data(), &args, sizeof(args));
+      sys.run_parallel(task, packed);
+    }
+    master.read_range(addr, kWords * 8);
+    const auto* d = master.cptr<std::int64_t>(addr);
+    for (std::int64_t i = 0; i < kWords; ++i) out.sum += d[i];
+  });
+  const auto& stats = sys.stats();
+  out.barriers = stats.counter_value("dsm.barriers");
+  out.gc_runs = stats.counter_value("dsm.gc_runs");
+  out.master_inbound = stats.counter_value("dsm.ctrl.master_inbound");
+  out.tree_segments = stats.counter_value("dsm.seg.tree_arrive.msgs") +
+                      stats.counter_value("dsm.seg.tree_ack.msgs") +
+                      stats.counter_value("dsm.seg.tree_multicast.msgs");
+  return out;
+}
+
+using GridParam = std::tuple<EngineKind, PiggybackMode>;
+
+class TopologyGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(TopologyGridTest, FlatIsQuietAndTreeMatchesWithLessMasterInbound) {
+  const auto [engine, mode] = GetParam();
+  const TopoOutcome flat =
+      run_barrier_workload(engine, mode, TopologyKind::kFlat, 4);
+  for (const int fanout : {2, 4}) {
+    SCOPED_TRACE("fanout=" + std::to_string(fanout));
+    const TopoOutcome tree =
+        run_barrier_workload(engine, mode, TopologyKind::kTree, fanout);
+
+    // --topology flat: not one tree segment on the wire.
+    EXPECT_EQ(flat.tree_segments, 0);
+
+    // Same answer, same barrier count, through the tree.
+    EXPECT_EQ(tree.sum, flat.sum);
+    EXPECT_EQ(tree.barriers, flat.barriers);
+    EXPECT_GT(tree.tree_segments, 0);
+
+    // The point of the subsystem: 8 procs flat costs ~7 inbound control
+    // messages per collective; fanout K costs ~K (the root's children).
+    EXPECT_LT(tree.master_inbound, flat.master_inbound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TopologyGridTest,
+    ::testing::Combine(::testing::Values(EngineKind::kLrc,
+                                         EngineKind::kHomeLrc),
+                       ::testing::Values(PiggybackMode::kOff,
+                                         PiggybackMode::kRelease,
+                                         PiggybackMode::kAggressive)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return std::string(engine_kind_name(std::get<0>(info.param))) + "_" +
+             piggyback_mode_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// GC through the tree: barrier-GC rounds (cookie-0 DirDeltaRequest
+// multicast down, partial replies combined up, GcAcks merged into
+// TreeAck) over a sharded directory must fire and agree with flat.
+// ---------------------------------------------------------------------------
+
+class TopologyGcTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(TopologyGcTest, BarrierGcRoundsAgreeAcrossTopologies) {
+  const auto [engine, mode] = GetParam();
+  const TopoOutcome flat = run_barrier_workload(
+      engine, mode, TopologyKind::kFlat, 4, /*dir_shards=*/4,
+      /*gc_threshold=*/32 << 10);
+  const TopoOutcome tree = run_barrier_workload(
+      engine, mode, TopologyKind::kTree, 2, /*dir_shards=*/4,
+      /*gc_threshold=*/32 << 10);
+  EXPECT_GE(flat.gc_runs, 1) << "threshold too high to exercise GC";
+  EXPECT_EQ(tree.gc_runs, flat.gc_runs);
+  EXPECT_EQ(tree.sum, flat.sum);
+  EXPECT_GT(tree.tree_segments, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TopologyGcTest,
+    ::testing::Combine(::testing::Values(EngineKind::kLrc,
+                                         EngineKind::kHomeLrc),
+                       ::testing::Values(PiggybackMode::kOff,
+                                         PiggybackMode::kRelease,
+                                         PiggybackMode::kAggressive)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return std::string(engine_kind_name(std::get<0>(info.param))) + "_" +
+             piggyback_mode_name(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Interior-node leave: with 6 procs at fanout 2, host 1 carries uid 1 —
+// an interior node with two children (uids 3, 4).  Expelling it mid-run
+// must promote the orphaned subtree via the rebuild (children reattach
+// under the compacted pid order) and keep the flat baseline's checksum;
+// the re-join then grows the tree back.  Regression test for the
+// departing-interior-node promotion path.
+// ---------------------------------------------------------------------------
+
+using LeaveParam = std::tuple<EngineKind, PiggybackMode>;
+
+class TopologyInteriorLeaveTest
+    : public ::testing::TestWithParam<LeaveParam> {};
+
+TEST_P(TopologyInteriorLeaveTest, InteriorLeaveJoinKeepsFlatChecksums) {
+  const auto [engine, mode] = GetParam();
+
+  harness::RunConfig cfg;
+  cfg.app = "jacobi";
+  cfg.size = apps::Size::kTest;
+  cfg.nprocs = 6;
+  cfg.engine = engine;
+  cfg.piggyback = mode;
+  cfg.dir_shards = 4;
+  cfg.topology = TopologyKind::kFlat;
+  cfg.fanout = 2;
+  cfg.adaptive = false;
+  const harness::RunResult baseline = harness::run_workload(cfg);
+
+  cfg.topology = TopologyKind::kTree;
+  cfg.adaptive = true;
+  cfg.spare_hosts = 1;
+  cfg.events = harness::alternating_leave_join(
+      sim::from_seconds(baseline.seconds * 0.25),
+      sim::from_seconds(baseline.seconds * 0.2), /*leave_host=*/1,
+      /*pairs=*/1);
+  const harness::RunResult adapted = harness::run_workload(cfg);
+
+  EXPECT_EQ(adapted.checksum, baseline.checksum);
+  // The short kTest run can end before the re-join's grace expires; the
+  // leave — the interior-promotion path under test — must land.
+  EXPECT_GE(adapted.leaves, 1);
+  EXPECT_GT(adapted.stats.counter("dsm.seg.tree_arrive.msgs"), 0);
+  // Flat baseline never sent a tree segment.
+  EXPECT_EQ(baseline.stats.counter("dsm.seg.tree_arrive.msgs") +
+                baseline.stats.counter("dsm.seg.tree_ack.msgs") +
+                baseline.stats.counter("dsm.seg.tree_multicast.msgs"),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TopologyInteriorLeaveTest,
+    ::testing::Combine(::testing::Values(EngineKind::kLrc,
+                                         EngineKind::kHomeLrc),
+                       ::testing::Values(PiggybackMode::kOff,
+                                         PiggybackMode::kRelease,
+                                         PiggybackMode::kAggressive)),
+    [](const ::testing::TestParamInfo<LeaveParam>& info) {
+      return std::string(engine_kind_name(std::get<0>(info.param))) + "_" +
+             piggyback_mode_name(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace anow::dsm
