@@ -70,6 +70,15 @@ inline int fanout_from_options(const util::Options& opts) {
   return static_cast<int>(opts.get_int("fanout", dsm::fanout_from_env()));
 }
 
+/// --race-check {off,page,word}: LRC data-race detection (defaults to
+/// ANOW_RACE_CHECK, else off — DESIGN.md §13).  Word is the certification
+/// mode; page over-approximates on shared boundary pages.
+inline dsm::RaceCheckMode race_check_from_options(const util::Options& opts) {
+  return dsm::parse_race_check_mode(opts.get_choice(
+      "race-check", {"off", "page", "word"},
+      dsm::race_check_mode_name(dsm::race_check_from_env())));
+}
+
 /// --trace FILE: Chrome trace-event JSON output (DESIGN.md §11; defaults
 /// to ANOW_TRACE, else off).  Open the file at https://ui.perfetto.dev.
 inline std::string trace_file_from_options(const util::Options& opts) {

@@ -9,7 +9,7 @@
 // shard counts (--dir-shards, DESIGN.md §8: 1 = the master-held directory,
 // N = page ranges spread across the first N processes).
 //
-// Results go to stdout and to BENCH_protocols.json (schema 7): per
+// Results go to stdout and to BENCH_protocols.json (schema 8): per
 // (engine, dir-shards, piggyback) virtual runtime, host wall-clock
 // (`wall_seconds` — the simulator's own cost, the raw-speed trajectory
 // the hot-path passes optimize), message/envelope count,
@@ -26,10 +26,14 @@
 // of release-mode legs (`trace_check`: the untraced rerun must carry zero
 // obs.* stats and identical counters, the fully-traced rerun writes
 // `--trace` (default BENCH_trace.json) and reports `trace_overhead_pct`
-// host wall-clock overhead).  A leg that crashes mid-run is recorded as
-// {"failed": true, "error": ...} and the sweep continues — the JSON is
-// always written, so the perf trajectory is never empty after a crashed
-// bench.  A final `scaling` section sweeps --scale-nodes team sizes
+// host wall-clock overhead), and a `race_check` rerun of the release leg
+// under --race-check word (`race_check`: must be byte-identical, report
+// zero races on these DRF workloads, and carry `race_overhead_pct` — the
+// detector's host wall-clock cost; DESIGN.md §13).  A leg that crashes
+// mid-run is recorded as {"failed": true, "error": ...} and the sweep
+// continues — the JSON is always written with a trailing `summary`
+// ({ok, violations, crashed_legs}), and any crashed leg makes the exit
+// code non-zero even outside --check-batching.  A final `scaling` section sweeps --scale-nodes team sizes
 // (default 8,64,256 at Size::kTest, hotspot + jacobi) flat vs tree at
 // fanout 8 (DESIGN.md §12), reporting master-inbound control messages per
 // barrier and the flat/tree drop factor; every main leg also runs under
@@ -96,7 +100,7 @@ int main(int argc, char** argv) {
   util::Options opts(argc, argv);
   opts.allow_only({"size", "full", "nodes", "apps", "dir-shards",
                    "check-batching", "trace", "topology", "fanout",
-                   "scale-nodes"});
+                   "scale-nodes", "race-check"});
   const apps::Size size = bench::size_from_options(opts);
   const int nodes = static_cast<int>(opts.get_int("nodes", 8));
   const bool check_batching = opts.get_bool("check-batching", false);
@@ -106,6 +110,11 @@ int main(int argc, char** argv) {
   // scaling sweep below runs flat vs tree explicitly regardless.
   const dsm::TopologyKind topology = bench::topology_from_options(opts);
   const int fanout = bench::fanout_from_options(opts);
+  // --race-check {off,page,word}: run every main leg under the LRC race
+  // detector (DESIGN.md §13).  Any reported race fails the leg; the
+  // dedicated race_check rerun below certifies DRF-ness regardless.
+  const dsm::RaceCheckMode race_check_opt =
+      bench::race_check_from_options(opts);
   // --scale-nodes: team sizes for the control-plane scaling sweep (flat vs
   // tree at fanout 8, Size::kTest, hotspot + jacobi).  "none" skips it.
   const std::string scale_nodes_list =
@@ -147,7 +156,7 @@ int main(int argc, char** argv) {
   util::JsonWriter json;
   json.begin_object();
   json.field("bench", "protocols");
-  json.field("schema_version", 7);
+  json.field("schema_version", 8);
   json.field("size", apps::size_name(size));
   json.field("nodes", nodes);
   json.field("topology", dsm::topology_kind_name(topology));
@@ -155,9 +164,16 @@ int main(int argc, char** argv) {
   json.begin_object("workloads");
 
   bool ok = true;
-  auto fail = [&ok](const std::string& what) {
+  // Violations = acceptance properties broken; crashed legs = runs that
+  // died mid-simulation.  Both land in the JSON `summary`, and crashed
+  // legs force a non-zero exit even without --check-batching (a perf
+  // trajectory with silently missing legs is worse than a red bench).
+  std::int64_t violations = 0;
+  std::int64_t crashed_legs = 0;
+  auto fail = [&ok, &violations](const std::string& what) {
     std::cerr << "FAIL: " << what << "\n";
     ok = false;
+    ++violations;
   };
 
   for (const auto& app : apps) {
@@ -185,7 +201,8 @@ int main(int argc, char** argv) {
         auto run_leg = [&](const char* leg_name, dsm::PiggybackMode mode,
                            dsm::PlacementMode placement,
                            bool attribution = true,
-                           const std::string& trace_file = std::string()) {
+                           const std::string& trace_file = std::string(),
+                           dsm::RaceCheckMode race = dsm::RaceCheckMode::kOff) {
           harness::RunConfig cfg;
           cfg.app = app;
           cfg.size = size;
@@ -201,6 +218,7 @@ int main(int argc, char** argv) {
           // the untraced leg must really be untraced).
           cfg.time_attribution = attribution;
           cfg.trace_file = trace_file;
+          cfg.race_check = race;
           ModeResult r;
           const auto wall0 = std::chrono::steady_clock::now();
           try {
@@ -223,6 +241,7 @@ int main(int argc, char** argv) {
             json.field("error", r.error);
             json.end_object();
             fail(leg + " crashed: " + r.error);
+            ++crashed_legs;
             auto& row = t.row();
             row.add(app).add(dsm::engine_kind_name(engine)).add(shards);
             row.add(leg_name).add("FAILED");
@@ -352,11 +371,24 @@ int main(int argc, char** argv) {
             fail(leg + " emitted " + std::to_string(r.placement_segments) +
                  " placement segments with --placement static");
           }
+          // The Table 1 workloads are DRF: any race report on a
+          // detector-enabled leg is a red result (DESIGN.md §13).
+          if (race != dsm::RaceCheckMode::kOff) {
+            const std::int64_t races =
+                r.run.stats.counter("obs.race.reports");
+            if (races != 0) {
+              fail(leg + " reported " + std::to_string(races) +
+                   " data race(s) on a DRF workload (--race-check " +
+                   dsm::race_check_mode_name(race) + ")");
+            }
+          }
           return r;
         };
         for (const dsm::PiggybackMode mode : modes) {
           ModeResult r = run_leg(dsm::piggyback_mode_name(mode), mode,
-                                 dsm::PlacementMode::kStatic);
+                                 dsm::PlacementMode::kStatic,
+                                 /*attribution=*/true, std::string(),
+                                 race_check_opt);
           if (!r.ok) continue;
           if (mode == dsm::PiggybackMode::kOff) base = r;
           if (mode == dsm::PiggybackMode::kRelease) release = r;
@@ -373,7 +405,8 @@ int main(int argc, char** argv) {
         // live (DESIGN.md §9).
         const ModeResult adaptive =
             run_leg("adaptive", dsm::PiggybackMode::kRelease,
-                    dsm::PlacementMode::kAdaptive);
+                    dsm::PlacementMode::kAdaptive,
+                    /*attribution=*/true, std::string(), race_check_opt);
         if (adaptive.ok && release.ok) {
           const std::string leg =
               app + "/" + dsm::engine_kind_name(engine) + "/shards" +
@@ -470,6 +503,32 @@ int main(int argc, char** argv) {
             json.field("trace_file", trace_path);
             json.end_object();
           }
+          // Race-detector freeness + DRF certification (DESIGN.md §13):
+          // rerun release mode under --race-check word.  The detector is a
+          // pure observer, so the run must be byte-identical to the
+          // release leg, and the workloads are DRF, so run_leg's race gate
+          // above must see zero reports.  The wall-clock delta against the
+          // untraced rerun is the detector's host-side overhead.
+          const ModeResult racecheck =
+              run_leg("racecheck", dsm::PiggybackMode::kRelease,
+                      dsm::PlacementMode::kStatic, /*attribution=*/false,
+                      std::string(), dsm::RaceCheckMode::kWord);
+          identical(racecheck, "racecheck");
+          if (racecheck.ok && untraced.ok && untraced.wall_seconds > 0.0) {
+            json.begin_object("race_check");
+            json.field("granularity", "word");
+            json.field("reports",
+                       racecheck.run.stats.counter("obs.race.reports"));
+            json.field("segments",
+                       racecheck.run.stats.counter("obs.race.segments"));
+            json.field("checks",
+                       racecheck.run.stats.counter("obs.race.checks"));
+            json.field(
+                "race_overhead_pct",
+                100.0 * (racecheck.wall_seconds - untraced.wall_seconds) /
+                    untraced.wall_seconds);
+            json.end_object();
+          }
         }
         json.end_object();
         if (release.ok) release_by_shards.emplace_back(shards, release);
@@ -557,6 +616,7 @@ int main(int argc, char** argv) {
       } catch (const std::exception& e) {
         fail("scaling " + app + "/n" + std::to_string(n) + "/" +
              dsm::topology_kind_name(topo) + " crashed: " + e.what());
+        ++crashed_legs;
       }
       const char* tname = dsm::topology_kind_name(topo);
       json.begin_object(tname);
@@ -630,6 +690,13 @@ int main(int argc, char** argv) {
     st.print(std::cout);
   }
 
+  // Machine-readable health of the sweep itself: CI and the perf
+  // trajectory tooling read this instead of scraping stderr.
+  json.begin_object("summary");
+  json.field("ok", ok);
+  json.field("violations", violations);
+  json.field("crashed_legs", crashed_legs);
+  json.end_object();
   json.end_object();
   json.write_file("BENCH_protocols.json");
   std::cout << "\nWrote BENCH_protocols.json\n";
@@ -646,6 +713,13 @@ int main(int argc, char** argv) {
                        "checksums\n"
                      : "check-batching: FAILED\n");
     return ok ? 0 : 1;
+  }
+  // Crashed legs are missing data, not a soft warning: without a non-zero
+  // exit the perf trajectory silently thins out leg by leg.
+  if (crashed_legs > 0) {
+    std::cerr << "ERROR: " << crashed_legs
+              << " leg(s) crashed mid-run (see above)\n";
+    return 1;
   }
   if (!ok) std::cerr << "WARNING: acceptance property violated (see above)\n";
   return 0;

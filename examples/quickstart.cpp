@@ -22,6 +22,11 @@
 // 4-process scale the tree only matters with --fanout below 3, but the
 // same flags scale the master's inbound load as O(K·log_K N) on big
 // teams (see bench_protocols --scale-nodes).
+//
+// ANOW_RACE_CHECK=word turns on the LRC data-race detector (DESIGN.md
+// §13): a pure observer that certifies the program data-race-free (this
+// one is — every access is barrier-ordered) or pinpoints the racing
+// (page, word range, process pair) without changing a byte on the wire.
 #include <cstring>
 #include <iostream>
 

@@ -88,6 +88,17 @@ class Channel {
     return false;
   }
 
+  /// Total segments staged across all destinations.  Observability only
+  /// (the expel drain invariant, DESIGN.md §13) — protocol code reasons
+  /// per destination via has_staged/take_staged.
+  std::int64_t staged_total() const {
+    std::int64_t n = 0;
+    for (const auto& [uid, staged] : buffers_) {
+      n += static_cast<std::int64_t>(staged.size());
+    }
+    return n;
+  }
+
   /// Removes and returns everything staged for `to`, in staging order.
   /// The tree control plane (DESIGN.md §12) pulls the stage into the
   /// destination's multicast route so the no-overtaking rule keeps holding

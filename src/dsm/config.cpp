@@ -125,6 +125,35 @@ int fanout_from_env() {
   return fanout;
 }
 
+const char* race_check_mode_name(RaceCheckMode mode) {
+  switch (mode) {
+    case RaceCheckMode::kOff:
+      return "off";
+    case RaceCheckMode::kPage:
+      return "page";
+    case RaceCheckMode::kWord:
+      return "word";
+  }
+  return "?";
+}
+
+RaceCheckMode parse_race_check_mode(const std::string& name) {
+  if (name == "off") return RaceCheckMode::kOff;
+  if (name == "page") return RaceCheckMode::kPage;
+  if (name == "word") return RaceCheckMode::kWord;
+  ANOW_CHECK_MSG(false, "unknown race-check mode '"
+                            << name << "' (want off|page|word)");
+}
+
+RaceCheckMode race_check_from_env() {
+  static const RaceCheckMode mode = [] {
+    const char* env = std::getenv("ANOW_RACE_CHECK");
+    return env != nullptr && *env != '\0' ? parse_race_check_mode(env)
+                                          : RaceCheckMode::kOff;
+  }();
+  return mode;
+}
+
 std::string trace_file_from_env() {
   static const std::string path = [] {
     const char* env = std::getenv("ANOW_TRACE");

@@ -113,6 +113,30 @@ int fanout_from_env();
 /// and a Chrome trace-event JSON dump at the end of the run.
 std::string trace_file_from_env();
 
+/// LRC data-race detection (DESIGN.md §13).  The detector is a pure
+/// observer riding the interval/vector-timestamp machinery: it never sends
+/// a message, charges virtual time, or touches page data, so any setting is
+/// byte-identical to kOff on the wire — the modes only trade report
+/// precision against host-side memory.
+enum class RaceCheckMode : std::uint8_t {
+  /// No detector is constructed; zero work on any path.
+  kOff,
+  /// Page-granularity access summaries: cheapest, but DRF programs whose
+  /// processes share a boundary page report false positives by design.
+  kPage,
+  /// Word-granularity (8-byte) summaries: the certification mode — a DRF
+  /// program with word-disjoint concurrent accesses reports nothing.
+  kWord,
+};
+
+const char* race_check_mode_name(RaceCheckMode mode);
+/// Parses "off" / "page" / "word"; throws on anything else.
+RaceCheckMode parse_race_check_mode(const std::string& name);
+/// Default mode: ANOW_RACE_CHECK environment variable, falling back to off.
+/// Lets CI certify the whole test suite DRF without touching every
+/// DsmConfig construction site.
+RaceCheckMode race_check_from_env();
+
 /// How pids are reassigned when processes leave (paper §5.4 lists "the
 /// process id reassignment algorithm" among the cost factors; Figure 3 shows
 /// why it matters).
@@ -191,6 +215,13 @@ struct DsmConfig {
   /// event-recording mode and writes a Chrome trace-event JSON file here
   /// after run() (DESIGN.md §11).  Defaults to ANOW_TRACE, else off.
   std::string trace_file = trace_file_from_env();
+
+  /// LRC data-race detection (DESIGN.md §13): off (the default, no detector
+  /// constructed) or page/word-granularity happens-before checking.  Any
+  /// setting is byte-identical on the wire; reports surface as obs.race.*
+  /// stats and a "races" section of the trace JSON.  Defaults to
+  /// ANOW_RACE_CHECK, else off.
+  RaceCheckMode race_check = race_check_from_env();
 };
 
 }  // namespace anow::dsm

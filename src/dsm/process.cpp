@@ -48,6 +48,12 @@ DsmProcess::DsmProcess(DsmSystem& system, Uid uid, sim::HostId host)
   // for the process's lifetime.
   tracer_ = system_.cluster().trace();
   if (tracer_ != nullptr) tracer_->attach_process(uid_);
+  // Same lifecycle for the correctness-analysis observers (DESIGN.md §13):
+  // both exist before any process when configured in, so the cached
+  // pointers are stable and every hook below is a single pointer test.
+  race_ = system_.race_detector();
+  checker_ = system_.protocol_checker();
+  engine_->set_checker(checker_);
   // Hot-path counters are interned once: the fault/sync/flush paths bump
   // them per event and must not pay a map lookup each time.
   auto& stats = system_.stats();
@@ -85,6 +91,10 @@ void DsmProcess::read_range(GAddr addr, std::size_t len) {
   const PageId last = page_end(addr, len);
   ANOW_CHECK_MSG(last <= system_.num_pages(),
                  "read_range beyond shared heap: addr=" << addr);
+  // Access capture (DESIGN.md §13): the declared range is exactly what the
+  // application promises to touch — the same contract the fault machinery
+  // itself trusts — so it is the read set of the current segment.
+  if (race_ != nullptr) race_->record_read(uid_, addr, len);
   if (channel_.mode() == PiggybackMode::kAggressive && last - first > 1) {
     fault_in_range(first, last);
     return;
@@ -102,6 +112,11 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
   const PageId last = page_end(addr, len);
   ANOW_CHECK_MSG(last <= system_.num_pages(),
                  "write_range beyond shared heap: addr=" << addr);
+  // Declared write ranges, not diff bitmasks, feed the detector's write
+  // sets: diffs are lazy (often never materialized — exclusive and
+  // single-writer pages make none), while the declaration is always
+  // present and is what the checksums already depend on being accurate.
+  if (race_ != nullptr) race_->record_write(uid_, addr, len);
   if (channel_.mode() == PiggybackMode::kAggressive && last - first > 1) {
     // The read side of a multi-page write fault batches exactly like
     // read_range: full-page fetch requests share one envelope per source,
@@ -441,6 +456,13 @@ void DsmProcess::flush_homes(bool divert_master_to_tree) {
     flush_cpu();
   }
   *ctr_home_flushes_ += static_cast<std::int64_t>(plans.size());
+  // Ack-before-announce bookkeeping (DESIGN.md §13): one planned batch per
+  // home; each must be applied before this writer's interval is logged.
+  if (checker_ != nullptr) {
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      checker_->on_home_flush_planned(uid_);
+    }
+  }
   // One batched flush per home, issued in parallel; the acks gate the
   // release announcement (no write notice may precede its data's arrival
   // at the home).  The master-homed batch is the exception under a
@@ -504,6 +526,10 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
   obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kBarrierWait);
   flush_cpu();
   (*ctr_barrier_waits_)++;
+  // The arrival is a release point: the detector closes this process's
+  // access segment and accumulates its clock into the epoch (DESIGN.md
+  // §13).
+  if (race_ != nullptr) race_->on_barrier_arrive(uid_);
   Interval iv = engine_->finish_interval();
   const bool tree = tree_routes_collectives();
   flush_homes(/*divert_master_to_tree=*/tree);
@@ -547,6 +573,9 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
     } else {
       apply_owner_hints(rel->owner_delta);
     }
+    // The release joins the epoch's sealed clock: everything any
+    // participant did before arriving now happens-before this process.
+    if (race_ != nullptr) race_->on_barrier_release(uid_);
     return;
   }
 }
@@ -561,11 +590,17 @@ void DsmProcess::lock_acquire(std::int32_t lock_id) {
   lock_granted_ = false;
   engine_->integrate(lock_grant_intervals_);
   lock_grant_intervals_.clear();
+  // Grant received: accesses before the acquire keep their pre-join clock
+  // (segment closed), then this process joins the release chain's clock.
+  if (race_ != nullptr) race_->on_lock_acquire(uid_, lock_id);
 }
 
 void DsmProcess::lock_release(std::int32_t lock_id) {
   obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kLockRelease);
   flush_cpu();
+  // Release point: close the access segment and publish this clock into
+  // the lock's chain before the next holder can join it.
+  if (race_ != nullptr) race_->on_lock_release(uid_, lock_id);
   Interval iv = engine_->finish_interval();
   flush_homes();
   // As at the barrier, a master-homed flush staged by flush_homes rides in
@@ -650,6 +685,7 @@ void DsmProcess::handle(Envelope env) {
   // transport's ordering guarantee would silently break (the apply cost of
   // a piggybacked flush is charged on the writer side, in flush_homes).
   const bool shared = env.segments.size() > 1;
+  if (checker_ != nullptr) checker_->on_envelope_deliver(env.src, uid_, env);
   for (auto& seg : env.segments) {
     handle_segment(std::move(seg), env.src, shared);
   }
@@ -714,6 +750,11 @@ void DsmProcess::handle_segment(Segment seg, Uid src,
             // a flat piggybacked envelope (DESIGN.md §7, §12).  They are
             // all cookie-0 (writer pre-paid the apply service), so no ack.
             engine_->apply_home_flushes(body.flushes);
+            if (checker_ != nullptr) {
+              for (const auto& flush : body.flushes) {
+                checker_->on_home_flush_applied(flush.writer);
+              }
+            }
             for (const auto& arrive : body.arrivals) {
               system_.on_barrier_arrive(arrive);
             }
@@ -827,6 +868,7 @@ void DsmProcess::handle_home_flush(const HomeFlush& msg) {
   ANOW_CHECK_MSG(alive_, "home flush reached terminated process " << uid_);
   const std::int64_t applied = engine_->apply_home_flush(msg.writer,
                                                          msg.pages);
+  if (checker_ != nullptr) checker_->on_home_flush_applied(msg.writer);
   // cookie 0: the flush rode the writer's release announcement in this
   // envelope; ordering already guarantees data-before-notice and the
   // writer pre-paid the apply service time (flush_homes), so no ack.
@@ -1208,6 +1250,7 @@ void DsmProcess::run_task(const ForkMsg& fork) {
   // entries were already applied at the prepare.
   engine_->apply_delta_to_slices(fork.owner_delta);
   engine_->integrate(fork.intervals);
+  if (race_ != nullptr) race_->on_fork_join(uid_);
   if (fork.gc_commit) {
     engine_->gc_commit_node(fork.owner_delta);
   } else {

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/protocol_checker.hpp"
+#include "analysis/race_detector.hpp"
 #include "dsm/channel.hpp"
 #include "dsm/config.hpp"
 #include "dsm/msg.hpp"
@@ -227,6 +229,11 @@ class DsmProcess {
 
   /// The cluster's TraceRecorder, cached at construction (null = off).
   obs::TraceRecorder* tracer_ = nullptr;
+  /// Correctness-analysis observers, cached at construction exactly like
+  /// the recorder (null = off; every hook is a pointer test, DESIGN.md
+  /// §13).
+  analysis::RaceDetector* race_ = nullptr;
+  analysis::ProtocolChecker* checker_ = nullptr;
   /// Hot-path counters, interned once here: the fault/barrier/lock/flush
   /// paths bump these per event and must not pay a map lookup each time.
   std::int64_t* ctr_faults_read_ = nullptr;

@@ -35,6 +35,10 @@
 #include "dsm/types.hpp"
 #include "util/stats.hpp"
 
+namespace anow::analysis {
+class ProtocolChecker;
+}  // namespace anow::analysis
+
 namespace anow::dsm::protocol {
 
 /// Flat per-page protocol state (one entry per page of the shared region).
@@ -99,6 +103,14 @@ class ConsistencyEngine {
   ConsistencyEngine& operator=(const ConsistencyEngine&) = delete;
 
   virtual const char* name() const = 0;
+
+  /// Protocol-invariant sanitizer hook (DESIGN.md §13).  Engines that keep
+  /// arena-backed diff views report each arena reset through the checker so
+  /// the no-dangling-DiffView invariant is asserted where it can break.
+  /// No-op by default; null checker detaches.
+  virtual void set_checker(analysis::ProtocolChecker* checker) {
+    (void)checker;
+  }
 
   // ========================= node side ===================================
   /// Binds this engine to one process.  `region` is the process's local copy

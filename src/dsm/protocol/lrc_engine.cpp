@@ -4,6 +4,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "analysis/protocol_checker.hpp"
 #include "dsm/debug.hpp"
 #include "dsm/diff.hpp"
 #include "util/check.hpp"
@@ -407,6 +408,16 @@ void LrcEngine::gc_commit_node(const OwnerDelta& delta) {
   }
   pending_count_ = 0;
   for (auto& archive : own_diffs_) archive.clear();
+  // Use-after-reset guard (DESIGN.md §13): every arena-backed DiffView is
+  // archive-held, so none may remain once the archives clear.  Count what
+  // is still held at the reset and let the checker assert it is zero.
+  if (checker_ != nullptr) {
+    std::int64_t outstanding = 0;
+    for (const auto& archive : own_diffs_) {
+      outstanding += static_cast<std::int64_t>(archive.size());
+    }
+    checker_->note_arena_reset(outstanding);
+  }
   diff_arena_.reset();  // frees every archived diff's bytes wholesale
   archive_bytes_ = 0;
 }

@@ -19,6 +19,10 @@ class LrcEngine final : public ConsistencyEngine {
 
   const char* name() const override { return "lrc"; }
 
+  void set_checker(analysis::ProtocolChecker* checker) override {
+    checker_ = checker;
+  }
+
   // --- node side -----------------------------------------------------------
   bool flush_lazy_twin(PageId p) override;
   void declare_write(PageId p) override;
@@ -80,6 +84,7 @@ class LrcEngine final : public ConsistencyEngine {
   /// Backs every archived diff of the current GC generation; reset (all
   /// chunks recycled at once) in gc_commit_node when the archives clear.
   util::Arena diff_arena_;
+  analysis::ProtocolChecker* checker_ = nullptr;
   std::int64_t* ctr_diffs_created_ = nullptr;
   std::int64_t* ctr_intervals_ = nullptr;
   std::int64_t* ctr_diff_fetches_ = nullptr;

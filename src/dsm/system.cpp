@@ -1,6 +1,7 @@
 #include "dsm/system.hpp"
 
 #include <algorithm>
+#include <fstream>
 
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -41,6 +42,19 @@ DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
     cluster_.enable_trace(topts);
   }
   tracer_ = cluster_.trace();
+  // Correctness-analysis observers (DESIGN.md §13): same lifecycle as the
+  // recorder — constructed before start() so processes can cache raw
+  // pointers, pure observation afterwards.
+  if (config_.race_check != RaceCheckMode::kOff) {
+    race_ = std::make_unique<analysis::RaceDetector>(
+        config_.race_check == RaceCheckMode::kPage
+            ? analysis::RaceGranularity::kPage
+            : analysis::RaceGranularity::kWord);
+  }
+#ifdef ANOW_PROTOCOL_CHECKS
+  checker_ = std::make_unique<analysis::ProtocolChecker>();
+  engine_->set_checker(checker_.get());
+#endif
   shard_map_ = protocol::ShardMap(num_pages(), 1);
   placement_adaptive_ = config_.placement == PlacementMode::kAdaptive;
   // The subsystem's own guarantee: static runs never execute placement
@@ -202,10 +216,27 @@ void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
   ANOW_CHECK_MSG(cluster_.sim().all_fibers_done(),
                  "deadlock: fibers still parked:\n"
                      << cluster_.sim().parked_fiber_report());
+  if (race_ != nullptr) {
+    race_->finalize(cluster_.stats());
+  }
   if (tracer_ != nullptr && !tracer_->finalized()) {
     tracer_->finalize();
     if (!config_.trace_file.empty()) {
-      tracer_->write_chrome_trace(config_.trace_file);
+      if (race_ != nullptr) {
+        // Embed the structured race section next to traceEvents: splice
+        // a "races" key into the exporter's top-level object (DESIGN.md
+        // §13; check_trace.py tolerates extra top-level keys).
+        std::string doc = tracer_->chrome_trace_json();
+        const std::size_t close = doc.rfind('}');
+        ANOW_CHECK(close != std::string::npos);
+        doc.insert(close, ",\"races\":" + race_->races_json());
+        std::ofstream f(config_.trace_file, std::ios::trunc);
+        ANOW_CHECK_MSG(f.good(), "cannot open " << config_.trace_file);
+        f << doc << "\n";
+        ANOW_CHECK_MSG(f.good(), "write failed: " << config_.trace_file);
+      } else {
+        tracer_->write_chrome_trace(config_.trace_file);
+      }
     }
   }
 }
@@ -302,6 +333,12 @@ void DsmSystem::expel(Uid uid) {
   // hold no half-combined collective state — asserted here.
   ANOW_CHECK_MSG(process(uid).tree_combine_idle(),
                  "expel of uid " << uid << " with combining state in flight");
+  // Drain-before-departure (DESIGN.md §13): anything the leaver still has
+  // staged would vanish with it.
+  if (checker_ != nullptr) {
+    checker_->on_expel(uid, process(uid).channel_.staged_total());
+  }
+  if (race_ != nullptr) race_->on_expel(uid);
   rebuild_topology();
   // The terminate stays direct even under the tree topology: the send
   // drains the leaver's staged join-barrier release, preserving the
@@ -455,6 +492,10 @@ void DsmSystem::close_master_interval() {
   master.flush_homes();
   if (iv.iseq != 0) {
     if (placement_adaptive_) placement_note_interval(iv);
+    if (checker_ != nullptr) {
+      checker_->on_release_announced(kMasterUid);
+      checker_->on_interval_logged(iv);
+    }
     engine_->log_release(std::move(iv));
   }
 }
@@ -467,6 +508,15 @@ void DsmSystem::run_parallel(std::int32_t task_id,
 
   close_master_interval();
   if (fork_hook_) fork_hook_();
+  // The fork is a release point for the master: the detector snapshots the
+  // master clock as the construct's fork clock; slaves join it in run_task.
+  // The snapshot comes *after* the adaptation hook: a leave makes the master
+  // re-own the leaver's pages via read_range (paper §4.2), and those
+  // runtime reads complete before any fork envelope departs — they belong
+  // to the pre-fork segment the slaves order themselves after, or the
+  // post-leave repartition would report them against the new owners' first
+  // writes as false races.
+  if (race_ != nullptr) race_->on_fork_publish(kMasterUid);
 
   stats().counter("dsm.forks")++;
 
@@ -538,6 +588,10 @@ void DsmSystem::on_barrier_arrive(const BarrierArrive& msg) {
                        msg.uid) == barrier_arrived_.end());
   barrier_arrived_.push_back(msg.uid);
   if (tracer_ != nullptr) tracer_->note_barrier_arrive(msg.uid);
+  // The arrival is the announce point of the writer's interval: its home
+  // flushes must all have been applied by now (ack round or envelope
+  // ordering — DESIGN.md §13).
+  if (checker_ != nullptr) checker_->on_release_announced(msg.uid);
   max_consistency_bytes_ = std::max(max_consistency_bytes_,
                                     msg.consistency_bytes);
   pending_intervals_.push_back(msg.interval);
@@ -551,6 +605,16 @@ void DsmSystem::barrier_complete() {
   if (placement_adaptive_) {
     for (const auto& iv : pending_intervals_) placement_note_interval(iv);
   }
+  if (checker_ != nullptr) {
+    checker_->on_epoch_logged(pending_intervals_, protocol_);
+    for (const auto& iv : pending_intervals_) {
+      checker_->on_interval_logged(iv);
+    }
+  }
+  // Every arrival of this epoch has been announced; the detector seals the
+  // epoch's release clock here (the next epoch's arrivals are causally
+  // after this point).
+  if (race_ != nullptr) race_->on_barrier_sealed();
   engine_->log_epoch(std::move(pending_intervals_));
   pending_intervals_.clear();
 
@@ -926,6 +990,10 @@ void DsmSystem::on_lock_release(const LockReleaseMsg& msg) {
   if (placement_adaptive_ && msg.interval.iseq != 0) {
     placement_note_interval(msg.interval);
   }
+  if (checker_ != nullptr) {
+    checker_->on_release_announced(msg.releaser);
+    checker_->on_interval_logged(msg.interval);
+  }
   engine_->log_release(msg.interval);
   if (ls.queue.empty()) {
     ls.holder = kNoUid;
@@ -1082,6 +1150,9 @@ void DsmSystem::send_envelope(Uid to, Envelope env) {
                  "send to unknown uid " << to);
   ANOW_CHECK(!env.segments.empty());
   DsmProcess* target = processes_[to].get();
+  // Per-pair FIFO fingerprint (DESIGN.md §13): DsmProcess::handle pops and
+  // matches, so any reordering between here and delivery fires a check.
+  if (checker_ != nullptr) checker_->on_envelope_send(env.src, to, env);
   // Per-segment-kind traffic histogram + the consistency-traffic metric
   // (diff fetch rounds and home flushes — the traffic that exists purely
   // to move modifications; invalidation-resolving page refetches are added

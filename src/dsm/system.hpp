@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/protocol_checker.hpp"
+#include "analysis/race_detector.hpp"
 #include "dsm/channel.hpp"
 #include "dsm/config.hpp"
 #include "dsm/msg.hpp"
@@ -180,6 +182,15 @@ class DsmSystem {
   /// uid is a shard holder of the initial team).
   protocol::NodeDirInit node_dir_init_for(Uid uid) const;
 
+  /// The LRC race detector (DESIGN.md §13); null unless
+  /// DsmConfig::race_check != kOff.  Processes cache this pointer at
+  /// construction, exactly like the TraceRecorder.
+  analysis::RaceDetector* race_detector() { return race_.get(); }
+
+  /// The protocol-invariant sanitizer; null unless the build was configured
+  /// with -DANOW_PROTOCOL_CHECKS=ON (DESIGN.md §13).
+  analysis::ProtocolChecker* protocol_checker() { return checker_.get(); }
+
  private:
   friend class DsmProcess;
 
@@ -290,6 +301,12 @@ class DsmSystem {
   /// The cluster's TraceRecorder, cached at construction (null = tracing
   /// off; every hook is a pointer test, DESIGN.md §11).
   obs::TraceRecorder* tracer_ = nullptr;
+
+  /// Correctness-analysis observers (DESIGN.md §13).  Both are pure
+  /// observers behind null-pointer-test hooks: race_ exists only when
+  /// config_.race_check != kOff, checker_ only under ANOW_PROTOCOL_CHECKS.
+  std::unique_ptr<analysis::RaceDetector> race_;
+  std::unique_ptr<analysis::ProtocolChecker> checker_;
 
   /// Cached per-segment-kind traffic counters (send_envelope is the
   /// hottest accounting site; no map lookups there).

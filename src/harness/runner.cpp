@@ -36,6 +36,7 @@ RunResult run_workload(const RunConfig& config,
   dsm_cfg.placement = config.placement;
   dsm_cfg.topology = config.topology;
   dsm_cfg.fanout = config.fanout;
+  dsm_cfg.race_check = config.race_check;
   dsm_cfg.pid_strategy = config.pid_strategy;
   dsm_cfg.trace_file = config.trace_file;
   dsm::DsmSystem system(cluster, dsm_cfg);
@@ -46,6 +47,7 @@ RunResult run_workload(const RunConfig& config,
   if (config.adaptive) {
     core::AdaptiveRuntime::Options opts;
     opts.gc_before_adapt = config.gc_before_adapt;
+    opts.charge_spawn_cost = config.charge_spawn_cost;
     adapt.emplace(system, opts);
     for (const auto& ev : config.events) {
       adapt->post(ev);

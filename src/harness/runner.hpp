@@ -38,8 +38,15 @@ struct RunConfig {
   dsm::TopologyKind topology = dsm::topology_kind_from_env();
   /// K-ary tree fan-out under --topology tree (--fanout / ANOW_FANOUT).
   int fanout = dsm::fanout_from_env();
+  /// LRC data-race detection (--race-check / ANOW_RACE_CHECK; DESIGN.md
+  /// §13).  Off by default — the detector perturbs nothing, but skipping
+  /// construction entirely keeps the default run byte-identical for free.
+  dsm::RaceCheckMode race_check = dsm::race_check_from_env();
   dsm::PidStrategy pid_strategy = dsm::PidStrategy::kShift;
   bool gc_before_adapt = true;
+  /// Charge the 0.6-0.8 s process-creation cost on joins.  Tests that need
+  /// a join to complete inside a test-size run turn this off.
+  bool charge_spawn_cost = true;
   sim::CostModel cost{};
   std::uint64_t seed = 1;
   /// Extra hosts beyond nprocs available for joins.

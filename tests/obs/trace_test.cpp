@@ -238,6 +238,10 @@ harness::RunConfig grid_config(const GridPoint& g) {
   cfg.dir_shards = g.dir_shards;
   cfg.placement = g.placement;
   cfg.trace_file.clear();  // ignore any ambient ANOW_TRACE
+  // Ignore any ambient ANOW_RACE_CHECK too: the detector legitimately
+  // publishes obs.race.* counters, which the no-obs-stats assertion below
+  // would misread as tracing perturbation.
+  cfg.race_check = dsm::RaceCheckMode::kOff;
   return cfg;
 }
 
