@@ -24,6 +24,15 @@ inline apps::Size size_from_options(const util::Options& opts) {
   return apps::parse_size(opts.get_string("size", "bench"));
 }
 
+/// --backend {sim,real}: execution backend (defaults to ANOW_BACKEND, else
+/// sim — DESIGN.md §14).  real runs the protocol on pthreads with SIGSEGV
+/// write barriers and reports wall-clock seconds.
+inline dsm::BackendKind backend_from_options(const util::Options& opts) {
+  return dsm::parse_backend_kind(opts.get_choice(
+      "backend", {"sim", "real"},
+      dsm::backend_kind_name(dsm::backend_from_env())));
+}
+
 /// --engine {lrc,home}: which consistency engine the workloads run under
 /// (defaults to ANOW_ENGINE, else lrc).
 inline dsm::EngineKind engine_from_options(const util::Options& opts) {

@@ -6,6 +6,7 @@ namespace anow::analysis {
 
 void ProtocolChecker::on_envelope_send(dsm::Uid src, dsm::Uid dst,
                                        const dsm::Envelope& env) {
+  const std::lock_guard<std::mutex> lk(mu_);
   auto& pair_seq = next_seq_[{src, dst}];
   Fingerprint fp;
   fp.seq = pair_seq++;
@@ -18,6 +19,7 @@ void ProtocolChecker::on_envelope_send(dsm::Uid src, dsm::Uid dst,
 
 void ProtocolChecker::on_envelope_deliver(dsm::Uid src, dsm::Uid dst,
                                           const dsm::Envelope& env) {
+  const std::lock_guard<std::mutex> lk(mu_);
   auto it = in_flight_.find({src, dst});
   ANOW_CHECK_MSG(it != in_flight_.end() && !it->second.empty(),
                  "envelope delivered " << src << "->" << dst
@@ -38,10 +40,12 @@ void ProtocolChecker::on_envelope_deliver(dsm::Uid src, dsm::Uid dst,
 }
 
 void ProtocolChecker::on_home_flush_planned(dsm::Uid writer) {
+  const std::lock_guard<std::mutex> lk(mu_);
   ++outstanding_flushes_[writer];
 }
 
 void ProtocolChecker::on_home_flush_applied(dsm::Uid writer) {
+  const std::lock_guard<std::mutex> lk(mu_);
   auto& outstanding = outstanding_flushes_[writer];
   ANOW_CHECK_MSG(outstanding > 0, "home flush of writer "
                                       << writer
@@ -50,6 +54,7 @@ void ProtocolChecker::on_home_flush_applied(dsm::Uid writer) {
 }
 
 void ProtocolChecker::on_release_announced(dsm::Uid writer) {
+  const std::lock_guard<std::mutex> lk(mu_);
   auto it = outstanding_flushes_.find(writer);
   const std::int64_t outstanding = it == outstanding_flushes_.end()
                                        ? 0
@@ -61,6 +66,7 @@ void ProtocolChecker::on_release_announced(dsm::Uid writer) {
 }
 
 void ProtocolChecker::on_interval_logged(const dsm::Interval& interval) {
+  const std::lock_guard<std::mutex> lk(mu_);
   if (interval.iseq == 0) return;  // empty interval, never logged
   auto& last = last_iseq_[interval.creator];
   ANOW_CHECK_MSG(interval.iseq > last,

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "dsm/interval.hpp"
@@ -81,6 +82,10 @@ class ProtocolChecker {
     std::size_t segments = 0;
   };
 
+  /// Hooks fire from every process; under the real backend (DESIGN.md §14)
+  /// that means concurrent pthreads, so all state lives behind one lock.
+  /// Under the fibered simulator the lock is always uncontended.
+  mutable std::mutex mu_;
   std::map<std::pair<dsm::Uid, dsm::Uid>, std::deque<Fingerprint>> in_flight_;
   std::map<std::pair<dsm::Uid, dsm::Uid>, std::uint64_t> next_seq_;
   std::map<dsm::Uid, std::int64_t> outstanding_flushes_;

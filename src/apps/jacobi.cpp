@@ -52,6 +52,11 @@ std::int64_t Jacobi::shared_bytes() const {
   return params_.n * params_.n * 8;
 }
 
+std::vector<double>& Jacobi::scratch_for(dsm::Uid uid) {
+  const std::lock_guard<std::mutex> lk(scratch_mu_);
+  return scratch_[uid];
+}
+
 void Jacobi::setup(ompx::Runtime& rt) {
   region_ = rt.region<IterArgs>(
       "jacobi_iter", [this](dsm::DsmProcess& p, const IterArgs& a) {
@@ -67,7 +72,7 @@ void Jacobi::setup(ompx::Runtime& rt) {
 
         // Phase 1: stencil into private scratch (reads own rows +/- 1).
         const double* g = grid.read(p, (rows.lo - 1) * n, (rows.hi + 1) * n);
-        auto& scratch = scratch_[p.uid()];
+        auto& scratch = scratch_for(p.uid());
         scratch.resize(static_cast<std::size_t>(rows.count() * n));
         for (std::int64_t i = rows.lo; i < rows.hi; ++i) {
           double* out = scratch.data() + (i - rows.lo) * n;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "apps/workload.hpp"
@@ -48,10 +49,17 @@ class Jacobi final : public Workload {
     std::int64_t n;
   };
 
+  /// Per-process private scratch, keyed by uid.  Each process touches only
+  /// its own vector, but first-touch map insertion can race under
+  /// --backend real (DESIGN.md §14), so lookup goes through this accessor.
+  /// Map node addresses are stable, so the returned reference stays valid
+  /// while other processes insert.
+  std::vector<double>& scratch_for(dsm::Uid uid);
+
   Params params_;
   ompx::Region<IterArgs> region_;
   ompx::SharedArray<double> grid_;
-  /// Per-process private scratch (never shared; keyed by uid).
+  std::mutex scratch_mu_;
   std::map<dsm::Uid, std::vector<double>> scratch_;
 };
 

@@ -6,6 +6,31 @@
 
 namespace anow::dsm {
 
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kReal:
+      return "real";
+  }
+  return "?";
+}
+
+BackendKind parse_backend_kind(const std::string& name) {
+  if (name == "sim") return BackendKind::kSim;
+  if (name == "real") return BackendKind::kReal;
+  ANOW_CHECK_MSG(false, "unknown backend '" << name << "' (want sim|real)");
+}
+
+BackendKind backend_from_env() {
+  static const BackendKind kind = [] {
+    const char* env = std::getenv("ANOW_BACKEND");
+    return env != nullptr && *env != '\0' ? parse_backend_kind(env)
+                                          : BackendKind::kSim;
+  }();
+  return kind;
+}
+
 const char* engine_kind_name(EngineKind kind) {
   switch (kind) {
     case EngineKind::kLrc:

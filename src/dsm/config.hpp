@@ -20,6 +20,25 @@ enum class EngineKind : std::uint8_t {
   kHomeLrc,
 };
 
+/// Which execution backend drives the protocol (DESIGN.md §14).
+enum class BackendKind : std::uint8_t {
+  /// Discrete-event simulator: fibers, virtual time, modelled network.
+  /// The default, byte-identical to the pre-seam code.
+  kSim,
+  /// Real hardware: one pthread per DSM process, mmap-privatized heaps,
+  /// SIGSEGV write barriers, SPSC-ring transport, wall-clock time.  The
+  /// consistency engines run unchanged; virtual cost modelling evaporates.
+  kReal,
+};
+
+const char* backend_kind_name(BackendKind kind);
+/// Parses "sim" / "real"; throws on anything else.
+BackendKind parse_backend_kind(const std::string& name);
+/// Default backend: ANOW_BACKEND environment variable ("sim" / "real"),
+/// falling back to kSim.  Lets CI run the whole test suite on real threads
+/// without touching every DsmConfig construction site.
+BackendKind backend_from_env();
+
 const char* engine_kind_name(EngineKind kind);
 /// Parses "lrc" / "home" (also accepts "home_lrc"); throws on anything else.
 EngineKind parse_engine_kind(const std::string& name);
@@ -155,6 +174,13 @@ struct DsmConfig {
   /// Size of the global shared region; fixed for the lifetime of the system
   /// (TreadMarks pre-maps the shared heap).
   std::int64_t heap_bytes = 16ll << 20;
+
+  /// Execution backend (DESIGN.md §14): the simulator (default) or real
+  /// pthreads + mprotect write barriers.  Defaults to ANOW_BACKEND, else
+  /// sim.  Under kReal, tracing, race checking, adaptation events and
+  /// adaptive placement are rejected at start (they ride simulator-only
+  /// machinery).
+  BackendKind backend = backend_from_env();
 
   /// Consistency protocol variant (defaults to ANOW_ENGINE, else LRC).
   EngineKind engine = engine_kind_from_env();

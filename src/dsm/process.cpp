@@ -34,15 +34,34 @@ DsmProcess::DsmProcess(DsmSystem& system, Uid uid, sim::HostId host)
                  system_.send_envelope(to, std::move(env));
                }) {
   const auto& cfg = system_.config();
-  region_.assign(static_cast<std::size_t>(cfg.heap_bytes), 0);
+  real_ = cfg.backend == BackendKind::kReal;
+  if (real_) {
+    heap_ = std::make_unique<exec::RealHeap>(
+        static_cast<std::size_t>(cfg.heap_bytes));
+  } else {
+    heap_ = std::make_unique<exec::SimHeap>(
+        static_cast<std::size_t>(cfg.heap_bytes));
+  }
   engine_ = protocol::make_engine(cfg);
   // The directory init seeds the initial data distribution: the master's
   // whole heap when unsharded, a shard holder's own range (plus its
   // authoritative owner slice) when sharded; everyone else faults pages in
   // on demand with hints at the pages' default holders (DESIGN.md §8).
-  engine_->attach_node(uid_, region_.data(), system_.num_pages(),
+  // The engine works on the protocol view: serve/install/diff-apply must
+  // never trip the app view's write barrier.
+  engine_->attach_node(uid_, heap_->prot_base(), system_.num_pages(),
                        system_.protocol_table(), system_.stats(),
                        system_.node_dir_init_for(uid_));
+  if (real_) {
+    trap_buf_.resize(static_cast<std::size_t>(system_.num_pages()));
+    scratch_page_.resize(kPageSize);
+    heap_sync_all();  // protections from the seeded engine state
+    // Bracket every inbound envelope with harvest + resync, so handlers
+    // (serve, flush-apply, exclusivity revocation) always see replayed app
+    // writes and leave protections consistent (DESIGN.md §14).
+    system_.rt().set_delivery_hooks(
+        uid_, [this] { harvest_write_faults(); }, [this] { heap_sync_all(); });
+  }
   // The recorder (if any) was enabled before this process was constructed
   // (DsmSystem's constructor runs first), so the cached pointer is stable
   // for the process's lifetime.
@@ -74,7 +93,7 @@ DsmProcess::~DsmProcess() = default;
 
 int DsmProcess::nprocs() const { return team_size_; }
 
-sim::Time DsmProcess::now() const { return system_.cluster().sim().now(); }
+sim::Time DsmProcess::now() const { return system_.rt().now(); }
 
 std::int64_t DsmProcess::image_bytes() const {
   // libckpt writes the whole mapped heap (the shared region is pre-mapped)
@@ -95,8 +114,10 @@ void DsmProcess::read_range(GAddr addr, std::size_t len) {
   // application promises to touch — the same contract the fault machinery
   // itself trusts — so it is the read set of the current segment.
   if (race_ != nullptr) race_->record_read(uid_, addr, len);
+  if (real_) harvest_write_faults();
   if (channel_.mode() == PiggybackMode::kAggressive && last - first > 1) {
     fault_in_range(first, last);
+    if (real_) heap_sync_all();
     return;
   }
   for (PageId p = first; p < last; ++p) {
@@ -105,6 +126,7 @@ void DsmProcess::read_range(GAddr addr, std::size_t len) {
       fault_in(p);
     }
   }
+  if (real_) heap_sync_all();
 }
 
 void DsmProcess::write_range(GAddr addr, std::size_t len) {
@@ -117,6 +139,7 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
   // single-writer pages make none), while the declaration is always
   // present and is what the checksums already depend on being accurate.
   if (race_ != nullptr) race_->record_write(uid_, addr, len);
+  if (real_) harvest_write_faults();
   if (channel_.mode() == PiggybackMode::kAggressive && last - first > 1) {
     // The read side of a multi-page write fault batches exactly like
     // read_range: full-page fetch requests share one envelope per source,
@@ -130,6 +153,15 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
     if (!engine_->page(p).is_valid()) {
       (*ctr_faults_read_)++;
       fault_in(p);
+    }
+    if (real_) {
+      // The write barrier is the dirty-tracking mechanism: a declared-but-
+      // clean page stays read-only and its first store traps, to be
+      // harvested (twin + declare_write) at the next choke point.  Only
+      // exclusivity needs refreshing here — an exclusive page's writes
+      // never trap, by design, so its epoch must stay current.
+      if (engine_->page(p).exclusive) engine_->note_exclusive_write(p);
+      continue;
     }
     if (engine_->page(p).dirty) continue;  // already writable this interval
 
@@ -175,6 +207,7 @@ void DsmProcess::write_range(GAddr addr, std::size_t len) {
                        << *cptr<std::int64_t>(page_base(p)));
     ++accessed_since_fork_;
   }
+  if (real_) heap_sync_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -295,7 +328,7 @@ void DsmProcess::fault_in_range(PageId first, PageId last) {
     for (const auto& w : wants) {
       PendingReply* pr = find_reply(w.cookie);
       if (!pr->ready) {
-        system_.cluster().sim().wait(pr->wp, "page reply");
+        system_.rt().wait(pr->wp, "page reply");
       }
       Segment seg = std::move(pr->seg);
       const bool shared = pr->shared_envelope;
@@ -381,7 +414,7 @@ std::vector<DiffReply> DsmProcess::fetch_diffs(
   for (const std::uint64_t cookie : cookies) {
     PendingReply* pr = find_reply(cookie);
     if (!pr->ready) {
-      system_.cluster().sim().wait(pr->wp, "diff reply");
+      system_.rt().wait(pr->wp, "diff reply");
     }
     replies.push_back(std::move(std::get<DiffReply>(pr->seg)));
     erase_reply(cookie);
@@ -511,12 +544,12 @@ void DsmProcess::flush_homes(bool divert_master_to_tree) {
     cookies.push_back(cookie);
   }
   if (staged_service > 0) {
-    system_.cluster().sim().sleep_for(staged_service);
+    system_.rt().sleep_for(staged_service);
   }
   for (const std::uint64_t cookie : cookies) {
     PendingReply* pr = find_reply(cookie);
     if (!pr->ready) {
-      system_.cluster().sim().wait(pr->wp, "home flush ack");
+      system_.rt().wait(pr->wp, "home flush ack");
     }
     erase_reply(cookie);
   }
@@ -525,6 +558,7 @@ void DsmProcess::flush_homes(bool divert_master_to_tree) {
 void DsmProcess::barrier(std::int32_t barrier_id) {
   obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kBarrierWait);
   flush_cpu();
+  if (real_) harvest_write_faults();  // before finish_interval sees the sets
   (*ctr_barrier_waits_)++;
   // The arrival is a release point: the detector closes this process's
   // access segment and accumulates its clock into the epoch (DESIGN.md
@@ -576,6 +610,9 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
     // The release joins the epoch's sealed clock: everything any
     // participant did before arriving now happens-before this process.
     if (race_ != nullptr) race_->on_barrier_release(uid_);
+    // Invalidation notices just integrated must revoke app-view access
+    // before application code resumes.
+    if (real_) heap_sync_all();
     return;
   }
 }
@@ -583,9 +620,10 @@ void DsmProcess::barrier(std::int32_t barrier_id) {
 void DsmProcess::lock_acquire(std::int32_t lock_id) {
   obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kLockStall);
   flush_cpu();
+  if (real_) harvest_write_faults();
   (*ctr_lock_acquires_)++;
   channel_.send(kMasterUid, LockAcquireReq{uid_, lock_id});
-  system_.cluster().sim().wait(lock_wp_, "lock grant");
+  system_.rt().wait(lock_wp_, "lock grant");
   ANOW_CHECK(lock_granted_);
   lock_granted_ = false;
   engine_->integrate(lock_grant_intervals_);
@@ -593,11 +631,13 @@ void DsmProcess::lock_acquire(std::int32_t lock_id) {
   // Grant received: accesses before the acquire keep their pre-join clock
   // (segment closed), then this process joins the release chain's clock.
   if (race_ != nullptr) race_->on_lock_acquire(uid_, lock_id);
+  if (real_) heap_sync_all();  // grant-borne invalidations
 }
 
 void DsmProcess::lock_release(std::int32_t lock_id) {
   obs::ScopedSpan span(tracer_, uid_, obs::SpanKind::kLockRelease);
   flush_cpu();
+  if (real_) harvest_write_faults();
   // Release point: close the access segment and publish this clock into
   // the lock's chain before the next holder can join it.
   if (race_ != nullptr) race_->on_lock_release(uid_, lock_id);
@@ -607,9 +647,13 @@ void DsmProcess::lock_release(std::int32_t lock_id) {
   // front of the release notification in one envelope.
   channel_.send(kMasterUid, LockReleaseMsg{uid_, lock_id, std::move(iv)});
   // Releases are asynchronous in TreadMarks: no reply awaited.
+  // finish_interval cleared the dirty set: the next write to each page must
+  // trap again.
+  if (real_) heap_sync_all();
 }
 
 void DsmProcess::compute(double cpu_seconds) {
+  if (real_) return;  // real hardware pays its own CPU cost
   deferred_cpu_ += cpu_seconds;
   // Keep local drift bounded; large application charges flush immediately.
   if (deferred_cpu_ > 0.002) {
@@ -618,6 +662,10 @@ void DsmProcess::compute(double cpu_seconds) {
 }
 
 void DsmProcess::flush_cpu() {
+  if (real_) {
+    deferred_cpu_ = 0.0;
+    return;
+  }
   if (deferred_cpu_ <= 0.0) return;
   const double amount = deferred_cpu_;
   deferred_cpu_ = 0.0;
@@ -736,7 +784,7 @@ void DsmProcess::handle_segment(Segment seg, Uid src,
             // channel after the constant interior service charge.
             ANOW_CHECK(tree_routes_collectives());
             const Uid parent = system_.topology().parent_of(uid_);
-            system_.cluster().sim().after(
+            system_.rt().defer(
                 system_.cluster().cost().tree_combine,
                 [this, parent, reply = std::move(body)]() mutable {
                   channel_.send(parent, std::move(reply));
@@ -787,7 +835,7 @@ void DsmProcess::handle_segment(Segment seg, Uid src,
         } else if constexpr (std::is_same_v<T, LockGrant>) {
           lock_grant_intervals_ = body.intervals;
           lock_granted_ = true;
-          system_.cluster().sim().signal(lock_wp_);
+          system_.rt().signal(lock_wp_);
         } else if constexpr (std::is_same_v<T, PageMapMsg>) {
           ANOW_CHECK(static_cast<PageId>(body.owner_by_page.size()) ==
                      engine_->num_pages());
@@ -828,7 +876,7 @@ void DsmProcess::handle_page_request(const PageRequest& req, Uid /*src*/) {
   // Recycled buffer (DESIGN.md §10): the requester hands it back to the
   // pool after install_copy, so steady-state serving allocates nothing.
   reply.data = system_.acquire_page_buffer();
-  std::memcpy(reply.data.data(), region_.data() + page_base(req.page),
+  std::memcpy(reply.data.data(), heap_->prot_base() + page_base(req.page),
               kPageSize);
   reply.applied = engine_->page(req.page).applied;
   // Queued per requester; flush_reply_batches schedules the departure
@@ -852,7 +900,7 @@ void DsmProcess::flush_reply_batches() {
     const sim::Time service =
         system_.cluster().cost().page_service *
         static_cast<sim::Time>(batch.replies.size());
-    system_.cluster().sim().after(
+    system_.rt().defer(
         service, [this, requester = batch.requester,
                   replies = std::move(batch.replies)]() mutable {
           for (std::size_t i = 0; i + 1 < replies.size(); ++i) {
@@ -877,7 +925,7 @@ void DsmProcess::handle_home_flush(const HomeFlush& msg) {
   const sim::Time service = system_.cluster().cost().diff_service_fixed +
                             system_.cluster().cost().diff_apply_time(applied);
   const Uid writer = msg.writer;
-  system_.cluster().sim().after(
+  system_.rt().defer(
       service, [this, writer, ack = HomeFlushAck{applied, msg.cookie}] {
         channel_.send(writer, ack);
       });
@@ -896,7 +944,7 @@ void DsmProcess::handle_owner_query(const OwnerQuery& query, Uid src) {
   reply.shard = query.shard;
   reply.owners = slice->owners();
   reply.cookie = query.cookie;
-  system_.cluster().sim().after(
+  system_.rt().defer(
       system_.cluster().cost().dir_service,
       [this, src, reply = std::move(reply)]() mutable {
         channel_.send(src, std::move(reply));
@@ -934,7 +982,7 @@ void DsmProcess::handle_dir_delta_request(const DirDeltaRequest& req,
       system_.cluster().cost().dir_service +
       system_.cluster().cost().gc_per_page *
           static_cast<sim::Time>(req.records.size());
-  system_.cluster().sim().after(
+  system_.rt().defer(
       service, [this, to, reply = std::move(reply)]() mutable {
         channel_.send(to, std::move(reply));
       });
@@ -988,7 +1036,7 @@ void DsmProcess::handle_diff_request(const DiffRequest& req, Uid /*src*/) {
       system_.cluster().cost().diff_service_fixed +
       materialized * system_.cluster().cost().diff_create_time(kPageSize);
   const Uid requester = req.requester;
-  system_.cluster().sim().after(
+  system_.rt().defer(
       service, [this, requester, reply = std::move(reply)]() mutable {
         channel_.send(requester, std::move(reply));
       });
@@ -1071,7 +1119,7 @@ void DsmProcess::maybe_forward_tree_arrive() {
   // Interior: one constant combining charge before the merged envelope
   // departs.  Constant, so per-pair FIFO ordering between consecutive
   // collectives through this node is preserved.
-  system_.cluster().sim().after(
+  system_.rt().defer(
       system_.cluster().cost().tree_combine,
       [this, parent, out = std::move(out)]() mutable {
         channel_.send(parent, std::move(out));
@@ -1112,7 +1160,7 @@ void DsmProcess::maybe_forward_tree_ack() {
     channel_.send(parent, out);
     return;
   }
-  system_.cluster().sim().after(
+  system_.rt().defer(
       system_.cluster().cost().tree_combine,
       [this, parent, out] { channel_.send(parent, out); });
 }
@@ -1144,7 +1192,7 @@ void DsmProcess::handle_tree_multicast(TreeMulticast msg) {
   // the own route carries a terminate, the subtree's forwards are already
   // in flight when this process stops.
   for (auto& entry : by_child) {
-    system_.cluster().sim().after(
+    system_.rt().defer(
         system_.cluster().cost().tree_combine,
         [this, to = entry.first, mc = std::move(entry.second)]() mutable {
           channel_.send(to, std::move(mc));
@@ -1195,7 +1243,7 @@ void DsmProcess::deliver_reply(std::uint64_t cookie, Segment seg,
   pr->seg = std::move(seg);
   pr->ready = true;
   pr->shared_envelope = shared_envelope;
-  system_.cluster().sim().signal(pr->wp);
+  system_.rt().signal(pr->wp);
 }
 
 Segment DsmProcess::rpc(Uid dst, Segment seg, std::uint64_t cookie) {
@@ -1203,7 +1251,7 @@ Segment DsmProcess::rpc(Uid dst, Segment seg, std::uint64_t cookie) {
   PendingReply& pr = register_reply(cookie);
   channel_.send(dst, std::move(seg));
   if (!pr.ready) {
-    system_.cluster().sim().wait(pr.wp, "rpc reply");
+    system_.rt().wait(pr.wp, "rpc reply");
   }
   Segment reply = std::move(pr.seg);
   erase_reply(cookie);
@@ -1214,7 +1262,7 @@ void DsmProcess::push_instruction(Segment seg) {
   instr_q_.push_back(std::move(seg));
   if (instr_waiting_) {
     instr_waiting_ = false;
-    system_.cluster().sim().signal(instr_wp_);
+    system_.rt().signal(instr_wp_);
   }
 }
 
@@ -1222,7 +1270,7 @@ Segment DsmProcess::next_instruction(const char* tag) {
   flush_cpu();
   while (instr_q_.empty()) {
     instr_waiting_ = true;
-    system_.cluster().sim().wait(instr_wp_, tag);
+    system_.rt().wait(instr_wp_, tag);
   }
   Segment m = std::move(instr_q_.front());
   instr_q_.pop_front();
@@ -1257,6 +1305,9 @@ void DsmProcess::run_task(const ForkMsg& fork) {
     apply_owner_hints(fork.owner_delta);
   }
   accessed_since_fork_ = 0;
+  // Fork-borne invalidations/commits must revoke app-view access before
+  // the task body runs.
+  if (real_) heap_sync_all();
   system_.run_task_body(fork.task_id, *this, fork.args);
   barrier(kJoinBarrierId);
 }
@@ -1266,7 +1317,7 @@ void DsmProcess::slave_main() {
     // Paper §4.1: the new process asynchronously sets up connections to all
     // slaves first, then to the master; the master then knows it is ready.
     const int peers = system_.world_size();
-    system_.cluster().sim().sleep_for(
+    system_.rt().sleep_for(
         system_.cluster().cost().connection_setup * peers);
     channel_.send(kMasterUid, JoinReady{uid_});
   }
@@ -1293,6 +1344,56 @@ void DsmProcess::slave_main() {
                    "unexpected instruction in Tmk_wait");
     alive_ = false;
     return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real-backend write barrier (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+exec::PageAccess DsmProcess::desired_access(PageId page) const {
+  const auto& pm = engine_->page(page);
+  if (!pm.is_valid()) return exec::PageAccess::kNone;
+  if (pm.dirty || (pm.exclusive && pm.exclusive_rw)) {
+    return exec::PageAccess::kWrite;
+  }
+  return exec::PageAccess::kRead;
+}
+
+void DsmProcess::heap_sync_all() {
+  if (!real_) return;
+  const PageId n = system_.num_pages();
+  for (PageId p = 0; p < n; ++p) {
+    heap_->set_access(p, desired_access(p));
+  }
+}
+
+void DsmProcess::harvest_write_faults() {
+  if (!real_) return;
+  const std::size_t n = heap_->take_write_faults(trap_buf_.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const PageId p = trap_buf_[i];
+    (*ctr_faults_write_)++;
+    ++accessed_since_fork_;
+    // The trap opened the page RW behind the engine's back; the engine must
+    // now observe the write exactly as the simulator's write_range would
+    // have — against the PRE-write page image.  An exclusive page needs no
+    // twin (nothing to invalidate); a page a revoking serve already dirtied
+    // needs nothing at all.
+    if (engine_->page(p).exclusive && engine_->note_exclusive_write(p)) {
+      continue;
+    }
+    if (engine_->page(p).dirty) continue;
+    // Region-swap: park the application's bytes, restore the handler's
+    // pre-write snapshot, let the engine twin/diff against it, then put the
+    // application's bytes back.  flush_lazy_twin diffs the *previous*
+    // interval's twin against the pre-write image; declare_write twins it.
+    std::uint8_t* region_page = heap_->prot_base() + page_base(p);
+    std::memcpy(scratch_page_.data(), region_page, kPageSize);
+    std::memcpy(region_page, heap_->fault_twin(p), kPageSize);
+    engine_->flush_lazy_twin(p);
+    engine_->declare_write(p);
+    std::memcpy(region_page, scratch_page_.data(), kPageSize);
   }
 }
 

@@ -23,6 +23,7 @@
 #include "dsm/msg.hpp"
 #include "dsm/protocol/engine.hpp"
 #include "dsm/types.hpp"
+#include "exec/heap.hpp"
 #include "sim/cluster.hpp"
 #include "sim/simulator.hpp"
 
@@ -69,15 +70,20 @@ class DsmProcess {
 
   /// Raw pointer into the local copy of the shared region.  Only valid for
   /// ranges previously touched via read_range/write_range in this interval.
+  /// Under --backend real this is the mprotect'd app view: a stray write to
+  /// a clean page is caught by the SIGSEGV barrier, a touch of an invalid
+  /// page is a hard fault.
   template <typename T>
   T* ptr(GAddr addr) {
-    return reinterpret_cast<T*>(region_.data() + addr);
+    return reinterpret_cast<T*>(heap_->app_base() + addr);
   }
   template <typename T>
   const T* cptr(GAddr addr) const {
-    return reinterpret_cast<const T*>(region_.data() + addr);
+    return reinterpret_cast<const T*>(heap_->app_base() + addr);
   }
-  std::uint8_t* region_data() { return region_.data(); }
+  /// The protocol view (always readable/writable): checkpoint snapshots and
+  /// region restores go through here, never through the protected app view.
+  std::uint8_t* region_data() { return heap_->prot_base(); }
 
   // --- synchronization (fiber context) ---------------------------------------
   void barrier(std::int32_t barrier_id);
@@ -213,6 +219,19 @@ class DsmProcess {
   /// the rest go through the normal fault path.
   void gc_validate(const OwnerDelta& owners);
 
+  // --- real-backend write barrier (DESIGN.md §14) ----------------------------
+  /// Replays SIGSEGV-trapped first writes into the engine at a protocol
+  /// choke point: for each trapped page the handler's pre-write snapshot is
+  /// swapped into the region, flush_lazy_twin/declare_write run against it
+  /// (so twins capture exactly the image the simulator would have seen),
+  /// then the application's bytes are restored.  No-op under the simulator
+  /// and when nothing trapped.
+  void harvest_write_faults();
+  /// Re-derives every page's app-view protection from engine state.  No-op
+  /// under the simulator.
+  void heap_sync_all();
+  exec::PageAccess desired_access(PageId page) const;
+
   // --- slave main loop --------------------------------------------------------------
   void slave_main();
   void run_task(const ForkMsg& fork);
@@ -236,19 +255,28 @@ class DsmProcess {
   analysis::ProtocolChecker* checker_ = nullptr;
   /// Hot-path counters, interned once here: the fault/barrier/lock/flush
   /// paths bump these per event and must not pay a map lookup each time.
-  std::int64_t* ctr_faults_read_ = nullptr;
-  std::int64_t* ctr_faults_write_ = nullptr;
-  std::int64_t* ctr_page_fetches_ = nullptr;
-  std::int64_t* ctr_page_forwards_ = nullptr;
-  std::int64_t* ctr_consistency_bytes_ = nullptr;
-  std::int64_t* ctr_barrier_waits_ = nullptr;
-  std::int64_t* ctr_lock_acquires_ = nullptr;
-  std::int64_t* ctr_home_flushes_ = nullptr;
-  std::int64_t* ctr_home_flushes_pb_ = nullptr;
-  std::int64_t* ctr_gc_validation_faults_ = nullptr;
-  std::int64_t* ctr_home_validation_faults_ = nullptr;
+  util::StatsRegistry::Counter* ctr_faults_read_ = nullptr;
+  util::StatsRegistry::Counter* ctr_faults_write_ = nullptr;
+  util::StatsRegistry::Counter* ctr_page_fetches_ = nullptr;
+  util::StatsRegistry::Counter* ctr_page_forwards_ = nullptr;
+  util::StatsRegistry::Counter* ctr_consistency_bytes_ = nullptr;
+  util::StatsRegistry::Counter* ctr_barrier_waits_ = nullptr;
+  util::StatsRegistry::Counter* ctr_lock_acquires_ = nullptr;
+  util::StatsRegistry::Counter* ctr_home_flushes_ = nullptr;
+  util::StatsRegistry::Counter* ctr_home_flushes_pb_ = nullptr;
+  util::StatsRegistry::Counter* ctr_gc_validation_faults_ = nullptr;
+  util::StatsRegistry::Counter* ctr_home_validation_faults_ = nullptr;
 
-  std::vector<std::uint8_t> region_;
+  /// The shared-region storage behind the execution seam (DESIGN.md §14):
+  /// SimHeap (one plain buffer) or RealHeap (dual-mapped memfd pages with
+  /// mprotect write barriers), per DsmConfig::backend.
+  std::unique_ptr<exec::ProcessHeap> heap_;
+  /// True under --backend real; gates the harvest/sync hooks.
+  bool real_ = false;
+  /// Scratch for harvest_write_faults (preallocated; fiber/thread-local by
+  /// the single-threaded-process invariant).
+  std::vector<std::int32_t> trap_buf_;
+  std::vector<std::uint8_t> scratch_page_;
   std::unique_ptr<protocol::ConsistencyEngine> engine_;
   /// Outbound transport: all sends depart through here (DESIGN.md §7).
   Channel channel_;

@@ -107,9 +107,9 @@ class HomeLrcEngine final : public ConsistencyEngine {
 
   // Node side.
   std::vector<PageId> flush_pages_;  // last interval's twinned pages
-  std::int64_t* ctr_intervals_ = nullptr;
-  std::int64_t* ctr_diffs_created_ = nullptr;
-  std::int64_t* ctr_flush_diffs_applied_ = nullptr;
+  util::StatsRegistry::Counter* ctr_intervals_ = nullptr;
+  util::StatsRegistry::Counter* ctr_diffs_created_ = nullptr;
+  util::StatsRegistry::Counter* ctr_flush_diffs_applied_ = nullptr;
 
   // Master side.
   IntervalDirectory directory_;

@@ -85,9 +85,9 @@ class LrcEngine final : public ConsistencyEngine {
   /// chunks recycled at once) in gc_commit_node when the archives clear.
   util::Arena diff_arena_;
   analysis::ProtocolChecker* checker_ = nullptr;
-  std::int64_t* ctr_diffs_created_ = nullptr;
-  std::int64_t* ctr_intervals_ = nullptr;
-  std::int64_t* ctr_diff_fetches_ = nullptr;
+  util::StatsRegistry::Counter* ctr_diffs_created_ = nullptr;
+  util::StatsRegistry::Counter* ctr_intervals_ = nullptr;
+  util::StatsRegistry::Counter* ctr_diff_fetches_ = nullptr;
 
   // Master side.  Last-writer tracking lives in the base directory
   // (DirectoryShards::record_write), where GC delta computation is sharded.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <fstream>
 
+#include "exec/real_runtime.hpp"
+#include "exec/sim_runtime.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -15,6 +17,25 @@ DsmSystem::DsmSystem(sim::Cluster& cluster, DsmConfig config)
   ANOW_CHECK_MSG(config_.heap_bytes % static_cast<std::int64_t>(kPageSize) ==
                      0,
                  "heap_bytes must be page aligned");
+  if (config_.backend == BackendKind::kReal) {
+    // Simulator-only machinery is rejected up front rather than silently
+    // producing wrong numbers: the tracer and race detector timestamp with
+    // virtual time, and adaptive placement taps send_envelope from many
+    // threads (DESIGN.md §14).
+    ANOW_CHECK_MSG(config_.trace_file.empty(),
+                   "--trace requires the simulator clock; rerun with "
+                   "--backend sim");
+    ANOW_CHECK_MSG(config_.race_check == RaceCheckMode::kOff,
+                   "--race-check rides the simulator's interval machinery; "
+                   "rerun with --backend sim");
+    ANOW_CHECK_MSG(config_.placement == PlacementMode::kStatic,
+                   "--placement adaptive is not supported under "
+                   "--backend real");
+    ANOW_CHECK_MSG(cluster_.trace() == nullptr,
+                   "tracing is not supported under --backend real");
+  } else {
+    rt_ = std::make_unique<exec::SimRuntime>(cluster_);
+  }
   const auto pages =
       static_cast<std::size_t>(config_.heap_bytes / kPageSize);
   protocol_.assign(pages, config_.default_protocol);
@@ -156,6 +177,12 @@ void DsmSystem::start(int nprocs) {
   if (placement_adaptive_) policy_.configure(shard_map_);
   initial_team_end_ = static_cast<Uid>(nprocs);
   while (cluster_.num_hosts() < nprocs) cluster_.add_host();
+  if (config_.backend == BackendKind::kReal) {
+    // The ring matrix is sized by the team, so the real runtime waits for
+    // start(); processes attach their delivery hooks in their constructors.
+    rt_ = std::make_unique<exec::RealRuntime>(nprocs, cluster_.stats(),
+                                              cluster_.cost().header_bytes);
+  }
   for (int i = 0; i < nprocs; ++i) {
     const Uid uid = next_uid_++;
     engine_->note_uid(uid);
@@ -166,20 +193,21 @@ void DsmSystem::start(int nprocs) {
     team_.push_back(uid);
   }
   rebuild_topology();
-  // Slave fibers; the master's fiber is created in run().
+  // Slave contexts; the master's is created in run().  The simulator spawns
+  // fibers now, the real backend holds the bodies until run() launches the
+  // threads (so the setup phase never races a live process).
   for (int i = 1; i < nprocs; ++i) {
     DsmProcess* p = processes_[team_[i]].get();
-    p->fiber_ = &cluster_.sim().spawn(
-        "slave-" + std::to_string(p->uid()), [p] { p->slave_main(); });
+    p->fiber_ = rt_->start_process(p->uid(),
+                                   "slave-" + std::to_string(p->uid()),
+                                   [p] { p->slave_main(); });
   }
 }
 
 void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
   ANOW_CHECK_MSG(started_, "run() before start()");
   DsmProcess* master = processes_.at(kMasterUid).get();
-  master->fiber_ = &cluster_.sim().spawn("master", [this, master,
-                                                    main = std::move(
-                                                        master_main)] {
+  auto master_body = [this, master, main = std::move(master_main)] {
     main(*master);
     // Shut down every live process — team members and joiners that were
     // spawned but never adopted.  channel().send drains any join-barrier
@@ -211,11 +239,19 @@ void DsmSystem::run(std::function<void(DsmProcess&)> master_main) {
       }
     }
     master->alive_ = false;
-  });
-  cluster_.sim().run();
-  ANOW_CHECK_MSG(cluster_.sim().all_fibers_done(),
-                 "deadlock: fibers still parked:\n"
-                     << cluster_.sim().parked_fiber_report());
+  };
+  if (rt_->real()) {
+    master->harvest_write_faults();  // init-phase writes, pre-thread-launch
+    master->heap_sync_all();
+    rt_->run(std::move(master_body));
+  } else {
+    master->fiber_ =
+        rt_->start_process(kMasterUid, "master", std::move(master_body));
+    cluster_.sim().run();
+    ANOW_CHECK_MSG(cluster_.sim().all_fibers_done(),
+                   "deadlock: fibers still parked:\n"
+                       << cluster_.sim().parked_fiber_report());
+  }
   if (race_ != nullptr) {
     race_->finalize(cluster_.stats());
   }
@@ -258,6 +294,9 @@ Uid DsmSystem::uid_of_pid(Pid pid) const {
 }
 
 Uid DsmSystem::spawn_process(sim::HostId host) {
+  ANOW_CHECK_MSG(!rt_->real(),
+                 "spawn_process (joins) is not supported under "
+                 "--backend real");
   ANOW_CHECK(host >= 0 && host < cluster_.num_hosts());
   const Uid uid = next_uid_++;
   engine_->note_uid(uid);
@@ -265,8 +304,8 @@ Uid DsmSystem::spawn_process(sim::HostId host) {
   proc->announce_join_ = true;
   DsmProcess* p = proc.get();
   processes_.push_back(std::move(proc));
-  p->fiber_ = &cluster_.sim().spawn("slave-" + std::to_string(uid),
-                                    [p] { p->slave_main(); });
+  p->fiber_ = rt_->start_process(uid, "slave-" + std::to_string(uid),
+                                 [p] { p->slave_main(); });
   return uid;
 }
 
@@ -361,8 +400,7 @@ void DsmSystem::move_process(Uid uid, sim::HostId new_host) {
 
 bool DsmSystem::on_master_fiber() const {
   const DsmProcess& master = *processes_[kMasterUid];
-  return master.alive() &&
-         cluster_.sim().current_fiber() == master.fiber_;
+  return master.alive() && rt_->in_context_of(kMasterUid);
 }
 
 std::vector<Uid> DsmSystem::shard_slice(int shard) {
@@ -419,7 +457,7 @@ std::vector<Uid> DsmSystem::collect_owner_map() {
   for (const auto& [s, cookie] : cookies) {
     auto* pr = master.find_reply(cookie);
     if (!pr->ready) {
-      cluster_.sim().wait(pr->wp, "owner slice");
+      rt_->wait(pr->wp, "owner slice");
     }
     auto& slice = std::get<OwnerSlice>(pr->seg);
     ANOW_CHECK(slice.shard == s);
@@ -503,9 +541,10 @@ void DsmSystem::close_master_interval() {
 void DsmSystem::run_parallel(std::int32_t task_id,
                              std::vector<std::uint8_t> args) {
   DsmProcess& master = process(kMasterUid);
-  ANOW_CHECK_MSG(cluster_.sim().current_fiber() == master.fiber_,
+  ANOW_CHECK_MSG(rt_->in_context_of(kMasterUid),
                  "run_parallel outside the master fiber");
 
+  if (rt_->real()) master.harvest_write_faults();
   close_master_interval();
   if (fork_hook_) fork_hook_();
   // The fork is a release point for the master: the detector snapshots the
@@ -567,6 +606,7 @@ void DsmSystem::run_parallel(std::int32_t task_id,
   master.apply_owner_hints(commit.delta);
   master.accessed_since_fork_ = 0;
   master.engine().begin_construct();
+  master.heap_sync_all();
   run_task_body(task_id, master, args);
   master.barrier(kJoinBarrierId);
 }
@@ -667,18 +707,16 @@ void DsmSystem::release_barrier() {
       routed.emplace_back(uid, std::move(rel));
       continue;
     }
-    cluster_.sim().after(service,
-                         [this, uid, rel = std::move(rel)]() mutable {
-                           channel(kMasterUid).send(uid, std::move(rel));
-                         });
+    rt_->defer(service, [this, uid, rel = std::move(rel)]() mutable {
+      channel(kMasterUid).send(uid, std::move(rel));
+    });
   }
   if (!routed.empty()) {
     // One multicast per master child after the same aggregate service
     // charge (the master still serializes over the arrivals it merged).
-    cluster_.sim().after(service,
-                         [this, routed = std::move(routed)]() mutable {
-                           fan_out_instructions(std::move(routed));
-                         });
+    rt_->defer(service, [this, routed = std::move(routed)]() mutable {
+      fan_out_instructions(std::move(routed));
+    });
   }
   barrier_arrived_.clear();
   barrier_id_ = -1;
@@ -837,7 +875,7 @@ OwnerDelta DsmSystem::collect_gc_delta() {
     for (const auto& [shard, cookie] : cookies) {
       auto* pr = master.find_reply(cookie);
       if (!pr->ready) {
-        cluster_.sim().wait(pr->wp, "dir delta reply");
+        rt_->wait(pr->wp, "dir delta reply");
       }
       auto& reply = std::get<DirDeltaReply>(pr->seg);
       if (!reply.slice.empty()) {
@@ -864,7 +902,7 @@ void DsmSystem::on_gc_ack(const GcAck& /*msg*/) {
       release_barrier();
       break;
     case GcResume::kForkHook:
-      cluster_.sim().signal(gc_fork_wp_);
+      rt_->signal(gc_fork_wp_);
       break;
     case GcResume::kNone:
       ANOW_CHECK_MSG(false, "GC completed with no continuation");
@@ -884,13 +922,14 @@ void DsmSystem::on_tree_ack(const TreeAck& msg) {
 
 void DsmSystem::gc_at_fork() {
   DsmProcess& master = process(kMasterUid);
-  ANOW_CHECK_MSG(cluster_.sim().current_fiber() == master.fiber_,
+  ANOW_CHECK_MSG(rt_->in_context_of(kMasterUid),
                  "gc_at_fork outside the master fiber");
   ANOW_CHECK_MSG(barrier_arrived_.empty(), "gc_at_fork during a barrier");
   ANOW_CHECK(!gc_in_progress_);
 
   // The master's open sequential-section interval must be logged before
   // the delta is computed (its writes drive ownership like any others).
+  if (rt_->real()) master.harvest_write_faults();
   close_master_interval();
 
   stats().counter("dsm.gc_runs")++;
@@ -937,7 +976,7 @@ void DsmSystem::gc_at_fork() {
     }
     if (!routed.empty()) fan_out_instructions(std::move(routed));
     obs::ScopedSpan span(tracer_, kMasterUid, obs::SpanKind::kGcCommit);
-    cluster_.sim().wait(gc_fork_wp_, "gc acks");
+    rt_->wait(gc_fork_wp_, "gc acks");
     // on_gc_ack performed the master-side gc_finish (the pending commit now
     // rides on the next ForkMsg).
   } else {
@@ -950,6 +989,7 @@ void DsmSystem::gc_at_fork() {
   // commit on the next ForkMsg (gc_commit flag) assembled from the engine's
   // pending commit.
   master.engine().gc_commit_node(delta);
+  master.heap_sync_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -973,11 +1013,10 @@ void DsmSystem::on_lock_acquire(const LockAcquireReq& msg) {
     LockGrant grant;
     grant.lock_id = msg.lock_id;
     grant.intervals = engine_->collect_undelivered(msg.requester);
-    cluster_.sim().after(
-        cluster_.cost().lock_service,
-        [this, to = msg.requester, grant = std::move(grant)]() mutable {
-          channel(kMasterUid).send(to, std::move(grant));
-        });
+    rt_->defer(cluster_.cost().lock_service,
+               [this, to = msg.requester, grant = std::move(grant)]() mutable {
+                 channel(kMasterUid).send(to, std::move(grant));
+               });
   } else {
     ls.queue.push_back(msg.requester);
   }
@@ -1006,10 +1045,10 @@ void DsmSystem::on_lock_release(const LockReleaseMsg& msg) {
   LockGrant grant;
   grant.lock_id = msg.lock_id;
   grant.intervals = engine_->collect_undelivered(next);
-  cluster_.sim().after(cluster_.cost().lock_service,
-                       [this, next, grant = std::move(grant)]() mutable {
-                         channel(kMasterUid).send(next, std::move(grant));
-                       });
+  rt_->defer(cluster_.cost().lock_service,
+             [this, next, grant = std::move(grant)]() mutable {
+               channel(kMasterUid).send(next, std::move(grant));
+             });
 }
 
 void DsmSystem::on_join_ready(const JoinReady& msg) {
@@ -1041,9 +1080,10 @@ void DsmSystem::restore_master_region(const std::vector<std::uint8_t>& region,
     engine_->dir().collapse_to_master();
     shard_map_ = protocol::ShardMap(num_pages(), 1);
   }
-  std::copy(region.begin(), region.end(), master.region_.begin());
+  std::copy(region.begin(), region.end(), master.heap_->prot_base());
   heap_brk_ = heap_brk;
   engine_->reset_owners_to_master();
+  master.heap_sync_all();
   if (placement_adaptive_) {
     monitor_.reset();
     policy_.reset(shard_map_);
@@ -1058,7 +1098,7 @@ void DsmSystem::restore_master_region(const std::vector<std::uint8_t>& region,
 
 std::int64_t DsmSystem::master_collect_all_pages() {
   DsmProcess& master = process(kMasterUid);
-  ANOW_CHECK_MSG(cluster_.sim().current_fiber() == master.fiber_,
+  ANOW_CHECK_MSG(rt_->in_context_of(kMasterUid),
                  "master_collect_all_pages outside the master fiber");
   std::int64_t fetched = 0;
   for (PageId p = 0; p < num_pages(); ++p) {
@@ -1067,6 +1107,7 @@ std::int64_t DsmSystem::master_collect_all_pages() {
       ++fetched;
     }
   }
+  master.heap_sync_all();
   return fetched;
 }
 
@@ -1077,6 +1118,7 @@ std::int64_t DsmSystem::master_collect_all_pages() {
 util::StatsRegistry& DsmSystem::stats() { return cluster_.stats(); }
 
 std::vector<std::uint8_t> DsmSystem::acquire_page_buffer() {
+  std::lock_guard<std::mutex> lk(page_buf_mu_);
   if (page_buf_pool_.empty()) {
     return std::vector<std::uint8_t>(kPageSize);
   }
@@ -1088,6 +1130,7 @@ std::vector<std::uint8_t> DsmSystem::acquire_page_buffer() {
 void DsmSystem::release_page_buffer(std::vector<std::uint8_t> buf) {
   // Only full-page buffers recycle (the pool invariant acquire relies on);
   // the cap bounds the footprint if a burst of replies lands at once.
+  std::lock_guard<std::mutex> lk(page_buf_mu_);
   if (buf.size() != kPageSize || page_buf_pool_.size() >= 64) return;
   page_buf_pool_.push_back(std::move(buf));
 }
@@ -1214,10 +1257,10 @@ void DsmSystem::send_envelope(Uid to, Envelope env) {
   }
   const Uid src = env.src;
   const sim::Time arrival =
-      cluster_.net().send(host_of(src), host_of(to), wire,
-                          [target, env = std::move(env)]() mutable {
-                            target->handle(std::move(env));
-                          });
+      rt_->post(src, to, host_of(src), host_of(to), wire,
+                [target, env = std::move(env)]() mutable {
+                  target->handle(std::move(env));
+                });
   if (flow != 0) tracer_->flow_end(flow, to, arrival, flow_label);
 }
 

@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "dsm/protocol/engine.hpp"
 #include "dsm/topology/topology.hpp"
 #include "dsm/types.hpp"
+#include "exec/runtime.hpp"
 #include "sim/cluster.hpp"
 
 namespace anow::dsm {
@@ -43,6 +45,13 @@ class DsmSystem {
 
   sim::Cluster& cluster() { return cluster_; }
   const DsmConfig& config() const { return config_; }
+
+  /// The execution backend behind the seam (DESIGN.md §14).  Under
+  /// --backend sim this wraps the cluster's simulator; under --backend real
+  /// it is the pthread runtime (available only from start() on, since its
+  /// size is the team size).
+  exec::Runtime& rt() { return *rt_; }
+  const exec::Runtime& rt() const { return *rt_; }
 
   /// Registers a task body; returns the task id to pass to fork().  Must be
   /// called before start(), in the same order everywhere (single binary).
@@ -267,6 +276,11 @@ class DsmSystem {
   sim::Cluster& cluster_;
   DsmConfig config_;
 
+  /// The execution seam (DESIGN.md §14).  kSim: constructed immediately.
+  /// kReal: constructed in start() (needs the team size for its ring
+  /// matrix); every pre-start call site is sim-only or master-local.
+  std::unique_ptr<exec::Runtime> rt_;
+
   std::vector<std::string> task_names_;
   std::vector<Task> tasks_;
 
@@ -310,22 +324,22 @@ class DsmSystem {
 
   /// Cached per-segment-kind traffic counters (send_envelope is the
   /// hottest accounting site; no map lookups there).
-  std::int64_t* seg_msgs_[kNumSegmentKinds] = {};
-  std::int64_t* seg_bytes_[kNumSegmentKinds] = {};
-  std::int64_t* ctr_segments_ = nullptr;
-  std::int64_t* ctr_consistency_bytes_ = nullptr;
+  util::StatsRegistry::Counter* seg_msgs_[kNumSegmentKinds] = {};
+  util::StatsRegistry::Counter* seg_bytes_[kNumSegmentKinds] = {};
+  util::StatsRegistry::Counter* ctr_segments_ = nullptr;
+  util::StatsRegistry::Counter* ctr_consistency_bytes_ = nullptr;
   /// Owner-lookup segments (PageRequest / OwnerQuery / DirDeltaRequest) by
   /// destination: the master-inbound count is the directory bottleneck the
   /// sharded layout exists to shrink (DESIGN.md §8).
-  std::int64_t* ctr_lookups_master_ = nullptr;
-  std::int64_t* ctr_lookups_shard_ = nullptr;
+  util::StatsRegistry::Counter* ctr_lookups_master_ = nullptr;
+  util::StatsRegistry::Counter* ctr_lookups_shard_ = nullptr;
   /// Control-plane segments through the master per direction (DESIGN.md
   /// §12): the serialization the tree topology must drop from O(N) to
   /// O(K·log_K N) per collective.  Counted per top-level segment — a
   /// combined tree segment counts once, which is exactly the relief being
   /// measured.
-  std::int64_t* ctr_ctrl_master_in_ = nullptr;
-  std::int64_t* ctr_ctrl_master_out_ = nullptr;
+  util::StatsRegistry::Counter* ctr_ctrl_master_in_ = nullptr;
+  util::StatsRegistry::Counter* ctr_ctrl_master_out_ = nullptr;
 
   /// Directory shard layout (fixed at start) and the first uid that is not
   /// an initial team member (joiners are never shard holders).
@@ -365,7 +379,10 @@ class DsmSystem {
   std::vector<Uid> ready_joiners_;
 
   /// Free list for acquire/release_page_buffer, bounded by the number of
-  /// in-flight page replies (capped as a backstop).
+  /// in-flight page replies (capped as a backstop).  The mutex exists for
+  /// the real backend, where serve and install run on different threads;
+  /// uncontended under the simulator.
+  std::mutex page_buf_mu_;
   std::vector<std::vector<std::uint8_t>> page_buf_pool_;
 
   std::function<void()> fork_hook_;

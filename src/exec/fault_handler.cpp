@@ -1,0 +1,114 @@
+// The SIGSEGV write barrier (DESIGN.md §14).
+//
+// This TU is the only code in the repo that runs in signal context, and it
+// is held to strict async-signal-safety (enforced by the
+// `signal-handler-safety` rule in tools/lint_rules.py): no allocation, no
+// locks, no stdio, no C++ runtime machinery — just address arithmetic over
+// the preallocated HeapDesc registry, a hand-rolled word copy into the
+// preallocated twin arena, mprotect(2), and write(2) for fatal diagnostics.
+//
+// Handler contract: a write to a page in kRead state (valid, clean, tracked)
+// snapshots the page's pre-write image into the twin arena, appends the page
+// to the trap list, opens the page RW, and returns — the faulting store then
+// retries and succeeds.  The owning thread harvests the trap list at its
+// next protocol choke point and replays the capture into the consistency
+// engine (flush_lazy_twin + declare_write over the snapshotted image).
+// Reads never fault on kRead pages, so no fault-decoding is needed: any
+// fault that is not a first write to a tracked page is a genuine error and
+// is chained to the previously installed handler (ASan's, or default).
+
+#include "exec/fault_support.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace anow::exec::detail {
+
+namespace {
+
+// Numeric mirror of exec::PageAccess (static_asserted in heap.cpp).
+constexpr std::uint8_t kAccessRead = 1;
+constexpr std::uint8_t kAccessWrite = 2;
+
+constexpr std::size_t kPage = 4096;
+
+HeapDesc* g_slots[kMaxHeaps] = {};
+struct sigaction g_prev_action;
+bool g_installed = false;
+
+/// memcpy without libc (interceptor-free in sanitizer builds); page images
+/// are 4096-byte aligned blocks, copied as u64 words.
+void copy_page(std::uint8_t* dst, const std::uint8_t* src) {
+  auto* d = reinterpret_cast<std::uint64_t*>(dst);
+  const auto* s = reinterpret_cast<const std::uint64_t*>(src);
+  for (std::size_t i = 0; i < kPage / sizeof(std::uint64_t); ++i) d[i] = s[i];
+}
+
+void write_str(const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') ++n;
+  // The return value is irrelevant on this path — we are about to die.
+  const auto r = write(2, s, n);
+  (void)r;
+}
+
+void chain_previous(int sig, siginfo_t* info, void* uctx) {
+  if ((g_prev_action.sa_flags & SA_SIGINFO) != 0 &&
+      g_prev_action.sa_sigaction != nullptr) {
+    g_prev_action.sa_sigaction(sig, info, uctx);
+    return;
+  }
+  if (g_prev_action.sa_handler != SIG_DFL &&
+      g_prev_action.sa_handler != SIG_IGN &&
+      g_prev_action.sa_handler != nullptr) {
+    g_prev_action.sa_handler(sig);
+    return;
+  }
+  // Restore the default action and return; the faulting instruction
+  // re-executes and the default SIGSEGV disposition terminates the process
+  // with a proper core/signal status.
+  signal(sig, SIG_DFL);
+}
+
+void on_segv(int sig, siginfo_t* info, void* uctx) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(info->si_addr);
+  for (std::size_t i = 0; i < kMaxHeaps; ++i) {
+    HeapDesc* d = g_slots[i];
+    if (d == nullptr) continue;
+    const auto base = reinterpret_cast<std::uintptr_t>(d->app_base);
+    if (addr < base || addr >= base + d->bytes) continue;
+    const std::size_t page = (addr - base) / kPage;
+    if (d->access[page] == kAccessRead) {
+      // First write to a tracked page: capture the pre-write image, note
+      // the trap, open the page, retry the store.
+      copy_page(d->twins + page * kPage, d->prot_base + page * kPage);
+      d->trap_list[d->trap_count++] = static_cast<std::int32_t>(page);
+      d->access[page] = kAccessWrite;
+      mprotect(d->app_base + page * kPage, kPage, PROT_READ | PROT_WRITE);
+      return;
+    }
+    // A fault on a kNone (invalid) page means the application touched
+    // shared memory without read_range/write_range — a real bug, not a
+    // barrier event.  A fault on a kWrite page should be impossible.
+    write_str("anow: fault on shared page outside a declared access range\n");
+    break;
+  }
+  chain_previous(sig, info, uctx);
+}
+
+}  // namespace
+
+HeapDesc** heap_slots() { return g_slots; }
+
+void install_fault_handler() {
+  if (g_installed) return;
+  struct sigaction sa = {};
+  sa.sa_sigaction = on_segv;
+  sa.sa_flags = SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGSEGV, &sa, &g_prev_action);
+  g_installed = true;
+}
+
+}  // namespace anow::exec::detail

@@ -1,0 +1,50 @@
+// Shared state between RealHeap (src/exec/heap.cpp) and the SIGSEGV write
+// barrier (src/exec/fault_handler.cpp) — DESIGN.md §14.
+//
+// A HeapDesc describes one process's privatized heap to the fault handler:
+// where the protected app view lives, where the always-writable protocol
+// view of the same physical pages lives, the per-page access state, the
+// twin arena the handler snapshots pre-write page images into, and the trap
+// list the owning thread harvests at its next protocol choke point.
+//
+// Every field the handler touches is plain (non-atomic) memory on purpose:
+// a SIGSEGV is synchronous — the handler runs on the faulting thread, and a
+// heap is only ever touched by its owning thread — so handler and harvest
+// code are sequentially ordered on the same thread and no cross-thread
+// visibility is needed.  Registration/unregistration happen on the
+// single-threaded setup/teardown path (guarded by a mutex in heap.cpp, not
+// in the handler TU).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anow::exec::detail {
+
+struct HeapDesc {
+  std::uint8_t* app_base = nullptr;   // mprotect'd application view
+  std::uint8_t* prot_base = nullptr;  // always-RW protocol view (same pages)
+  std::size_t bytes = 0;
+  std::size_t npages = 0;
+  /// Per-page access state; values are exec::PageAccess cast to uint8_t.
+  std::uint8_t* access = nullptr;
+  /// npages * kPageBytes arena: slot p receives the pre-write image of page
+  /// p, captured by the handler before it opens the page for writing.
+  std::uint8_t* twins = nullptr;
+  /// Pages write-faulted since the last harvest, in fault order.
+  std::int32_t* trap_list = nullptr;
+  std::size_t trap_count = 0;
+};
+
+/// Fixed-capacity registry the handler scans; slots are nullable.
+constexpr std::size_t kMaxHeaps = 256;
+
+/// The slot array lives in fault_handler.cpp (the async-signal-safe TU).
+HeapDesc** heap_slots();
+
+/// Installs the SIGSEGV/SIGBUS handler (idempotent; caller serializes — the
+/// registration mutex in heap.cpp).  Chains to the previously installed
+/// handler for faults outside every registered heap.
+void install_fault_handler();
+
+}  // namespace anow::exec::detail

@@ -1,0 +1,52 @@
+#include "exec/sim_runtime.hpp"
+
+#include "sim/cluster.hpp"
+#include "util/check.hpp"
+
+namespace anow::exec {
+
+Runtime::~Runtime() = default;
+
+sim::Time SimRuntime::now() const { return cluster_.sim().now(); }
+
+void SimRuntime::wait(sim::WaitPoint& wp, const char* tag) {
+  cluster_.sim().wait(wp, tag);
+}
+
+void SimRuntime::signal(sim::WaitPoint& wp) { cluster_.sim().signal(wp); }
+
+void SimRuntime::defer(sim::Time dt, std::function<void()> fn) {
+  cluster_.sim().after(dt, std::move(fn));
+}
+
+void SimRuntime::sleep_for(sim::Time dt) { cluster_.sim().sleep_for(dt); }
+
+sim::Fiber* SimRuntime::start_process(ProcId uid, const std::string& name,
+                                      std::function<void()> body) {
+  sim::Fiber& f = cluster_.sim().spawn(name, std::move(body));
+  if (static_cast<std::size_t>(uid) >= fibers_.size()) {
+    fibers_.resize(static_cast<std::size_t>(uid) + 1, nullptr);
+  }
+  fibers_[static_cast<std::size_t>(uid)] = &f;
+  return &f;
+}
+
+sim::Time SimRuntime::post(ProcId /*src*/, ProcId /*dst*/, int src_host,
+                           int dst_host, std::int64_t wire_bytes,
+                           std::function<void()> deliver) {
+  return cluster_.net().send(src_host, dst_host, wire_bytes,
+                             std::move(deliver));
+}
+
+void SimRuntime::run(std::function<void()> master_body) {
+  start_process(0, "master", std::move(master_body));
+  cluster_.sim().run();
+}
+
+bool SimRuntime::in_context_of(ProcId uid) const {
+  if (static_cast<std::size_t>(uid) >= fibers_.size()) return false;
+  sim::Fiber* f = fibers_[static_cast<std::size_t>(uid)];
+  return f != nullptr && cluster_.sim().current_fiber() == f;
+}
+
+}  // namespace anow::exec

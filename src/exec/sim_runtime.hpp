@@ -1,0 +1,42 @@
+// Runtime implementation over the discrete-event simulator (DESIGN.md §14).
+//
+// A thin adapter: every operation forwards to the sim::Cluster the DSM layer
+// used to call directly, so --backend sim is byte-identical to the pre-seam
+// code — same events, same virtual times, same message schedule.
+#pragma once
+
+#include <vector>
+
+#include "exec/runtime.hpp"
+
+namespace anow::sim {
+class Cluster;
+}
+
+namespace anow::exec {
+
+class SimRuntime final : public Runtime {
+ public:
+  explicit SimRuntime(sim::Cluster& cluster) : cluster_(cluster) {}
+
+  bool real() const override { return false; }
+  sim::Time now() const override;
+  void wait(sim::WaitPoint& wp, const char* tag) override;
+  void signal(sim::WaitPoint& wp) override;
+  void defer(sim::Time dt, std::function<void()> fn) override;
+  void sleep_for(sim::Time dt) override;
+  sim::Fiber* start_process(ProcId uid, const std::string& name,
+                            std::function<void()> body) override;
+  sim::Time post(ProcId src, ProcId dst, int src_host, int dst_host,
+                 std::int64_t wire_bytes,
+                 std::function<void()> deliver) override;
+  void run(std::function<void()> master_body) override;
+  bool in_context_of(ProcId uid) const override;
+
+ private:
+  sim::Cluster& cluster_;
+  /// Fiber by uid, recorded at start_process (uids are dense and small).
+  std::vector<sim::Fiber*> fibers_;
+};
+
+}  // namespace anow::exec

@@ -1,0 +1,70 @@
+// Bounded lock-free single-producer/single-consumer ring (DESIGN.md §14).
+//
+// The real execution backend gives every ordered (src, dst) process pair its
+// own ring, so per-pair FIFO is a structural property — exactly what the
+// protocol sanitizer's per-pair fingerprint checks assume — and no queue
+// ever sees more than one producer or one consumer thread.  Classic
+// Lamport ring: the producer owns tail_, the consumer owns head_, each
+// publishes with a release store and observes the other with an acquire
+// load.  Cache-line padding keeps the two indices from false sharing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace anow::exec {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity_pow2 = 1024)
+      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+    ANOW_CHECK_MSG((capacity_pow2 & (capacity_pow2 - 1)) == 0 &&
+                       capacity_pow2 >= 2,
+                   "SpscQueue capacity must be a power of two");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side.  Returns false when the ring is full (the caller
+  /// backs off and retries; the consumer is guaranteed to drain — it only
+  /// blocks when every inbound ring is empty).
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Either side (approximate from the other side's view; exact from the
+  /// consumer's).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  const std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace anow::exec

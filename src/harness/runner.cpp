@@ -20,6 +20,15 @@ RunResult run_workload(const RunConfig& config) {
 
 RunResult run_workload(const RunConfig& config,
                        std::unique_ptr<apps::Workload> workload) {
+  const bool real = config.backend == dsm::BackendKind::kReal;
+  if (real) {
+    ANOW_CHECK_MSG(!config.time_attribution,
+                   "--backend real has no virtual clock; time attribution "
+                   "requires --backend sim");
+    ANOW_CHECK_MSG(config.events.empty(),
+                   "adaptation events (join/leave/migrate) require "
+                   "--backend sim");
+  }
   sim::Cluster cluster(config.cost, config.nprocs + config.spare_hosts,
                        config.seed);
   // The recorder must exist before the DsmSystem (and its processes, which
@@ -30,6 +39,7 @@ RunResult run_workload(const RunConfig& config,
     cluster.enable_trace(topts);
   }
   dsm::DsmConfig dsm_cfg = workload->dsm_config();
+  dsm_cfg.backend = config.backend;
   dsm_cfg.engine = config.engine;
   dsm_cfg.piggyback = config.piggyback;
   dsm_cfg.dir_shards = config.dir_shards;
@@ -44,7 +54,7 @@ RunResult run_workload(const RunConfig& config,
   workload->setup(rt);
 
   std::optional<core::AdaptiveRuntime> adapt;
-  if (config.adaptive) {
+  if (config.adaptive && !real) {
     core::AdaptiveRuntime::Options opts;
     opts.gc_before_adapt = config.gc_before_adapt;
     opts.charge_spawn_cost = config.charge_spawn_cost;

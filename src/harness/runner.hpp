@@ -23,6 +23,12 @@ struct RunConfig {
   std::string app = "jacobi";
   apps::Size size = apps::Size::kBench;
   int nprocs = 8;
+  /// Execution backend (--backend / ANOW_BACKEND; DESIGN.md §14).  kSim is
+  /// the deterministic discrete-event simulator; kReal runs the same
+  /// protocol on pthreads with mmap page privatization and SIGSEGV write
+  /// barriers.  Real runs report wall-clock seconds and cannot trace,
+  /// race-check, use adaptive placement, or take adaptation events.
+  dsm::BackendKind backend = dsm::backend_from_env();
   /// false = the non-adaptive base TreadMarks (no hook installed at all).
   bool adaptive = true;
   std::vector<core::AdaptEvent> events;

@@ -95,11 +95,21 @@ bool Report::conserved() const {
 
 TraceRecorder::TraceRecorder(sim::Simulator& sim, util::StatsRegistry& stats,
                              TraceOptions opts)
-    : sim_(sim), stats_(stats), opts_(opts) {
+    : sim_(sim),
+      stats_(stats),
+      opts_(opts),
+      wall_epoch_(std::chrono::steady_clock::now()) {
   ANOW_CHECK(opts_.ring_capacity > 0);
 }
 
-sim::Time TraceRecorder::now() const { return sim_.now(); }
+sim::Time TraceRecorder::now() const {
+  if (opts_.clock == ClockSource::kWall) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - wall_epoch_)
+        .count();
+  }
+  return sim_.now();
+}
 
 TraceRecorder::Attr& TraceRecorder::attr(std::int32_t uid) {
   ANOW_CHECK(uid >= 0);

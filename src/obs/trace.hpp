@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -66,12 +67,22 @@ constexpr int kNumBuckets = static_cast<int>(Bucket::kCount);
 Bucket bucket_of(SpanKind k);
 const char* bucket_name(Bucket b);
 
+/// Timestamp source for a recorder.  kVirtual reads the simulator clock —
+/// the default, and the only source that keeps a trace deterministic and
+/// the conservation invariant exact.  kWall reads a monotonic wall clock
+/// relative to recorder construction; the real execution backend
+/// (DESIGN.md §14) rejects tracing outright, so kWall exists for
+/// recorders driven outside a simulator run (tests, offline tooling).
+enum class ClockSource : std::uint8_t { kVirtual, kWall };
+
 struct TraceOptions {
   /// Record events for Chrome-trace export.  Off = attribution only.
   bool record_events = false;
   /// Ring capacity (events) per process track; oldest events are dropped
   /// (and counted) when a track overflows.
   std::size_t ring_capacity = 1 << 16;
+  /// Where timestamps come from (see ClockSource).
+  ClockSource clock = ClockSource::kVirtual;
 };
 
 /// One recorded event.  `label` always points at static storage (span kind
@@ -200,6 +211,8 @@ class TraceRecorder {
   sim::Simulator& sim_;
   util::StatsRegistry& stats_;
   TraceOptions opts_;
+  /// Zero point for ClockSource::kWall (set at construction).
+  std::chrono::steady_clock::time_point wall_epoch_;
   std::vector<Attr> attrs_;   // indexed by uid
   std::vector<Ring> rings_;   // indexed by uid (events mode only)
   std::vector<EpochRecord> epochs_;

@@ -59,8 +59,8 @@ class Network {
   util::StatsRegistry& stats_;
   // Interned at construction: send() runs once per simulated message, so it
   // must not pay a string-keyed map lookup per counter bump.
-  std::int64_t* ctr_messages_;
-  std::int64_t* ctr_bytes_;
+  util::StatsRegistry::Counter* ctr_messages_;
+  util::StatsRegistry::Counter* ctr_bytes_;
   std::vector<LinkStats> links_;
   std::vector<Time> uplink_free_;
   std::vector<Time> downlink_free_;

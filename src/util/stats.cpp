@@ -7,11 +7,13 @@
 namespace anow::util {
 
 std::int64_t StatsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0 : it->second.load(std::memory_order_relaxed);
 }
 
 double StatsRegistry::accum_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = accums_.find(name);
   return it == accums_.end() ? 0.0 : it->second;
 }
@@ -19,12 +21,19 @@ double StatsRegistry::accum_value(const std::string& name) const {
 void StatsRegistry::clear() {
   // Zero in place rather than erase: hot paths hold handle() pointers into
   // the map nodes, and those must survive a mid-run reset.
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, value] : counters_) value = 0;
   for (auto& [name, value] : accums_) value = 0.0;
 }
 
 StatsRegistry::Snapshot StatsRegistry::snapshot() const {
-  return Snapshot{counters_, accums_};
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, value] : counters_) {
+    s.counters[name] = value.load(std::memory_order_relaxed);
+  }
+  s.accums = accums_;
+  return s;
 }
 
 StatsRegistry::Snapshot StatsRegistry::Snapshot::delta_since(

@@ -3,29 +3,45 @@
 // The DSM, network, and adaptive layers all account traffic and event counts
 // here; benches snapshot/diff registries to report exactly the columns of the
 // paper's Table 1 (pages, MB, messages, diffs) and the §5.4 micro analysis.
+//
+// Counter values are atomics so the real execution backend (DESIGN.md §14)
+// can bump them from concurrent process pthreads; under the simulator
+// everything runs on one OS thread at a time and the atomic ops cost one
+// uncontended RMW.  Name lookup (counter/handle/accum) is mutex-guarded for
+// the same reason; hot paths intern a handle once and never touch the map.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace anow::util {
 
 /// A monotonically growing set of named int64 counters and double
-/// accumulators.  Lookup by name is O(log n); hot paths should cache the
-/// returned reference.
+/// accumulators.  Lookup by name is O(log n) under a mutex; hot paths should
+/// cache the returned reference/handle.
 class StatsRegistry {
  public:
-  std::int64_t& counter(const std::string& name) { return counters_[name]; }
-  double& accum(const std::string& name) { return accums_[name]; }
+  using Counter = std::atomic<std::int64_t>;
+
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+  }
+  double& accum(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accums_[name];
+  }
 
   /// Pre-interned counter handle for hot paths: one name lookup at setup,
   /// then plain pointer increments.  Handles stay valid for the registry's
   /// lifetime — including across clear(), which zeroes values in place
   /// instead of erasing the nodes.
-  std::int64_t* handle(const std::string& name) { return &counters_[name]; }
-  double* accum_handle(const std::string& name) { return &accums_[name]; }
+  Counter* handle(const std::string& name) { return &counter(name); }
+  double* accum_handle(const std::string& name) { return &accum(name); }
 
   std::int64_t counter_value(const std::string& name) const;
   double accum_value(const std::string& name) const;
@@ -48,13 +64,14 @@ class StatsRegistry {
 
   Snapshot snapshot() const;
 
-  const std::map<std::string, std::int64_t>& counters() const {
-    return counters_;
-  }
+  /// Raw map access for report iteration.  Not safe against concurrent
+  /// name insertion — call after the run (benches/tests do).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, double>& accums() const { return accums_; }
 
  private:
-  std::map<std::string, std::int64_t> counters_;
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
   std::map<std::string, double> accums_;
 };
 

@@ -144,7 +144,7 @@ TEST(Stats, ClearResets) {
 
 TEST(Stats, HandlesSurviveClearAndStayInterned) {
   StatsRegistry s;
-  std::int64_t* h = s.handle("hot");
+  StatsRegistry::Counter* h = s.handle("hot");
   double* a = s.accum_handle("warm");
   *h += 3;
   *a += 1.5;
